@@ -1,0 +1,42 @@
+"""Ablation — the dataset generator's community-locality knob.
+
+DESIGN.md bases dataset-dependent cache behaviour on the generators'
+``locality`` parameter (the fraction of edges redirected toward nearby
+node ids).  This ablation verifies the knob does what the design claims:
+destroying locality measurably reduces the gather kernel's L1 hit rate
+on an otherwise identical workload.
+"""
+
+from dataclasses import replace
+
+import numpy as np
+
+from repro.core.kernels import record_launches, scatter
+from repro.datasets import generate_graph, get_spec, scaled_spec
+from repro.gpu import GpuSimulator, v100_config
+
+
+def scatter_hit_rate(locality: float) -> float:
+    """L1 hit rate of the scatter kernel's atomic destination stream.
+
+    The source-side gather is insensitive to the knob because edge lists
+    are stored sorted by source; the destination side is where community
+    locality creates (or destroys) reuse.
+    """
+    spec = replace(scaled_spec(get_spec("pubmed"), 0.25), locality=locality)
+    graph = generate_graph(spec, seed=0, with_features=False)
+    rng = np.random.default_rng(0)
+    messages = rng.standard_normal((graph.num_edges, 16)).astype(np.float32)
+    with record_launches(sample_cap=150_000) as recorder:
+        scatter(messages, graph.dst, dim_size=graph.num_nodes)
+    sim = GpuSimulator(v100_config(max_cycles=10_000))
+    return sim.simulate(recorder.launches[0]).l1_hit_rate
+
+
+def test_locality_drives_cache_hits(benchmark):
+    def measure():
+        return scatter_hit_rate(0.0), scatter_hit_rate(0.9)
+
+    random_rate, local_rate = benchmark.pedantic(measure, rounds=1,
+                                                 iterations=1)
+    assert local_rate > random_rate + 0.04, (random_rate, local_rate)

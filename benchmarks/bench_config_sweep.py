@@ -1,0 +1,53 @@
+"""Configurability sweep — the paper's flexibility pitch, measured.
+
+gSuite's interface exposes "the GNN model, the dataset, the number of
+GNN layers, etc." as parameters.  This bench sweeps the two geometry
+knobs (layer count, hidden width) on one workload, verifies the kernel
+composition scales exactly as the pipeline formula predicts, and records
+the cost curve.
+"""
+
+import pytest
+
+from repro.bench.tables import format_table, write_result
+from repro.core.config import SuiteConfig
+from repro.core.pipeline import GNNPipeline
+
+
+def pipeline_with(num_layers=2, hidden=16):
+    return GNNPipeline(SuiteConfig(dataset="cora", model="gcn", scale=0.5,
+                                   num_layers=num_layers, hidden=hidden,
+                                   sample_cap=50_000))
+
+
+@pytest.mark.parametrize("num_layers", [1, 2, 3, 4])
+def test_layer_sweep(benchmark, num_layers):
+    pipeline = pipeline_with(num_layers=num_layers)
+    recorder = benchmark.pedantic(pipeline.record, rounds=2, iterations=1)
+    # GCN-MP launches exactly 3 kernels per layer (Fig. 2 composition).
+    assert len(recorder.launches) == 3 * num_layers
+
+
+@pytest.mark.parametrize("hidden", [8, 32, 128])
+def test_hidden_width_sweep(benchmark, hidden):
+    pipeline = pipeline_with(hidden=hidden)
+    out = benchmark(pipeline.run)
+    assert out.shape[1] == pipeline.spec.out_features
+
+
+def test_sweep_table(benchmark):
+    def measure():
+        rows = []
+        for num_layers in (1, 2, 3, 4):
+            pipeline = pipeline_with(num_layers=num_layers)
+            times = pipeline.measure(repeats=3)
+            rows.append((num_layers, len(pipeline.record().launches),
+                         min(times)))
+        return rows
+
+    rows = benchmark.pedantic(measure, rounds=1, iterations=1)
+    write_result("config_sweep", format_table(
+        ("Layers", "Kernel Launches", "Best Seconds"), rows,
+        title="Configurability sweep - GCN/Cora-50%, layers 1-4"))
+    launches = [r[1] for r in rows]
+    assert launches == [3, 6, 9, 12]

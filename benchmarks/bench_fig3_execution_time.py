@@ -1,0 +1,42 @@
+"""Fig. 3 bench — end-to-end execution time across frameworks.
+
+Times each framework variant's full pipeline (build + inference) on
+GCN/Cora with pytest-benchmark, then regenerates the full Fig. 3 grid
+and asserts the paper's qualitative claims (gSuite fastest, PyG slowest,
+time grows with graph size).
+"""
+
+import pytest
+
+from repro.bench.common import pipeline_for
+from repro.bench.experiments import fig3
+from repro.bench.tables import write_result
+
+VARIANTS = [
+    ("PyG", "pyg", "MP"),
+    ("DGL", "dgl", "SpMM"),
+    ("gSuite-MP", "gsuite", "MP"),
+    ("gSuite-SpMM", "gsuite", "SpMM"),
+]
+
+
+@pytest.mark.parametrize("label,framework,compute_model", VARIANTS,
+                         ids=[v[0] for v in VARIANTS])
+def test_gcn_cora_end_to_end(benchmark, profile, label, framework,
+                             compute_model):
+    pipeline = pipeline_for("gcn", "cora", compute_model, profile,
+                            framework=framework)
+
+    def end_to_end():
+        return pipeline.build().run()
+
+    out = benchmark(end_to_end)
+    assert out.shape[0] == pipeline.graph.num_nodes
+
+
+def test_fig3_full_grid(benchmark, profile):
+    rows = benchmark.pedantic(fig3.rows, args=(profile,), rounds=1,
+                              iterations=1)
+    write_result("fig3", fig3.render(profile))
+    checks = fig3.checks(rows)
+    assert all(checks.values()), checks

@@ -1,0 +1,24 @@
+"""Fig. 4 bench — kernel execution-time distribution.
+
+Times the instrumented recording path and regenerates the per-kernel
+time-share grid for all four framework variants.
+"""
+
+from repro.bench.common import pipeline_for
+from repro.bench.experiments import fig4
+from repro.bench.tables import write_result
+
+
+def test_recording_overhead(benchmark, profile):
+    """Cost of one instrumented inference (recording included)."""
+    pipeline = pipeline_for("gcn", "cora", "MP", profile)
+    recorder = benchmark(pipeline.record)
+    assert len(recorder.launches) == 6  # 3 kernels x 2 layers
+
+
+def test_fig4_full_grid(benchmark, profile):
+    rows = benchmark.pedantic(fig4.rows, args=(profile,), rounds=1,
+                              iterations=1)
+    write_result("fig4", fig4.render(profile))
+    checks = fig4.checks(rows)
+    assert all(checks.values()), checks

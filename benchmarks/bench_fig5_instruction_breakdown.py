@@ -1,0 +1,27 @@
+"""Fig. 5 bench — instruction breakdown of the core kernels.
+
+Regenerates the four panels (gSuite-MP / gSuite-SpMM on GCN-CR and
+GIN-LJ) and asserts scatter/indexSelect are INT-dominated while sgemm is
+FP32-dominated, invariant across workloads.
+"""
+
+from repro.bench.common import recorded_launches
+from repro.bench.experiments import fig5
+from repro.bench.tables import write_result
+from repro.gpu import NvprofProfiler
+
+
+def test_profiling_one_pipeline(benchmark, profile):
+    """Cost of profiling a recorded pipeline (nvprof substitute)."""
+    launches = recorded_launches("gcn", "cora", "MP", profile)
+    profiler = NvprofProfiler()
+    results = benchmark(profiler.profile_all, launches)
+    assert len(results) == len(launches)
+
+
+def test_fig5_panels(benchmark, profile):
+    rows = benchmark.pedantic(fig5.rows, args=(profile,), rounds=1,
+                              iterations=1)
+    write_result("fig5", fig5.render(profile))
+    checks = fig5.checks(rows)
+    assert all(checks.values()), checks

@@ -1,0 +1,26 @@
+"""Fig. 6 bench — issue-stall distribution under the cycle simulator.
+
+Times one representative cycle simulation and regenerates the full
+stall-distribution grid for both computational models.
+"""
+
+from repro.bench.common import recorded_launches
+from repro.bench.experiments import fig6
+from repro.bench.tables import write_result
+from repro.gpu import GpuSimulator, v100_config
+
+
+def test_simulating_one_launch(benchmark, profile):
+    """Cost of one cycle-level kernel simulation."""
+    launches = recorded_launches("gcn", "cora", "MP", profile)
+    simulator = GpuSimulator(v100_config(max_cycles=profile.max_cycles))
+    result = benchmark(simulator.simulate, launches[0])
+    assert result.cycles > 0
+
+
+def test_fig6_full_grid(benchmark, profile):
+    rows = benchmark.pedantic(fig6.rows, args=(profile,), rounds=1,
+                              iterations=1)
+    write_result("fig6", fig6.render(profile))
+    checks = fig6.checks(rows)
+    assert all(checks.values()), checks

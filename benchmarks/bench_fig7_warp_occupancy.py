@@ -1,0 +1,24 @@
+"""Fig. 7 bench — warp occupancy distribution of the gSuite-MP kernels."""
+
+import numpy as np
+
+from repro.bench.experiments import fig7
+from repro.bench.tables import write_result
+from repro.gpu import build_pattern, simulate_warps, v100_config
+
+
+def test_warp_scheduler_throughput(benchmark):
+    """Raw cycle-loop cost: 32 warps, mixed pattern, mixed latencies."""
+    config = v100_config(max_cycles=20_000)
+    pattern = build_pattern(0.3, 0.05)
+    latencies = np.array([28, 193, 420] * 8, dtype=np.int64)
+    out = benchmark(simulate_warps, config, 32, 200, pattern, latencies)
+    assert out.completed
+
+
+def test_fig7_full_grid(benchmark, profile):
+    rows = benchmark.pedantic(fig7.rows, args=(profile,), rounds=1,
+                              iterations=1)
+    write_result("fig7", fig7.render(profile))
+    checks = fig7.checks(rows)
+    assert all(checks.values()), checks

@@ -1,0 +1,26 @@
+"""Fig. 8 bench — L1/L2 hit rates, profiler vs. simulator."""
+
+import numpy as np
+
+from repro.bench.experiments import fig8
+from repro.bench.tables import write_result
+from repro.gpu import simulate_hierarchy, v100_config
+
+
+def test_cache_hierarchy_throughput(benchmark):
+    """Raw hierarchy-simulation cost on a 100k-access irregular trace."""
+    rng = np.random.default_rng(0)
+    loads = rng.integers(0, 1 << 20, 100_000) * 128
+    stores = rng.integers(0, 1 << 16, 10_000) * 128
+    config = v100_config(simulated_sms=4)
+    result = benchmark.pedantic(simulate_hierarchy, args=(loads, stores, config),
+                                rounds=3, iterations=1)
+    assert result.l1.accesses == 110_000
+
+
+def test_fig8_full_grid(benchmark, profile):
+    rows = benchmark.pedantic(fig8.rows, args=(profile,), rounds=1,
+                              iterations=1)
+    write_result("fig8", fig8.render(profile))
+    checks = fig8.checks(rows)
+    assert all(checks.values()), checks

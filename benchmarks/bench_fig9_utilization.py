@@ -1,0 +1,22 @@
+"""Fig. 9 bench — compute/memory utilization of the gSuite-MP kernels."""
+
+from repro.bench.common import recorded_launches
+from repro.bench.experiments import fig9
+from repro.bench.tables import write_result
+from repro.gpu import NvprofProfiler
+
+
+def test_utilization_estimation(benchmark, profile):
+    """Cost of the analytic utilization model on one launch."""
+    launches = recorded_launches("sage", "cora", "MP", profile)
+    profiler = NvprofProfiler()
+    result = benchmark(profiler.profile, launches[0])
+    assert 0.0 <= result.compute_utilization <= 1.0
+
+
+def test_fig9_full_grid(benchmark, profile):
+    rows = benchmark.pedantic(fig9.rows, args=(profile,), rounds=1,
+                              iterations=1)
+    write_result("fig9", fig9.render(profile))
+    checks = fig9.checks(rows)
+    assert all(checks.values()), checks

@@ -1,0 +1,63 @@
+"""Table II bench — core-kernel microbenchmarks.
+
+Regenerates the Table II inventory and times each core kernel on a
+Cora-shaped workload (the kernel-level granularity the suite profiles
+at).
+"""
+
+import numpy as np
+import pytest
+
+from repro.bench.experiments import table2
+from repro.bench.tables import write_result
+from repro.core.kernels import index_select, scatter, sgemm, spgemm, spmm
+from repro.datasets import load_dataset
+
+
+@pytest.fixture(scope="module")
+def workload():
+    graph = load_dataset("cora")
+    rng = np.random.default_rng(0)
+    hidden = rng.standard_normal((graph.num_nodes, 16)).astype(np.float32)
+    weight = rng.standard_normal((graph.num_features, 16)).astype(np.float32)
+    return graph, hidden, weight
+
+
+def test_index_select_kernel(benchmark, workload, profile):
+    graph, hidden, _ = workload
+    out = benchmark(index_select, hidden, graph.src)
+    assert out.shape == (graph.num_edges, 16)
+
+
+def test_scatter_kernel(benchmark, workload):
+    graph, hidden, _ = workload
+    messages = hidden[graph.src]
+    out = benchmark(scatter, messages, graph.dst, graph.num_nodes)
+    assert out.shape == (graph.num_nodes, 16)
+
+
+def test_sgemm_kernel(benchmark, workload):
+    graph, _, weight = workload
+    out = benchmark(sgemm, graph.features, weight)
+    assert out.shape == (graph.num_nodes, 16)
+
+
+def test_spmm_kernel(benchmark, workload):
+    graph, hidden, _ = workload
+    adjacency = graph.adjacency_csr()
+    out = benchmark(spmm, adjacency, hidden)
+    assert out.shape == (graph.num_nodes, 16)
+
+
+def test_spgemm_kernel(benchmark, workload):
+    graph, _, _ = workload
+    adjacency = graph.adjacency_csr()
+    out = benchmark(spgemm, adjacency, adjacency)
+    assert out.shape == (graph.num_nodes, graph.num_nodes)
+
+
+def test_table2_inventory(benchmark, profile):
+    rows = benchmark(table2.rows, profile)
+    write_result("table2", table2.render(profile))
+    checks = table2.checks(rows)
+    assert all(checks.values()), checks

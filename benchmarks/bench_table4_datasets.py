@@ -1,0 +1,24 @@
+"""Table IV bench — dataset generation statistics.
+
+Regenerates Table IV (spec vs. generated statistics for all five
+datasets) and times the Cora-scale generator.
+"""
+
+from repro.bench.experiments import table4
+from repro.bench.tables import write_result
+from repro.datasets import clear_cache, generate_graph, get_spec
+
+
+def test_cora_generation(benchmark):
+    spec = get_spec("cora")
+    graph = benchmark(generate_graph, spec, 0)
+    assert graph.num_edges == spec.num_edges
+
+
+def test_table4_statistics(benchmark, profile):
+    clear_cache()
+    rows = benchmark.pedantic(table4.rows, args=(profile,), rounds=1,
+                              iterations=1)
+    write_result("table4", table4.render(profile))
+    checks = table4.checks(rows)
+    assert all(checks.values()), checks

@@ -1,0 +1,42 @@
+"""Training-phase benchmark (the paper's future work, measurable today).
+
+Times one full-graph training step (forward + backward + optimizer) per
+model and verifies the training pipeline decomposes into the same
+Table II kernels the inference benchmarks characterize.
+"""
+
+import pytest
+
+from repro.core.kernels import record_launches
+from repro.datasets import load_dataset
+from repro.train import Adam, Trainer, build_trainable, synthetic_labels
+
+
+@pytest.fixture(scope="module")
+def graph(profile):
+    return load_dataset("cora", scale=profile.scale_of("cora") * 0.5)
+
+
+@pytest.mark.parametrize("model_name", ["gcn", "gin", "sage"])
+def test_training_step(benchmark, graph, model_name):
+    labels = synthetic_labels(graph, 7)
+    model = build_trainable(model_name, graph, hidden=16, out_features=7)
+    trainer = Trainer(model, labels,
+                      optimizer=Adam(model.parameters(), lr=0.01))
+    loss = benchmark(trainer.train_epoch)
+    assert loss > 0
+
+
+def test_training_uses_core_kernels(benchmark, graph):
+    labels = synthetic_labels(graph, 7)
+    model = build_trainable("gcn", graph, hidden=16, out_features=7)
+    trainer = Trainer(model, labels)
+
+    def recorded_step():
+        with record_launches() as recorder:
+            trainer.train_epoch()
+        return recorder
+
+    recorder = benchmark.pedantic(recorded_step, rounds=1, iterations=1)
+    kernels = {l.kernel for l in recorder.launches}
+    assert {"sgemm", "indexSelect", "scatter"} <= kernels

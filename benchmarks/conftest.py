@@ -1,0 +1,16 @@
+"""Shared fixtures for the per-figure benchmark suite."""
+
+import os
+import sys
+
+import pytest
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+from repro.bench.profiles import active_profile  # noqa: E402
+
+
+@pytest.fixture(scope="session")
+def profile():
+    """The active benchmark sizing profile (GSUITE_PROFILE, default ci)."""
+    return active_profile()

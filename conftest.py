@@ -1,0 +1,6 @@
+"""Ensure ``src`` is importable when the package is not installed."""
+
+import os
+import sys
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "src"))

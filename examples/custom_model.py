@@ -1,0 +1,83 @@
+#!/usr/bin/env python
+"""Extending gSuite with a new GNN model, plug-and-play.
+
+The paper claims that "by utilizing MP and SpMM core kernels, a new GNN
+model can be built in a plug-and-play manner".  This example builds a
+Simple Graph Convolution (SGC, Wu et al. 2019) — a model the suite does
+not ship — from nothing but the public core kernels, registers it, and
+characterizes it like any built-in model.
+
+SGC collapses a K-layer GCN into one propagation:  X' = P^K X W  with
+P = D^-1/2 (A+I) D^-1/2.  MP realises the K propagations as
+gather/scatter rounds; SpMM as repeated spmm over a precomputed P.
+
+Run:  python examples/custom_model.py
+"""
+
+import numpy as np
+
+from repro import GNNPipeline
+from repro.core.kernels import index_select, scatter, sgemm, spmm
+from repro.core.models import GNNModel, register_model
+from repro.graph import gcn_edge_weights, normalized_adjacency
+
+
+class SGC(GNNModel):
+    """Simple Graph Convolution: K propagation hops, one linear layer."""
+
+    name = "sgc"
+    supported_compute_models = ("MP", "SpMM")
+
+    def __init__(self, *args, hops: int = 2, **kwargs):
+        self.hops = hops
+        # SGC is a single linear layer regardless of `num_layers`.
+        kwargs["num_layers"] = 1
+        super().__init__(*args, **kwargs)
+
+    def prepare(self, graph, ):
+        if self.compute_model == "MP":
+            edge_index, edge_weight = gcn_edge_weights(graph)
+            return {"edge_index": edge_index, "edge_weight": edge_weight}
+        return {"propagation": normalized_adjacency(graph)}
+
+    def layer_forward(self, layer, x, graph, state):
+        for hop in range(self.hops):
+            if self.compute_model == "MP":
+                messages = index_select(x, state["edge_index"][0],
+                                        tag=f"sgc-hop{hop}")
+                messages = messages * state["edge_weight"][:, None]
+                x = scatter(messages, state["edge_index"][1],
+                            dim_size=graph.num_nodes, tag=f"sgc-hop{hop}")
+            else:
+                x = spmm(state["propagation"], x, tag=f"sgc-hop{hop}")
+        params = self.weights[layer]
+        return sgemm(x, params["W"], bias=params["b"], tag="sgc-linear")
+
+
+def main() -> None:
+    register_model("sgc", SGC)
+    print("Registered custom model 'sgc' (Simple Graph Convolution)\n")
+
+    # The custom model drops into the standard pipeline untouched.
+    pipeline = GNNPipeline.from_params(model="sgc", dataset="citeseer")
+    logits = pipeline.run()
+    print(f"SGC inference on CiteSeer: output {logits.shape}")
+
+    # Both computational models work because both were implemented from
+    # the public kernels; verify they agree.
+    spmm_pipe = GNNPipeline.from_params(model="sgc", dataset="citeseer",
+                                        compute_model="SpMM")
+    diff = float(np.abs(spmm_pipe.run() - logits).max())
+    print(f"MP vs SpMM max |difference|: {diff:.2e}")
+
+    # ... and the whole characterization stack applies immediately.
+    results = pipeline.simulate()
+    print("\nPer-kernel simulation of the custom model:")
+    for result in results:
+        print(f"  {result.kernel:12s} ({result.tag:10s}) "
+              f"dominant stall: {result.dominant_stall():18s} "
+              f"L1 hit {result.l1_hit_rate:.0%}")
+
+
+if __name__ == "__main__":
+    main()

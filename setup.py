@@ -1,0 +1,11 @@
+"""Setup shim enabling legacy editable installs.
+
+Environments without the ``wheel`` package (e.g. offline CI) cannot run
+PEP-517 builds; with this shim present and no ``[build-system]`` table,
+``pip install -e .`` falls back to ``setup.py develop``, which needs
+only setuptools.  All metadata lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,35 @@
+"""gSuite reproduction — a framework-independent GNN inference benchmark suite.
+
+The package mirrors the paper's architecture (Fig. 1):
+
+* :mod:`repro.graph`      — graph formats and transforms
+* :mod:`repro.datasets`   — Table IV workloads (synthetic, statistics-matched)
+* :mod:`repro.core`       — core kernels, GNN models, pipeline and config
+* :mod:`repro.frameworks` — native / PyG-like / DGL-like execution backends
+* :mod:`repro.gpu`        — GPU timing simulator + nvprof-substitute profiler
+* :mod:`repro.bench`      — experiment drivers for every paper figure/table
+
+Quickstart::
+
+    from repro import GNNPipeline
+    pipe = GNNPipeline.from_params(model="gcn", dataset="cora")
+    logits = pipe.run()            # inference
+    times = pipe.measure()         # end-to-end timing (Fig. 3)
+    results = pipe.simulate()      # cycle-level GPU simulation (Figs. 6-8)
+"""
+
+__version__ = "1.0.0"
+
+from repro.core import GNNPipeline, SuiteConfig, build_model, record_launches
+from repro.datasets import load_dataset
+from repro.graph import Graph
+
+__all__ = [
+    "GNNPipeline",
+    "Graph",
+    "SuiteConfig",
+    "__version__",
+    "build_model",
+    "load_dataset",
+    "record_launches",
+]

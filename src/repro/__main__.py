@@ -1,0 +1,5 @@
+"""``python -m repro`` — the gsuite command-line interface."""
+
+from repro.cli import main
+
+raise SystemExit(main())

@@ -1,0 +1,13 @@
+"""Benchmark harness: experiment drivers for every paper table/figure."""
+
+from repro.bench.profiles import PROFILES, BenchProfile, active_profile
+from repro.bench.tables import format_table, results_dir, write_result
+
+__all__ = [
+    "BenchProfile",
+    "PROFILES",
+    "active_profile",
+    "format_table",
+    "results_dir",
+    "write_result",
+]

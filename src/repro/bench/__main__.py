@@ -1,0 +1,5 @@
+"""``python -m repro.bench`` — regenerate every paper artifact."""
+
+from repro.bench.harness import main
+
+raise SystemExit(main())

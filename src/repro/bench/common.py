@@ -1,0 +1,143 @@
+"""Shared machinery for the per-figure experiment drivers.
+
+Figures 4-9 all consume the same kernel recordings (one instrumented
+inference per model/dataset/computational-model combination) and the
+same per-launch simulation/profiling results, so both are memoised here
+keyed by the benchmark profile.  Running the whole benchmark suite then
+records and simulates each pipeline exactly once.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.bench.profiles import BenchProfile
+from repro.core.config import SuiteConfig
+from repro.core.kernels import KernelLaunch
+from repro.core.pipeline import GNNPipeline
+from repro.datasets import DATASET_NAMES, get_spec
+from repro.gpu.config import v100_config
+from repro.gpu.metrics import ProfileResult, SimResult, merge_distributions
+from repro.gpu.profiler import NvprofProfiler
+from repro.gpu.simulator import GpuSimulator
+
+__all__ = [
+    "MP_MODELS",
+    "SPMM_MODELS",
+    "DATASET_ORDER",
+    "pipeline_for",
+    "recorded_launches",
+    "sim_results",
+    "profile_results",
+    "merge_sim_by_kernel",
+    "clear_bench_cache",
+]
+
+#: Models evaluated per computational model (paper Section V-A: every
+#: model has both implementations except SAG, which is MP-only).
+MP_MODELS = ("gcn", "gin", "sage")
+SPMM_MODELS = ("gcn", "gin")
+
+#: Paper presentation order with short forms.
+DATASET_ORDER = tuple((name, get_spec(name).short_form)
+                      for name in DATASET_NAMES)
+
+_Key = Tuple[str, str, str, str, str]
+_LAUNCHES: Dict[_Key, List[KernelLaunch]] = {}
+_SIMS: Dict[_Key, List[SimResult]] = {}
+_PROFS: Dict[_Key, List[ProfileResult]] = {}
+
+
+def clear_bench_cache() -> None:
+    """Drop all memoised recordings and simulation results."""
+    _LAUNCHES.clear()
+    _SIMS.clear()
+    _PROFS.clear()
+
+
+def pipeline_for(model: str, dataset: str, compute_model: str,
+                 profile: BenchProfile,
+                 framework: str = "gsuite") -> GNNPipeline:
+    """Build the standard benchmark pipeline for one grid point."""
+    config = SuiteConfig(
+        dataset=dataset,
+        model=model,
+        compute_model=compute_model,
+        framework=framework,
+        scale=profile.scale_of(dataset),
+        sample_cap=profile.sample_cap,
+        repeats=profile.repeats,
+    )
+    return GNNPipeline(config)
+
+
+def _key(model: str, dataset: str, compute_model: str, profile: BenchProfile,
+         framework: str) -> _Key:
+    return (model, dataset, compute_model, profile.name, framework)
+
+
+def recorded_launches(model: str, dataset: str, compute_model: str,
+                      profile: BenchProfile,
+                      framework: str = "gsuite") -> List[KernelLaunch]:
+    """Kernel launch records of one pipeline (memoised)."""
+    key = _key(model, dataset, compute_model, profile, framework)
+    if key not in _LAUNCHES:
+        pipeline = pipeline_for(model, dataset, compute_model, profile,
+                                framework)
+        _LAUNCHES[key] = pipeline.record().launches
+    return _LAUNCHES[key]
+
+
+def sim_results(model: str, dataset: str, compute_model: str,
+                profile: BenchProfile,
+                framework: str = "gsuite") -> List[SimResult]:
+    """GPGPU-Sim-substitute results for one pipeline (memoised)."""
+    key = _key(model, dataset, compute_model, profile, framework)
+    if key not in _SIMS:
+        simulator = GpuSimulator(v100_config(max_cycles=profile.max_cycles))
+        _SIMS[key] = simulator.simulate_all(
+            recorded_launches(model, dataset, compute_model, profile,
+                              framework))
+    return _SIMS[key]
+
+
+def profile_results(model: str, dataset: str, compute_model: str,
+                    profile: BenchProfile,
+                    framework: str = "gsuite") -> List[ProfileResult]:
+    """nvprof-substitute results for one pipeline (memoised)."""
+    key = _key(model, dataset, compute_model, profile, framework)
+    if key not in _PROFS:
+        profiler = NvprofProfiler()
+        _PROFS[key] = profiler.profile_all(
+            recorded_launches(model, dataset, compute_model, profile,
+                              framework))
+    return _PROFS[key]
+
+
+def merge_sim_by_kernel(results: List[SimResult]) -> Dict[str, dict]:
+    """Aggregate per-launch simulator results by kernel short form.
+
+    Distributions merge cycle-weighted; hit rates and utilizations are
+    cycle-weighted means.  Returns ``{short_form: summary_dict}``.
+    """
+    grouped: Dict[str, List[SimResult]] = {}
+    for result in results:
+        grouped.setdefault(result.short_form, []).append(result)
+    merged: Dict[str, dict] = {}
+    for short_form, items in grouped.items():
+        weights = [r.cycles for r in items]
+        total = float(sum(weights)) or 1.0
+        merged[short_form] = {
+            "stalls": merge_distributions(
+                (r.stall_distribution for r in items), weights),
+            "occupancy": merge_distributions(
+                (r.occupancy_distribution for r in items), weights),
+            "l1_hit_rate": sum(r.l1_hit_rate * w for r, w in zip(items, weights)) / total,
+            "l2_hit_rate": sum(r.l2_hit_rate * w for r, w in zip(items, weights)) / total,
+            "compute_utilization": sum(
+                r.compute_utilization * w for r, w in zip(items, weights)) / total,
+            "memory_utilization": sum(
+                r.memory_utilization * w for r, w in zip(items, weights)) / total,
+            "launches": len(items),
+        }
+    return merged

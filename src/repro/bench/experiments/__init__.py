@@ -1,0 +1,25 @@
+"""Experiment drivers, one per paper table/figure.
+
+Each module exposes the same surface:
+
+* ``HEADERS`` — column names of the result table;
+* ``rows(profile)`` — the measured data as a list of tuples;
+* ``render(profile)`` — the formatted table (string);
+* ``checks(rows)`` — a dict of named booleans asserting the paper's
+  qualitative claims over the measured data.
+"""
+
+from repro.bench.experiments import (  # noqa: F401
+    fig3,
+    fig4,
+    fig5,
+    fig6,
+    fig7,
+    fig8,
+    fig9,
+    table2,
+    table4,
+)
+
+__all__ = ["fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9",
+           "table2", "table4"]

@@ -1,0 +1,108 @@
+"""Fig. 4 — execution-time distribution across kernels.
+
+For every framework variant, model and dataset: the fraction of kernel
+execution time spent in each core kernel (sgemm / scatter / indexSelect
+/ SpMM), from the recorded per-launch wall-clock durations.
+
+Expected shape (paper Section V-D-1): the GNN model — not the framework
+— is the main determinant of the distribution; gSuite's distribution
+resembles PyG's (MP) and DGL's (SpMM).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.bench.common import (
+    DATASET_ORDER,
+    MP_MODELS,
+    SPMM_MODELS,
+    recorded_launches,
+)
+from repro.bench.profiles import BenchProfile, active_profile
+from repro.bench.tables import format_table
+
+__all__ = ["HEADERS", "VARIANTS", "rows", "render", "checks"]
+
+HEADERS = ("Framework", "Model", "Dataset", "sgemm", "scatter",
+           "indexSelect", "SpMM")
+
+#: (figure label, backend, compute model, models evaluated).
+VARIANTS = (
+    ("PyG", "pyg", "MP", MP_MODELS),
+    ("DGL", "dgl", "SpMM", MP_MODELS),     # DGL runs SAG via SpMM convs
+    ("gSuite-MP", "gsuite", "MP", MP_MODELS),
+    ("gSuite-SpMM", "gsuite", "SpMM", SPMM_MODELS),
+)
+
+_KERNEL_COLUMNS = ("sg", "sc", "is", "sp")
+
+
+def _time_shares(launches) -> Dict[str, float]:
+    """Fraction of total kernel time per short form."""
+    totals: Dict[str, float] = {}
+    for launch in launches:
+        totals[launch.short_form] = (
+            totals.get(launch.short_form, 0.0) + launch.duration_s)
+    overall = sum(totals.values())
+    if overall <= 0:
+        return {k: 0.0 for k in _KERNEL_COLUMNS}
+    return {k: totals.get(k, 0.0) / overall for k in _KERNEL_COLUMNS}
+
+
+def rows(profile: Optional[BenchProfile] = None) -> List[Tuple]:
+    profile = profile or active_profile()
+    out = []
+    for label, framework, compute_model, models in VARIANTS:
+        for model in models:
+            for dataset, short in DATASET_ORDER:
+                launches = recorded_launches(model, dataset, compute_model,
+                                             profile, framework=framework)
+                shares = _time_shares(launches)
+                out.append((label, model.upper(), short,
+                            shares["sg"], shares["sc"], shares["is"],
+                            shares["sp"]))
+    return out
+
+
+def render(profile: Optional[BenchProfile] = None) -> str:
+    return format_table(
+        HEADERS, rows(profile),
+        title="Fig. 4 - kernel execution-time distribution (fractions)")
+
+
+def checks(result_rows: List[Tuple]) -> Dict[str, bool]:
+    """Distributions are normalised; the split resembles the same model
+    on another framework; the model is the determinative factor."""
+    normalised = all(abs(sum(r[3:7]) - 1.0) < 1e-6 for r in result_rows)
+
+    def split(label, model, dataset):
+        for r in result_rows:
+            if (r[0], r[1], r[2]) == (label, model, dataset):
+                return r[3:7]
+        return None
+
+    def distance(a, b):
+        return sum(abs(x - y) for x, y in zip(a, b))
+
+    # gSuite-MP's GCN split resembles PyG's GCN split on the same workload.
+    pyg = split("PyG", "GCN", "CR")
+    gsuite_gcn = split("gSuite-MP", "GCN", "CR")
+    frameworks_similar = (pyg is not None and gsuite_gcn is not None
+                          and distance(pyg, gsuite_gcn) < 0.4)
+
+    # Changing the model moves the distribution visibly (the paper: "the
+    # GNN model is the main determinative factor").
+    gcn_rd = split("gSuite-MP", "GCN", "RD")
+    gin_rd = split("gSuite-MP", "GIN", "RD")
+    model_differentiates = (gcn_rd is not None and gin_rd is not None
+                            and distance(gcn_rd, gin_rd) > 0.10)
+
+    spmm_uses_sp = all(
+        r[6] > 0 for r in result_rows if r[0] in ("DGL", "gSuite-SpMM"))
+    return {
+        "distributions_normalised": normalised,
+        "frameworks_share_model_shape": frameworks_similar,
+        "model_is_determinative_factor": model_differentiates,
+        "spmm_variants_spend_time_in_sp": spmm_uses_sp,
+    }

@@ -1,0 +1,82 @@
+"""Fig. 5 — instruction breakdown of the core kernels.
+
+The paper shows gSuite-MP on GCN-CR and GIN-LJ, and gSuite-SpMM on the
+same two combinations, breaking each kernel's dynamic instructions into
+FP32 / INT / Load-Store / Control / other.
+
+Expected shape: scatter and indexSelect are dominated by integer
+operations (address calculation); sgemm by floating point; the breakdown
+is approximately invariant to the GNN model / dataset choice.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.bench.common import profile_results
+from repro.bench.profiles import BenchProfile, active_profile
+from repro.bench.tables import format_table
+from repro.gpu.profiler import aggregate_instruction_fractions
+
+__all__ = ["HEADERS", "COMBOS", "rows", "render", "checks"]
+
+HEADERS = ("Variant", "Workload", "Kernel", "FP32", "INT", "Load/Store",
+           "Control", "other")
+
+#: The paper's four panels: (variant, compute model, model, dataset).
+COMBOS = (
+    ("gSuite-MP", "MP", "gcn", "cora"),
+    ("gSuite-MP", "MP", "gin", "livejournal"),
+    ("gSuite-SpMM", "SpMM", "gcn", "cora"),
+    ("gSuite-SpMM", "SpMM", "gin", "livejournal"),
+)
+
+
+def rows(profile: Optional[BenchProfile] = None) -> List[Tuple]:
+    profile = profile or active_profile()
+    out = []
+    for variant, compute_model, model, dataset in COMBOS:
+        results = profile_results(model, dataset, compute_model, profile)
+        grouped: Dict[str, list] = {}
+        for result in results:
+            grouped.setdefault(result.short_form, []).append(result)
+        workload = f"{model.upper()}-{'CR' if dataset == 'cora' else 'LJ'}"
+        for short_form in ("sg", "sc", "is", "sp"):
+            if short_form not in grouped:
+                continue
+            fractions = aggregate_instruction_fractions(grouped[short_form])
+            out.append((variant, workload, short_form,
+                        fractions["FP32"], fractions["INT"],
+                        fractions["Load/Store"], fractions["Control"],
+                        fractions["other"]))
+    return out
+
+
+def render(profile: Optional[BenchProfile] = None) -> str:
+    return format_table(
+        HEADERS, rows(profile),
+        title="Fig. 5 - instruction breakdown of core kernels (fractions)")
+
+
+def checks(result_rows: List[Tuple]) -> Dict[str, bool]:
+    def fractions_of(kernel):
+        return [r for r in result_rows if r[2] == kernel]
+
+    gathers_int_dominated = all(
+        r[4] > r[3] and r[4] >= max(r[3], r[5], r[6], r[7])
+        for r in fractions_of("sc") + fractions_of("is")
+    )
+    sgemm_fp32_dominated = all(r[3] > 0.5 for r in fractions_of("sg"))
+
+    # Invariance: the same kernel's INT share varies little across panels.
+    def spread(kernel, column):
+        values = [r[column] for r in result_rows if r[2] == kernel]
+        return (max(values) - min(values)) if values else 0.0
+
+    breakdown_invariant = (spread("sc", 4) < 0.10 and spread("is", 4) < 0.10
+                           and spread("sg", 3) < 0.10)
+    return {
+        "gather_scatter_int_dominated": gathers_int_dominated,
+        "sgemm_fp32_dominated": sgemm_fp32_dominated,
+        "breakdown_invariant_across_workloads": breakdown_invariant,
+    }

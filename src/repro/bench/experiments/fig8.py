@@ -1,0 +1,105 @@
+"""Fig. 8 — L1/L2 cache hit rates: profiler vs. simulator.
+
+For the gSuite-MP kernels across models and datasets, compares the
+nvprof-substitute's hit rates with the cycle simulator's.
+
+Expected shape (paper Section V-D-5): hit rates fall as graphs grow;
+the profiler and simulator agree more closely on L1 than on L2; the
+largest divergences occur on the small workloads (CR, CS).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.bench.common import (
+    DATASET_ORDER,
+    MP_MODELS,
+    merge_sim_by_kernel,
+    profile_results,
+    sim_results,
+)
+from repro.bench.profiles import BenchProfile, active_profile
+from repro.bench.tables import format_table
+
+__all__ = ["HEADERS", "rows", "render", "checks"]
+
+HEADERS = ("Model", "Dataset", "Kernel", "L1 NVProf", "L2 NVProf",
+           "L1 Sim", "L2 Sim")
+
+
+def _merge_prof_hit_rates(results) -> Dict[str, Tuple[float, float]]:
+    """Time-weighted mean hit rates per kernel short form.
+
+    Weighted by each launch's elapsed estimate so that multi-layer
+    kernels aggregate the same way the simulator column does (which is
+    cycle-weighted); an unweighted mean would over-represent the cheap
+    narrow layers.
+    """
+    grouped: Dict[str, list] = {}
+    for result in results:
+        grouped.setdefault(result.short_form, []).append(result)
+    merged = {}
+    for short, items in grouped.items():
+        weights = [r.elapsed_estimate_cycles for r in items]
+        total = sum(weights) or 1.0
+        merged[short] = (
+            sum(r.l1_hit_rate * w for r, w in zip(items, weights)) / total,
+            sum(r.l2_hit_rate * w for r, w in zip(items, weights)) / total,
+        )
+    return merged
+
+
+def rows(profile: Optional[BenchProfile] = None) -> List[Tuple]:
+    profile = profile or active_profile()
+    out = []
+    for model in MP_MODELS:
+        for dataset, short in DATASET_ORDER:
+            sim_merged = merge_sim_by_kernel(
+                sim_results(model, dataset, "MP", profile))
+            prof_merged = _merge_prof_hit_rates(
+                profile_results(model, dataset, "MP", profile))
+            for short_form in ("sg", "is", "sc"):
+                if short_form not in sim_merged or short_form not in prof_merged:
+                    continue
+                nv_l1, nv_l2 = prof_merged[short_form]
+                out.append((model.upper(), short, short_form, nv_l1, nv_l2,
+                            sim_merged[short_form]["l1_hit_rate"],
+                            sim_merged[short_form]["l2_hit_rate"]))
+    return out
+
+
+def render(profile: Optional[BenchProfile] = None) -> str:
+    return format_table(
+        HEADERS, rows(profile),
+        title="Fig. 8 - L1/L2 hit rates, profiler vs simulator")
+
+
+def checks(result_rows: List[Tuple]) -> Dict[str, bool]:
+    # Profiler-vs-simulator agreement, measured on the gather/scatter
+    # kernels (the memory-irregular ones Fig. 8 is about; sgemm's tiled
+    # reuse sits at capacity boundaries where any model pair diverges).
+    irregular = [r for r in result_rows if r[2] in ("is", "sc")]
+    l1_gaps = [abs(r[3] - r[5]) for r in irregular]
+    l2_gaps = [abs(r[4] - r[6]) for r in irregular]
+    l1_closer = (sum(l1_gaps) / max(1, len(l1_gaps))
+                 <= sum(l2_gaps) / max(1, len(l2_gaps)) + 1e-9)
+
+    # Hit rates fall with graph size: PubMed exceeds Cora under every
+    # profile, and GCN gathers at the same (hidden) width on both.
+    def l1_of(model, dataset, kernel):
+        for r in result_rows:
+            if (r[0], r[1], r[2]) == (model, dataset, kernel):
+                return r[5]
+        return None
+
+    small = l1_of("GCN", "CR", "is")
+    large = l1_of("GCN", "PB", "is")
+    falls = (small is not None and large is not None
+             and small >= large - 0.05)
+    return {
+        "l1_agrees_more_than_l2": l1_closer,
+        "hit_rate_falls_with_dataset_size": falls,
+        "all_rates_in_unit_interval": all(
+            0.0 <= v <= 1.0 for r in result_rows for v in r[3:7]),
+    }

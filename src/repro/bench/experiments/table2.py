@@ -1,0 +1,40 @@
+"""Table II — the core MP and SpMM kernels."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.bench.profiles import BenchProfile
+from repro.bench.tables import format_table
+from repro.core.kernels import kernel_table
+
+__all__ = ["HEADERS", "rows", "render", "checks"]
+
+HEADERS = ("Kernel Name", "Computational Model", "Short Form", "Description")
+
+
+def rows(profile: Optional[BenchProfile] = None) -> List[Tuple]:
+    """Registry contents in Table II's column order."""
+    return [(name, model, short, description)
+            for name, model, short, description in kernel_table()]
+
+
+def render(profile: Optional[BenchProfile] = None) -> str:
+    return format_table(HEADERS, rows(profile),
+                        title="Table II - core MP and SpMM kernels")
+
+
+def checks(result_rows: List[Tuple]) -> Dict[str, bool]:
+    """The paper's Table II rows are all present with their models."""
+    by_name = {row[0]: row for row in result_rows}
+    return {
+        "indexSelect_is_mp": by_name.get("indexSelect", ("", ""))[1] == "MP",
+        "scatter_is_mp": by_name.get("scatter", ("", ""))[1] == "MP",
+        "sgemm_is_spmm": by_name.get("sgemm", ("", ""))[1] == "SpMM",
+        "spgemm_is_spmm": by_name.get("SpGEMM", ("", ""))[1] == "SpMM",
+        "short_forms_match_paper": all(
+            by_name.get(k, ("", "", ""))[2] == v
+            for k, v in (("indexSelect", "is"), ("scatter", "sc"),
+                         ("sgemm", "sg"), ("SpGEMM", "sp"))
+        ),
+    }

@@ -1,0 +1,62 @@
+"""Table IV — the evaluated datasets and their statistics."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.bench.profiles import BenchProfile, active_profile
+from repro.bench.tables import format_table
+from repro.datasets import DATASET_NAMES, dataset_statistics, get_spec
+
+__all__ = ["HEADERS", "rows", "render", "checks"]
+
+HEADERS = ("Dataset", "Short", "Spec Nodes", "Spec Feat", "Spec Edges",
+           "Scale", "Gen Nodes", "Gen Feat", "Gen Edges", "Match")
+
+
+def rows(profile: Optional[BenchProfile] = None) -> List[Tuple]:
+    """Spec targets vs. generated statistics for every dataset.
+
+    Spec columns always show the *full-size* Table IV numbers; generated
+    columns reflect the profile's scale, with ``Match`` asserting the
+    generator met the scaled spec exactly.
+    """
+    profile = profile or active_profile()
+    out = []
+    for name in DATASET_NAMES:
+        spec = get_spec(name)
+        scale = profile.scale_of(name)
+        stats = dataset_statistics(name, scale=scale)
+        match = (stats["nodes"] == stats["spec_nodes"]
+                 and stats["edges"] == stats["spec_edges"]
+                 and stats["feature_length"] == stats["spec_feature_length"])
+        out.append((
+            spec.name, spec.short_form, spec.num_nodes, spec.feature_length,
+            spec.num_edges, scale, stats["nodes"], stats["feature_length"],
+            stats["edges"], match,
+        ))
+    return out
+
+
+def render(profile: Optional[BenchProfile] = None) -> str:
+    return format_table(HEADERS, rows(profile),
+                        title="Table IV - evaluated datasets")
+
+
+def checks(result_rows: List[Tuple]) -> Dict[str, bool]:
+    """Generators hit their (scaled) specs; full specs match the paper."""
+    paper = {
+        "cora": (2_708, 1_433, 5_429),
+        "citeseer": (3_327, 3_703, 4_732),
+        "pubmed": (19_717, 500, 44_438),
+        "reddit": (232_965, 602, 11_606_919),
+        "livejournal": (4_847_571, 1, 68_993_773),
+    }
+    spec_ok = all(
+        (row[2], row[3], row[4]) == paper[row[0]] for row in result_rows
+    )
+    return {
+        "all_five_datasets": len(result_rows) == 5,
+        "full_specs_match_paper": spec_ok,
+        "generators_met_scaled_spec": all(row[9] for row in result_rows),
+    }

@@ -1,0 +1,75 @@
+"""Run every experiment and persist its table — the one-shot harness.
+
+``python -m repro.bench`` regenerates all nine paper artifacts under
+``results/`` and prints a pass/fail summary of the qualitative checks.
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+from typing import Dict, Optional
+
+from repro.bench import experiments
+from repro.bench.profiles import BenchProfile, active_profile
+from repro.bench.tables import write_result
+
+__all__ = ["EXPERIMENTS", "run_all", "main"]
+
+#: Experiment id -> driver module, in paper order.
+EXPERIMENTS = {
+    "table2": experiments.table2,
+    "table4": experiments.table4,
+    "fig3": experiments.fig3,
+    "fig4": experiments.fig4,
+    "fig5": experiments.fig5,
+    "fig6": experiments.fig6,
+    "fig7": experiments.fig7,
+    "fig8": experiments.fig8,
+    "fig9": experiments.fig9,
+}
+
+
+def run_all(profile: Optional[BenchProfile] = None,
+            stream=None) -> Dict[str, Dict[str, bool]]:
+    """Run every experiment; returns ``{experiment: {check: ok}}``.
+
+    Tables are written to ``results/<experiment>.txt`` and echoed to
+    ``stream`` (default stdout).
+    """
+    profile = profile or active_profile()
+    stream = stream or sys.stdout
+    all_checks: Dict[str, Dict[str, bool]] = {}
+    for name, module in EXPERIMENTS.items():
+        start = time.perf_counter()
+        result_rows = module.rows(profile)
+        table = module.render(profile)
+        checks = module.checks(result_rows)
+        path = write_result(name, table)
+        all_checks[name] = checks
+        elapsed = time.perf_counter() - start
+        print(table, file=stream)
+        print(f"[{name}] wrote {path} in {elapsed:.1f}s; checks:", file=stream)
+        for check, ok in checks.items():
+            print(f"  {'PASS' if ok else 'FAIL'}  {check}", file=stream)
+        print(file=stream)
+    return all_checks
+
+
+def main() -> int:
+    """CLI entry point; exit code 1 if any qualitative check failed."""
+    profile = active_profile()
+    print(f"Running all experiments under profile {profile.name!r}\n")
+    all_checks = run_all(profile)
+    failed = [f"{exp}:{check}"
+              for exp, checks in all_checks.items()
+              for check, ok in checks.items() if not ok]
+    if failed:
+        print("FAILED checks:", ", ".join(failed))
+        return 1
+    print("All qualitative checks passed.")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

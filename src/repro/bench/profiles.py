@@ -1,0 +1,74 @@
+"""Benchmark sizing profiles.
+
+The paper runs Table IV's full-size graphs on a 32 GB V100.  This
+reproduction can generate those sizes, but CI machines cannot sweep the
+full grid in reasonable time, so benchmarks run under a *profile*:
+
+* ``ci``   (default) — Cora and CiteSeer at full size, PubMed at full
+  size, Reddit and LiveJournal scaled down (average degree preserved);
+* ``full`` — exact Table IV sizes everywhere (hours of wall clock and
+  tens of GB of RAM; for dedicated machines).
+
+Select with the ``GSUITE_PROFILE`` environment variable.  Every result
+table records the scale used, so scaled numbers are never mistaken for
+full-size ones.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+from typing import Dict
+
+from repro.errors import ConfigError
+
+__all__ = ["BenchProfile", "PROFILES", "active_profile"]
+
+
+@dataclass(frozen=True)
+class BenchProfile:
+    """Sizing and simulation budget for one benchmark campaign."""
+
+    name: str
+    dataset_scales: Dict[str, float]
+    sample_cap: int          # memory-trace budget per kernel
+    max_cycles: int          # warp-sim cycle cap per launch
+    repeats: int             # Fig. 3 timing repeats
+
+    def scale_of(self, dataset: str) -> float:
+        """Scale factor for ``dataset`` (default 1.0)."""
+        return self.dataset_scales.get(dataset, 1.0)
+
+
+PROFILES: Dict[str, BenchProfile] = {
+    "ci": BenchProfile(
+        name="ci",
+        dataset_scales={
+            "cora": 1.0,
+            "citeseer": 1.0,
+            "pubmed": 0.5,
+            "reddit": 0.01,
+            "livejournal": 0.002,
+        },
+        sample_cap=150_000,
+        max_cycles=30_000,
+        repeats=3,
+    ),
+    "full": BenchProfile(
+        name="full",
+        dataset_scales={},
+        sample_cap=1_000_000,
+        max_cycles=60_000,
+        repeats=3,
+    ),
+}
+
+
+def active_profile() -> BenchProfile:
+    """The profile selected by ``GSUITE_PROFILE`` (default ``ci``)."""
+    name = os.environ.get("GSUITE_PROFILE", "ci").strip().lower()
+    if name not in PROFILES:
+        raise ConfigError(
+            f"unknown GSUITE_PROFILE {name!r}; known: {sorted(PROFILES)}"
+        )
+    return PROFILES[name]

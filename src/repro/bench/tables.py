@@ -1,0 +1,52 @@
+"""Plain-text table formatting and persistence for benchmark results."""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import List, Optional, Sequence
+
+__all__ = ["format_table", "write_result", "results_dir"]
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence[object]],
+                 title: str = "") -> str:
+    """Render an aligned ASCII table.
+
+    Floats render with 4 significant decimals; everything else with
+    ``str``.  Returns the table as one string (trailing newline included).
+    """
+    def cell(value: object) -> str:
+        if isinstance(value, float):
+            return f"{value:.4f}"
+        return str(value)
+
+    str_rows = [[cell(v) for v in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for i, value in enumerate(row):
+            widths[i] = max(widths[i], len(value))
+
+    def line(values: Sequence[str]) -> str:
+        return "  ".join(v.ljust(widths[i]) for i, v in enumerate(values))
+
+    parts: List[str] = []
+    if title:
+        parts.append(title)
+    parts.append(line(headers))
+    parts.append("  ".join("-" * w for w in widths))
+    parts.extend(line(row) for row in str_rows)
+    return "\n".join(parts) + "\n"
+
+
+def results_dir(base: Optional[str] = None) -> Path:
+    """The directory benchmark tables are written to (created on demand)."""
+    root = Path(base) if base else Path(__file__).resolve().parents[3] / "results"
+    root.mkdir(parents=True, exist_ok=True)
+    return root
+
+
+def write_result(name: str, content: str, base: Optional[str] = None) -> Path:
+    """Persist one experiment's table under ``results/`` and return the path."""
+    path = results_dir(base) / f"{name}.txt"
+    path.write_text(content)
+    return path

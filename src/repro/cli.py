@@ -1,0 +1,199 @@
+"""Command-line interface — the paper's "User Parameters" entry point.
+
+Build and exercise a GNN pipeline by passing a few parameters::
+
+    gsuite run      --model gcn --dataset cora
+    gsuite time     --model gin --dataset pubmed --compute-model SpMM
+    gsuite record   --model sage --dataset citeseer
+    gsuite simulate --model gcn --dataset cora --framework pyg
+    gsuite profile  --model gcn --dataset reddit --scale 0.01
+    gsuite datasets
+    gsuite kernels
+    gsuite bench            # regenerate every paper table/figure
+
+(Also available as ``python -m repro``.)
+"""
+
+from __future__ import annotations
+
+import argparse
+import statistics
+import sys
+from typing import List, Optional
+
+from repro.bench.tables import format_table
+from repro.core.config import SuiteConfig
+from repro.core.pipeline import GNNPipeline
+from repro.errors import GSuiteError
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The gsuite argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="gsuite",
+        description="Framework-independent GNN inference benchmark suite "
+                    "(gSuite reproduction).",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def add_pipeline_args(p):
+        p.add_argument("--model", default="gcn",
+                       help="GNN model: gcn, gin, sage (default gcn)")
+        p.add_argument("--dataset", default="cora",
+                       help="dataset name or short form (default cora)")
+        p.add_argument("--compute-model", default="MP", choices=["MP", "SpMM"],
+                       help="computational model (default MP)")
+        p.add_argument("--framework", default="gsuite",
+                       help="execution backend: gsuite, pyg, dgl "
+                            "(default gsuite)")
+        p.add_argument("--layers", type=int, default=2,
+                       help="number of GNN layers (default 2)")
+        p.add_argument("--hidden", type=int, default=16,
+                       help="hidden width (default 16)")
+        p.add_argument("--scale", type=float, default=1.0,
+                       help="dataset scale in (0, 1] (default 1.0)")
+        p.add_argument("--seed", type=int, default=0,
+                       help="generation / weight seed (default 0)")
+        p.add_argument("--config", default=None,
+                       help="JSON config file with default parameters")
+        p.add_argument("--repeats", type=int, default=3,
+                       help="timing repeats (default 3)")
+
+    for name, help_text in (
+            ("run", "run one inference pass"),
+            ("time", "measure end-to-end execution time (Fig. 3)"),
+            ("record", "list the kernel launches of one inference"),
+            ("simulate", "cycle-level GPU simulation per kernel (Figs. 6-8)"),
+            ("profile", "analytic profiler metrics per kernel (Figs. 5, 8, 9)")):
+        p = sub.add_parser(name, help=help_text)
+        add_pipeline_args(p)
+
+    sub.add_parser("datasets", help="show the Table IV dataset registry")
+    sub.add_parser("kernels", help="show the Table II kernel registry")
+    sub.add_parser("bench", help="regenerate every paper table/figure")
+    return parser
+
+
+def _pipeline_from_args(args) -> GNNPipeline:
+    overrides = dict(
+        model=args.model,
+        dataset=args.dataset,
+        compute_model=args.compute_model,
+        framework=args.framework,
+        num_layers=args.layers,
+        hidden=args.hidden,
+        scale=args.scale,
+        seed=args.seed,
+        repeats=args.repeats,
+    )
+    if args.config:
+        config = SuiteConfig.from_file(args.config, **overrides)
+    else:
+        config = SuiteConfig.from_dict(overrides)
+    return GNNPipeline(config)
+
+
+def _cmd_run(args) -> int:
+    pipeline = _pipeline_from_args(args)
+    out = pipeline.run()
+    graph = pipeline.graph
+    print(f"{pipeline.figure_label()} {args.model} on {graph.name}: "
+          f"{graph.num_nodes} nodes, {graph.num_edges} edges")
+    print(f"output shape: {out.shape}")
+    return 0
+
+
+def _cmd_time(args) -> int:
+    pipeline = _pipeline_from_args(args)
+    times = pipeline.measure()
+    print(f"{pipeline.figure_label()} {args.model} on {args.dataset}: "
+          f"mean {statistics.mean(times) * 1e3:.2f} ms over "
+          f"{len(times)} runs (min {min(times) * 1e3:.2f}, "
+          f"max {max(times) * 1e3:.2f})")
+    return 0
+
+
+def _cmd_record(args) -> int:
+    pipeline = _pipeline_from_args(args)
+    launches = pipeline.record().launches
+    rows = [(l.kernel, l.model, l.tag, l.threads, l.warps,
+             f"{l.duration_s * 1e3:.3f}") for l in launches]
+    print(format_table(
+        ("Kernel", "Comp. Model", "Tag", "Threads", "Warps", "ms"),
+        rows, title="Recorded kernel launches"))
+    return 0
+
+
+def _cmd_simulate(args) -> int:
+    pipeline = _pipeline_from_args(args)
+    rows = []
+    for r in pipeline.simulate():
+        rows.append((r.kernel, r.tag, r.cycles, f"{r.ipc:.2f}",
+                     f"{r.l1_hit_rate:.0%}", f"{r.l2_hit_rate:.0%}",
+                     r.dominant_stall()))
+    print(format_table(
+        ("Kernel", "Tag", "Cycles", "IPC", "L1 Hit", "L2 Hit",
+         "Dominant Stall"),
+        rows, title="Cycle-level simulation (GPGPU-Sim substitute)"))
+    return 0
+
+
+def _cmd_profile(args) -> int:
+    pipeline = _pipeline_from_args(args)
+    rows = []
+    for p in pipeline.profile():
+        mix = p.instruction_fractions
+        rows.append((p.kernel, p.tag, f"{mix['FP32']:.0%}", f"{mix['INT']:.0%}",
+                     f"{mix['Load/Store']:.0%}", f"{p.l1_hit_rate:.0%}",
+                     f"{p.l2_hit_rate:.0%}", f"{p.compute_utilization:.0%}",
+                     f"{p.memory_utilization:.0%}"))
+    print(format_table(
+        ("Kernel", "Tag", "FP32", "INT", "LD/ST", "L1 Hit", "L2 Hit",
+         "Comp Util", "Mem Util"),
+        rows, title="Profiler metrics (nvprof substitute)"))
+    return 0
+
+
+def _cmd_datasets(args) -> int:
+    from repro.bench.experiments import table4
+    print(table4.render())
+    return 0
+
+
+def _cmd_kernels(args) -> int:
+    from repro.bench.experiments import table2
+    print(table2.render())
+    return 0
+
+
+def _cmd_bench(args) -> int:
+    from repro.bench.harness import main as bench_main
+    return bench_main()
+
+
+_COMMANDS = {
+    "run": _cmd_run,
+    "time": _cmd_time,
+    "record": _cmd_record,
+    "simulate": _cmd_simulate,
+    "profile": _cmd_profile,
+    "datasets": _cmd_datasets,
+    "kernels": _cmd_kernels,
+    "bench": _cmd_bench,
+}
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    args = build_parser().parse_args(argv)
+    try:
+        return _COMMANDS[args.command](args)
+    except GSuiteError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

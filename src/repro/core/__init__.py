@@ -1,0 +1,27 @@
+"""gSuite core: kernels, models, pipeline and configuration."""
+
+from repro.core.config import DEFAULTS, SuiteConfig
+from repro.core.kernels import (
+    index_select,
+    record_launches,
+    scatter,
+    sgemm,
+    spgemm,
+    spmm,
+)
+from repro.core.models import build_model, register_model
+from repro.core.pipeline import GNNPipeline
+
+__all__ = [
+    "DEFAULTS",
+    "GNNPipeline",
+    "SuiteConfig",
+    "build_model",
+    "index_select",
+    "record_launches",
+    "register_model",
+    "scatter",
+    "sgemm",
+    "spgemm",
+    "spmm",
+]

@@ -1,0 +1,111 @@
+"""Suite configuration — the paper's default-parameter file + user overrides.
+
+gSuite's interface "does not require the end user to pass all the
+parameters ... there is a configuration file that includes all these
+settings as default parameters, where these default parameters take
+action when a parameter value is not specified by the user."
+
+:class:`SuiteConfig` is that mechanism: construct it with any subset of
+keyword overrides (everything else defaults), or load a JSON file with
+:meth:`SuiteConfig.from_file` and override on top.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass, fields, replace
+from pathlib import Path
+from typing import Optional
+
+from repro.errors import ConfigError
+
+__all__ = ["SuiteConfig", "DEFAULTS"]
+
+
+@dataclass(frozen=True)
+class SuiteConfig:
+    """All knobs of one benchmark pipeline.
+
+    Attributes mirror the user parameters of Fig. 1: dataset, GNN model,
+    computational model, framework, number of layers — plus the
+    reproduction-specific knobs (dataset scale, trace sample cap).
+    """
+
+    dataset: str = "cora"
+    model: str = "gcn"
+    compute_model: str = "MP"
+    framework: str = "gsuite"     # "none"/"gsuite", "pyg", "dgl"
+    num_layers: int = 2
+    hidden: int = 16
+    out_features: Optional[int] = None   # None -> dataset's class count
+    activation: str = "relu"
+    seed: int = 0
+    scale: float = 1.0            # dataset down-scaling for CI-sized runs
+    repeats: int = 3              # paper: "run three times; mean collected"
+    sample_cap: int = 1_000_000   # memory-trace sampling budget
+
+    def __post_init__(self):
+        if self.num_layers < 1:
+            raise ConfigError(f"num_layers must be >= 1, got {self.num_layers}")
+        if self.hidden < 1:
+            raise ConfigError(f"hidden must be >= 1, got {self.hidden}")
+        if self.out_features is not None and self.out_features < 1:
+            raise ConfigError(
+                f"out_features must be >= 1, got {self.out_features}"
+            )
+        if not 0.0 < self.scale <= 1.0:
+            raise ConfigError(f"scale must be in (0, 1], got {self.scale}")
+        if self.repeats < 1:
+            raise ConfigError(f"repeats must be >= 1, got {self.repeats}")
+        if self.sample_cap < 1:
+            raise ConfigError(f"sample_cap must be >= 1, got {self.sample_cap}")
+        if self.compute_model not in ("MP", "SpMM"):
+            raise ConfigError(
+                f"compute_model must be 'MP' or 'SpMM', got {self.compute_model!r}"
+            )
+
+    # -- construction helpers ----------------------------------------------
+    @classmethod
+    def from_dict(cls, params: dict) -> "SuiteConfig":
+        """Build a config from a parameter dict, rejecting unknown keys."""
+        known = {f.name for f in fields(cls)}
+        unknown = set(params) - known
+        if unknown:
+            raise ConfigError(
+                f"unknown configuration keys: {sorted(unknown)}; "
+                f"known: {sorted(known)}"
+            )
+        return cls(**params)
+
+    @classmethod
+    def from_file(cls, path, **overrides) -> "SuiteConfig":
+        """Load defaults from a JSON file, then apply overrides."""
+        path = Path(path)
+        try:
+            params = json.loads(path.read_text())
+        except (OSError, json.JSONDecodeError) as exc:
+            raise ConfigError(f"cannot load config {path}: {exc}") from exc
+        if not isinstance(params, dict):
+            raise ConfigError(f"config file {path} must hold a JSON object")
+        params.update(overrides)
+        return cls.from_dict(params)
+
+    def with_overrides(self, **overrides) -> "SuiteConfig":
+        """A copy of this config with some fields replaced."""
+        known = {f.name for f in fields(self)}
+        unknown = set(overrides) - known
+        if unknown:
+            raise ConfigError(f"unknown configuration keys: {sorted(unknown)}")
+        return replace(self, **overrides)
+
+    def to_dict(self) -> dict:
+        """Plain-dict form (JSON-serialisable)."""
+        return asdict(self)
+
+    def save(self, path) -> None:
+        """Write this config as JSON (round-trips with from_file)."""
+        Path(path).write_text(json.dumps(self.to_dict(), indent=2) + "\n")
+
+
+#: The shipped defaults (equivalent of gSuite's default config file).
+DEFAULTS = SuiteConfig()

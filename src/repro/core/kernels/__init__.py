@@ -1,0 +1,40 @@
+"""Core GNN kernels (Table II) with launch instrumentation."""
+
+from repro.core.kernels.index_select import index_select
+from repro.core.kernels.launch import (
+    CTA_SIZE,
+    FLOAT_BYTES,
+    LINE_BYTES,
+    WARP_SIZE,
+    InstructionMix,
+    KernelLaunch,
+    LaunchRecorder,
+    active_recorder,
+    record_launches,
+)
+from repro.core.kernels.registry import KERNELS, KernelSpec, get_kernel, kernel_table
+from repro.core.kernels.scatter import REDUCE_OPS, scatter
+from repro.core.kernels.sgemm import sgemm
+from repro.core.kernels.sparse import spgemm, spmm
+
+__all__ = [
+    "CTA_SIZE",
+    "FLOAT_BYTES",
+    "KERNELS",
+    "InstructionMix",
+    "KernelLaunch",
+    "KernelSpec",
+    "LaunchRecorder",
+    "LINE_BYTES",
+    "REDUCE_OPS",
+    "WARP_SIZE",
+    "active_recorder",
+    "get_kernel",
+    "index_select",
+    "kernel_table",
+    "record_launches",
+    "scatter",
+    "sgemm",
+    "spgemm",
+    "spmm",
+]

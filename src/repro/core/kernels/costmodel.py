@@ -1,0 +1,67 @@
+"""Per-kernel instruction-cost models.
+
+Each entry translates a kernel's logical work (elements, FMAs, expanded
+products) into the dynamic instruction mix an equivalent CUDA kernel
+executes.  The constants are modelled after the per-kernel SASS profiles
+reported for gather/scatter/GEMM kernels in the paper's Fig. 5 and the
+GNNMark/HyGCN characterizations:
+
+* ``indexSelect`` / ``scatter`` are *address machines* — dominated by
+  integer arithmetic (index loads, bounds checks, byte-offset
+  computation) plus their loads/stores; scatter additionally executes one
+  FP32 op per element for the atomic reduction.
+* ``sgemm`` is an *FMA machine* — one FP32 FMA per multiply-accumulate
+  with a small integer/control overhead amortised by 32x32 tiling.
+* ``SpGEMM`` sits in between: the expansion-hash dataflow spends integer
+  instructions per expanded product around one FP32 multiply.
+
+These models are deliberately simple and fully documented so they can be
+re-calibrated against a real profiler; the *relative* shapes (INT-heavy
+vs FP32-heavy) are what Fig. 5 asserts and what the tests pin down.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.kernels.launch import InstructionMix
+
+__all__ = ["KernelCost", "COSTS", "mix_for"]
+
+
+@dataclass(frozen=True)
+class KernelCost:
+    """Dynamic instructions per unit of logical work for one kernel."""
+
+    fp32: float
+    int_ops: float
+    ldst: float
+    control: float
+    other: float
+
+    def mix(self, units: float) -> InstructionMix:
+        """Instruction mix for ``units`` of logical work."""
+        return InstructionMix(
+            fp32=self.fp32 * units,
+            int_ops=self.int_ops * units,
+            ldst=self.ldst * units,
+            control=self.control * units,
+            other=self.other * units,
+        )
+
+
+#: Logical work units: indexSelect/scatter — one gathered/scattered
+#: element; sgemm — one FMA; SpGEMM — one expanded partial product;
+#: spmm — one nnz*feature multiply-accumulate.
+COSTS = {
+    "indexSelect": KernelCost(fp32=0.0, int_ops=4.0, ldst=2.2, control=0.8, other=0.5),
+    "scatter":     KernelCost(fp32=1.0, int_ops=4.5, ldst=2.8, control=0.9, other=0.6),
+    "sgemm":       KernelCost(fp32=1.0, int_ops=0.12, ldst=0.10, control=0.04, other=0.05),
+    "SpGEMM":      KernelCost(fp32=1.0, int_ops=5.0, ldst=3.0, control=1.2, other=0.8),
+    "spmm":        KernelCost(fp32=1.0, int_ops=1.8, ldst=1.4, control=0.4, other=0.3),
+}
+
+
+def mix_for(kernel: str, units: float) -> InstructionMix:
+    """Instruction mix of ``kernel`` executing ``units`` of logical work."""
+    return COSTS[kernel].mix(units)

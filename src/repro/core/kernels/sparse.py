@@ -1,0 +1,166 @@
+"""The sparse core kernels: ``spmm`` and ``SpGEMM`` (Table II, SpMM model).
+
+``spmm`` multiplies a sparse adjacency (CSR) by a dense feature matrix —
+the fused aggregate of DGL-style execution.  ``SpGEMM`` multiplies two
+sparse matrices — the adjacency-normalisation chain of the paper's
+Fig. 2 (``D^-1/2 * A * D^-1/2``).
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro.core.kernels import launch as L
+from repro.core.kernels.costmodel import mix_for
+from repro.errors import KernelError
+from repro.graph.formats import CSRMatrix
+
+__all__ = ["spmm", "spgemm"]
+
+
+def spmm(adjacency: CSRMatrix, dense: np.ndarray, tag: str = "") -> np.ndarray:
+    """Sparse x dense product ``adjacency @ dense``.
+
+    Parameters
+    ----------
+    adjacency:
+        CSR matrix ``[n, n]`` (row = destination node).
+    dense:
+        Float matrix ``[n, f]`` of node features.
+    tag:
+        Optional label copied onto the emitted :class:`KernelLaunch`.
+    """
+    if not isinstance(adjacency, CSRMatrix):
+        raise KernelError(
+            f"spmm expects a CSRMatrix, got {type(adjacency).__name__}"
+        )
+    dense = np.asarray(dense, dtype=np.float32)
+    if dense.ndim != 2:
+        raise KernelError(f"spmm expects a 2-D dense operand, got {dense.ndim}-D")
+    if dense.shape[0] != adjacency.shape[1]:
+        raise KernelError(
+            f"spmm dimension mismatch: {adjacency.shape} x {dense.shape}"
+        )
+
+    start = time.perf_counter()
+    out = adjacency.matmul(dense)
+    duration = time.perf_counter() - start
+
+    recorder = L.active_recorder()
+    if recorder is not None:
+        _emit_spmm(recorder, adjacency, dense, out, duration, tag)
+    return out
+
+
+def _emit_spmm(recorder: L.LaunchRecorder, adjacency: CSRMatrix,
+               dense: np.ndarray, out: np.ndarray, duration: float,
+               tag: str) -> None:
+    nnz = adjacency.nnz
+    f = dense.shape[1]
+    row_bytes = f * L.FLOAT_BYTES
+    units = float(nnz) * f
+
+    stride = L.sample_stride(nnz, max(1, recorder.sample_cap // max(1, row_bytes // L.LINE_BYTES + 1)))
+    sampled_cols = adjacency.indices[::stride]
+    fraction = (sampled_cols.size / nnz) if nnz else 1.0
+
+    structure_base = recorder.new_region()
+    values_base = recorder.new_region()
+    dense_base = recorder.new_region()
+    out_base = recorder.new_region()
+    cap = recorder.sample_cap
+    loads = np.concatenate([
+        L.sequential_lines(structure_base,
+                           (adjacency.indptr.size + nnz) * L.FLOAT_BYTES, cap),
+        L.sequential_lines(values_base, nnz * L.FLOAT_BYTES, cap),
+        L.row_lines(dense_base, sampled_cols, row_bytes),
+    ])
+    stores = L.sequential_lines(out_base, out.size * L.FLOAT_BYTES, cap)
+
+    recorder.emit(L.KernelLaunch(
+        kernel="spmm",
+        short_form="sp",
+        model="SpMM",
+        threads=max(1, out.size),
+        mix=mix_for("spmm", units),
+        loads=loads,
+        stores=stores,
+        flops=2.0 * units,
+        bytes_read=float(L.FLOAT_BYTES) * (nnz * (2 + f) + adjacency.indptr.size),
+        bytes_written=float(out.size * L.FLOAT_BYTES),
+        duration_s=duration,
+        sample_fraction=fraction,
+        active_lanes=min(L.WARP_SIZE, max(1, f)),
+        tag=tag,
+    ))
+
+
+def spgemm(a: CSRMatrix, b: CSRMatrix, tag: str = "") -> CSRMatrix:
+    """Sparse x sparse product ``a @ b`` in CSR form.
+
+    Parameters
+    ----------
+    a, b:
+        Conforming CSR matrices.
+    tag:
+        Optional label copied onto the emitted :class:`KernelLaunch`.
+    """
+    if not isinstance(a, CSRMatrix) or not isinstance(b, CSRMatrix):
+        raise KernelError("spgemm expects two CSRMatrix operands")
+    if a.shape[1] != b.shape[0]:
+        raise KernelError(f"spgemm dimension mismatch: {a.shape} x {b.shape}")
+
+    start = time.perf_counter()
+    out = a.spgemm(b)
+    duration = time.perf_counter() - start
+
+    recorder = L.active_recorder()
+    if recorder is not None:
+        _emit_spgemm(recorder, a, b, out, duration, tag)
+    return out
+
+
+def _emit_spgemm(recorder: L.LaunchRecorder, a: CSRMatrix, b: CSRMatrix,
+                 out: CSRMatrix, duration: float, tag: str) -> None:
+    # Expansion size: every stored (i, k) of A visits the whole row k of B.
+    b_row_len = b.row_lengths()
+    expansion = float(b_row_len[a.indices].sum()) if a.nnz else 0.0
+    avg_b_row_bytes = max(
+        L.FLOAT_BYTES,
+        int(2 * L.FLOAT_BYTES * (b.nnz / max(1, b.shape[0]))),
+    )
+
+    stride = L.sample_stride(a.nnz, max(1, recorder.sample_cap // 4))
+    sampled_rows = a.indices[::stride]
+    fraction = (sampled_rows.size / a.nnz) if a.nnz else 1.0
+
+    a_base = recorder.new_region()
+    b_base = recorder.new_region()
+    out_base = recorder.new_region()
+    cap = recorder.sample_cap
+    loads = np.concatenate([
+        L.sequential_lines(a_base, 2 * a.nnz * L.FLOAT_BYTES, cap),
+        L.row_lines(b_base, sampled_rows, avg_b_row_bytes),
+    ])
+    stores = L.sequential_lines(out_base, 2 * out.nnz * L.FLOAT_BYTES, cap)
+
+    recorder.emit(L.KernelLaunch(
+        kernel="SpGEMM",
+        short_form="sp",
+        model="SpMM",
+        threads=max(1, int(expansion)),
+        mix=mix_for("SpGEMM", expansion),
+        loads=loads,
+        stores=stores,
+        flops=2.0 * expansion,
+        bytes_read=float(L.FLOAT_BYTES) * (2 * a.nnz + 2 * b.nnz),
+        bytes_written=float(2 * out.nnz * L.FLOAT_BYTES),
+        duration_s=duration,
+        sample_fraction=fraction,
+        active_lanes=min(
+            L.WARP_SIZE, max(1, int(b.nnz / max(1, b.shape[0])))
+        ),
+        tag=tag,
+    ))

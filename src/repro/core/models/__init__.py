@@ -1,0 +1,29 @@
+"""GNN models composed from gSuite core kernels."""
+
+from repro.core.models.activations import ACTIVATIONS, get_activation
+from repro.core.models.base import GNNModel, layer_dimensions
+from repro.core.models.gcn import GCN
+from repro.core.models.gin import GIN
+from repro.core.models.registry import (
+    MODEL_NAMES,
+    MODELS,
+    build_model,
+    get_model_class,
+    register_model,
+)
+from repro.core.models.sage import SAGE
+
+__all__ = [
+    "ACTIVATIONS",
+    "GCN",
+    "GIN",
+    "GNNModel",
+    "MODELS",
+    "MODEL_NAMES",
+    "SAGE",
+    "build_model",
+    "get_activation",
+    "get_model_class",
+    "layer_dimensions",
+    "register_model",
+]

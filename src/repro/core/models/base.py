@@ -1,0 +1,172 @@
+"""Base classes for GNN models built from gSuite core kernels.
+
+A model is a stack of layers with deterministic, seeded weights.  Each
+concrete model provides a message-passing (MP) implementation, and those
+with a published SpMM formulation (GCN, GIN) provide an SpMM
+implementation too.  Both implementations of a model compute the *same
+function* — the property tests pin that equivalence down, because it is
+the premise of the paper's MP-vs-SpMM comparison.
+
+Extending gSuite with a new model means subclassing :class:`GNNModel`
+and composing the public kernels (``index_select``, ``scatter``,
+``sgemm``, ``spmm``, ``spgemm``) in :meth:`GNNModel.layer_forward`.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.core.models.activations import get_activation
+from repro.errors import ModelError
+from repro.graph import Graph
+
+__all__ = ["GNNModel", "layer_dimensions"]
+
+#: Computational models a GNN implementation may follow.
+COMPUTE_MODELS = ("MP", "SpMM")
+
+
+def layer_dimensions(in_features: int, hidden: int, out_features: int,
+                     num_layers: int) -> List[tuple]:
+    """Per-layer (fan_in, fan_out) pairs for a standard GNN stack.
+
+    One layer maps straight from input to output; deeper stacks route
+    through ``hidden`` everywhere in between.
+    """
+    if num_layers < 1:
+        raise ModelError(f"num_layers must be >= 1, got {num_layers}")
+    if min(in_features, hidden, out_features) < 1:
+        raise ModelError(
+            f"dimensions must be positive, got in={in_features}, "
+            f"hidden={hidden}, out={out_features}"
+        )
+    if num_layers == 1:
+        return [(in_features, out_features)]
+    dims = [(in_features, hidden)]
+    dims.extend((hidden, hidden) for _ in range(num_layers - 2))
+    dims.append((hidden, out_features))
+    return dims
+
+
+class GNNModel:
+    """Abstract multi-layer GNN.
+
+    Parameters
+    ----------
+    in_features / hidden / out_features / num_layers:
+        Stack geometry (see :func:`layer_dimensions`).
+    compute_model:
+        ``"MP"`` or ``"SpMM"``; must be one of the subclass's
+        ``supported_compute_models``.
+    activation:
+        Inter-layer activation name (final layer is identity, producing
+        logits — standard inference convention).
+    seed:
+        Weight initialisation seed; identical seeds give identical
+        models, so MP and SpMM instances can be compared numerically.
+    """
+
+    #: Subclasses override: canonical name and supported models.
+    name: str = "base"
+    supported_compute_models: Sequence[str] = ("MP",)
+
+    def __init__(self, in_features: int, hidden: int, out_features: int,
+                 num_layers: int = 2, compute_model: str = "MP",
+                 activation: str = "relu", seed: int = 0):
+        if compute_model not in COMPUTE_MODELS:
+            raise ModelError(
+                f"unknown compute model {compute_model!r}; "
+                f"expected one of {COMPUTE_MODELS}"
+            )
+        if compute_model not in self.supported_compute_models:
+            raise ModelError(
+                f"{self.name} does not support the {compute_model} model "
+                f"(supported: {list(self.supported_compute_models)})"
+            )
+        self.compute_model = compute_model
+        self.dims = layer_dimensions(in_features, hidden, out_features,
+                                     num_layers)
+        self.num_layers = num_layers
+        self.activation_name = activation
+        self._activation = get_activation(activation)
+        self.seed = seed
+        self._rng = np.random.default_rng(seed)
+        self.weights: List[dict] = [self._init_layer(fan_in, fan_out)
+                                    for fan_in, fan_out in self.dims]
+
+    # -- weight initialisation --------------------------------------------
+    def _init_layer(self, fan_in: int, fan_out: int) -> dict:
+        """Glorot-uniform weight + zero bias for one layer.
+
+        Subclasses needing extra parameters override and extend the dict.
+        """
+        return {
+            "W": self._glorot(fan_in, fan_out),
+            "b": np.zeros(fan_out, dtype=np.float32),
+        }
+
+    def _glorot(self, fan_in: int, fan_out: int) -> np.ndarray:
+        """Glorot/Xavier uniform initialisation."""
+        limit = np.sqrt(6.0 / (fan_in + fan_out))
+        return self._rng.uniform(-limit, limit,
+                                 size=(fan_in, fan_out)).astype(np.float32)
+
+    # -- inference ----------------------------------------------------------
+    def prepare(self, graph: Graph) -> dict:
+        """Precompute graph-dependent state shared by all layers.
+
+        Called once per forward pass (e.g. self-loop insertion, GCN edge
+        weights).  Subclasses override; the default is empty state.
+        """
+        return {}
+
+    def layer_forward(self, layer: int, x: np.ndarray, graph: Graph,
+                      state: dict) -> np.ndarray:
+        """Run one layer; subclasses implement with core kernels."""
+        raise NotImplementedError
+
+    def forward(self, graph: Graph,
+                features: Optional[np.ndarray] = None) -> np.ndarray:
+        """Full-graph inference: returns ``[num_nodes, out_features]``.
+
+        ``features`` overrides the graph's stored feature matrix.
+        """
+        x = features if features is not None else graph.features
+        if x is None:
+            raise ModelError(
+                f"graph {graph.name!r} carries no features and none were given"
+            )
+        x = np.asarray(x, dtype=np.float32)
+        if x.shape != (graph.num_nodes, self.dims[0][0]):
+            raise ModelError(
+                f"features must have shape ({graph.num_nodes}, "
+                f"{self.dims[0][0]}), got {x.shape}"
+            )
+        state = self.prepare(graph)
+        for layer in range(self.num_layers):
+            x = self.layer_forward(layer, x, graph, state)
+            if layer < self.num_layers - 1:
+                x = self._activation(x)
+        return x
+
+    def __call__(self, graph: Graph,
+                 features: Optional[np.ndarray] = None) -> np.ndarray:
+        return self.forward(graph, features)
+
+    @property
+    def out_features(self) -> int:
+        """Width of the final layer's output."""
+        return self.dims[-1][1]
+
+    def parameter_count(self) -> int:
+        """Total trainable scalars (for reporting)."""
+        return int(sum(
+            sum(np.asarray(v).size for v in layer.values())
+            for layer in self.weights
+        ))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"{type(self).__name__}(dims={self.dims}, "
+                f"compute_model={self.compute_model!r})")

@@ -1,0 +1,83 @@
+"""Graph Attention Network (Velickovic et al.) — an extension model.
+
+Not part of the paper's evaluated trio; included to demonstrate that the
+core-kernel vocabulary covers attention-style models too (the paper's
+extendability claim).  Single-head GAT, MP computational model:
+
+    e_uv    = LeakyReLU( a_src . (W h_u) + a_dst . (W h_v) )
+    alpha_uv = softmax_v(e_uv)          (softmax over v's in-edges)
+    h_v'    = sum_u alpha_uv (W h_u)
+
+The edge softmax decomposes entirely into Table II kernels: a
+``scatter``-max for the stable maximum, ``indexSelect`` to broadcast it
+back to edges, ``scatter``-sum for the normaliser, and a second
+``indexSelect`` for the division — plus the usual gather/scatter pair
+for aggregation.  Self-loops are inserted so every node attends at least
+to itself.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.kernels import index_select, scatter, sgemm
+from repro.core.models.base import GNNModel
+from repro.graph import Graph, add_self_loops
+
+__all__ = ["GAT"]
+
+#: LeakyReLU negative slope used by the reference implementation.
+_SLOPE = 0.2
+
+
+def _leaky_relu(x: np.ndarray) -> np.ndarray:
+    return np.where(x > 0, x, _SLOPE * x)
+
+
+class GAT(GNNModel):
+    """Single-head Graph Attention Network (MP only)."""
+
+    name = "gat"
+    supported_compute_models = ("MP",)
+
+    def _init_layer(self, fan_in: int, fan_out: int) -> dict:
+        return {
+            "W": self._glorot(fan_in, fan_out),
+            "a_src": self._glorot(fan_out, 1)[:, 0],
+            "a_dst": self._glorot(fan_out, 1)[:, 0],
+            "b": np.zeros(fan_out, dtype=np.float32),
+        }
+
+    def prepare(self, graph: Graph) -> dict:
+        looped = add_self_loops(graph)
+        return {"edge_index": looped.edge_index}
+
+    def layer_forward(self, layer: int, x: np.ndarray, graph: Graph,
+                      state: dict) -> np.ndarray:
+        params = self.weights[layer]
+        src, dst = state["edge_index"]
+        n = graph.num_nodes
+        tag = f"gat-l{layer}"
+
+        h = sgemm(x, params["W"], tag=tag)
+        # Per-node attention halves, gathered onto edges.
+        score_src = h @ params["a_src"]
+        score_dst = h @ params["a_dst"]
+        logits = _leaky_relu(
+            index_select(score_src[:, None], src, tag=tag)[:, 0]
+            + index_select(score_dst[:, None], dst, tag=tag)[:, 0]
+        )
+        # Numerically stable edge softmax over each destination's in-edges.
+        max_per_dst = scatter(logits[:, None], dst, dim_size=n,
+                              reduce="max", tag=tag)[:, 0]
+        shifted = logits - index_select(max_per_dst[:, None], dst,
+                                        tag=tag)[:, 0]
+        unnormalised = np.exp(shifted).astype(np.float32)
+        denom = scatter(unnormalised[:, None], dst, dim_size=n,
+                        reduce="sum", tag=tag)[:, 0]
+        denom_per_edge = index_select(denom[:, None], dst, tag=tag)[:, 0]
+        alpha = unnormalised / np.maximum(denom_per_edge, 1e-12)
+
+        messages = index_select(h, src, tag=tag) * alpha[:, None]
+        out = scatter(messages, dst, dim_size=n, reduce="sum", tag=tag)
+        return out + params["b"]

@@ -1,0 +1,84 @@
+"""Graph Convolutional Network (Kipf & Welling), MP and SpMM variants.
+
+MP (paper Eq. 1)::
+
+    h_v' = Theta( sum_{u in N(v) + v}  h_u / sqrt(d_u d_v) )
+
+SpMM (paper Eq. 2)::
+
+    X' = D^-1/2 (A + I) D^-1/2 X Theta
+
+Kernel composition follows Fig. 2:
+
+* gSuite-MP: ``sgemm`` (linear transform) -> ``indexSelect`` (gather
+  per-edge messages) -> ``scatter`` (normalised sum into destinations);
+* gSuite-SpMM: two ``SpGEMM`` launches build the normalised propagation
+  matrix ``D^-1/2 * A-hat * D^-1/2``, then per layer one ``spmm``
+  (propagate) and one ``sgemm`` (transform).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.kernels import index_select, scatter, sgemm, spgemm, spmm
+from repro.core.models.base import GNNModel
+from repro.graph import Graph, add_self_loops, gcn_edge_weights
+from repro.graph.formats import CSRMatrix
+
+__all__ = ["GCN"]
+
+
+def _degree_half_inverse_csr(graph: Graph) -> CSRMatrix:
+    """Diagonal ``D^-1/2`` (degrees counted with self-loops) as CSR."""
+    looped = add_self_loops(graph)
+    degree = looped.in_degrees().astype(np.float64)
+    inv_sqrt = np.zeros_like(degree)
+    positive = degree > 0
+    inv_sqrt[positive] = 1.0 / np.sqrt(degree[positive])
+    n = graph.num_nodes
+    idx = np.arange(n, dtype=np.int64)
+    return CSRMatrix(np.arange(n + 1, dtype=np.int64), idx,
+                     inv_sqrt.astype(np.float32), shape=(n, n))
+
+
+class GCN(GNNModel):
+    """Two-sided GCN: select ``compute_model="MP"`` or ``"SpMM"``."""
+
+    name = "gcn"
+    supported_compute_models = ("MP", "SpMM")
+
+    def prepare(self, graph: Graph) -> dict:
+        """Graph-dependent state.
+
+        MP needs the self-loop-augmented edge index with per-edge
+        ``1/sqrt(du dv)`` weights; SpMM assembles the propagation matrix
+        with two traced SpGEMM launches (the Fig. 2 pipeline).
+        """
+        if self.compute_model == "MP":
+            edge_index, edge_weight = gcn_edge_weights(graph)
+            return {"edge_index": edge_index, "edge_weight": edge_weight}
+        d_half = _degree_half_inverse_csr(graph)
+        a_hat = add_self_loops(graph).adjacency_csr()
+        left = spgemm(d_half, a_hat, tag="gcn-normalize")
+        propagation = spgemm(left, d_half, tag="gcn-normalize")
+        return {"propagation": propagation}
+
+    def layer_forward(self, layer: int, x: np.ndarray, graph: Graph,
+                      state: dict) -> np.ndarray:
+        params = self.weights[layer]
+        if self.compute_model == "MP":
+            edge_index, edge_weight = state["edge_index"], state["edge_weight"]
+            # Transform first (Fig. 2: featureVector -> sgemm -> linearOutput).
+            h = sgemm(x, params["W"], tag=f"gcn-l{layer}")
+            messages = index_select(h, edge_index[0], tag=f"gcn-l{layer}")
+            messages = messages * edge_weight[:, None]
+            aggregated = scatter(messages, edge_index[1],
+                                 dim_size=graph.num_nodes, reduce="sum",
+                                 tag=f"gcn-l{layer}")
+            # Bias after propagation (PyG convention) so MP and SpMM
+            # compute the identical function.
+            return aggregated + params["b"]
+        propagated = spmm(state["propagation"], x, tag=f"gcn-l{layer}")
+        return sgemm(propagated, params["W"], bias=params["b"],
+                     tag=f"gcn-l{layer}")

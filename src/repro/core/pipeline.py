@@ -1,0 +1,141 @@
+"""The GNN pipeline facade — gSuite's User Interface + Abstraction Module.
+
+One call chains the whole Fig. 1 flow: user parameters are merged over
+defaults (:class:`~repro.core.config.SuiteConfig`), the Data Loader
+produces the workload graph, the Abstraction Module picks the framework
+backend (PyG-like, DGL-like, or the native kernels when "no framework is
+indicated"), and the resulting pipeline can be run, timed, recorded at
+kernel level, or pushed through the GPU simulator and profiler.
+
+Example
+-------
+>>> from repro.core.pipeline import GNNPipeline
+>>> pipe = GNNPipeline.from_params(model="gcn", dataset="cora")
+>>> logits = pipe.run()
+>>> times = pipe.measure()                      # Fig. 3 measurement
+>>> launches = pipe.record().launches           # kernel-level records
+"""
+
+from __future__ import annotations
+
+import time
+from typing import List, Optional
+
+import numpy as np
+
+from repro.core.config import SuiteConfig
+from repro.core.kernels import LaunchRecorder, record_launches
+from repro.datasets import get_spec, load_dataset
+from repro.frameworks import Backend, PipelineSpec, get_backend
+from repro.graph import Graph
+
+__all__ = ["GNNPipeline"]
+
+
+class GNNPipeline:
+    """A fully-resolved benchmark pipeline.
+
+    Parameters
+    ----------
+    config:
+        Complete suite configuration.
+    graph:
+        Optional pre-loaded workload; when omitted the configured dataset
+        is loaded (generated) on first use.
+    """
+
+    def __init__(self, config: SuiteConfig, graph: Optional[Graph] = None):
+        self.config = config
+        self._graph = graph
+        self._backend: Backend = get_backend(config.framework)
+        out_features = config.out_features
+        if out_features is None:
+            out_features = get_spec(config.dataset).num_classes
+        self.spec = PipelineSpec(
+            model=config.model,
+            compute_model=config.compute_model,
+            hidden=config.hidden,
+            out_features=out_features,
+            num_layers=config.num_layers,
+            activation=config.activation,
+            seed=config.seed,
+        )
+
+    @classmethod
+    def from_params(cls, **params) -> "GNNPipeline":
+        """Build a pipeline from user parameters over the defaults.
+
+        This is the paper's "pass only a few parameters" entry point.
+        """
+        return cls(SuiteConfig.from_dict(params))
+
+    # -- data ---------------------------------------------------------------
+    @property
+    def graph(self) -> Graph:
+        """The workload graph (loaded lazily, cached)."""
+        if self._graph is None:
+            self._graph = load_dataset(self.config.dataset,
+                                       scale=self.config.scale,
+                                       seed=self.config.seed)
+        return self._graph
+
+    @property
+    def backend(self) -> Backend:
+        """The resolved framework backend."""
+        return self._backend
+
+    def figure_label(self) -> str:
+        """This pipeline's label in the paper's figures."""
+        if self._backend.name == "gsuite":
+            return f"gSuite-{self.config.compute_model}"
+        return self._backend.name
+
+    # -- execution ------------------------------------------------------------
+    def build(self):
+        """Construct the backend pipeline (framework init included)."""
+        return self._backend.build(self.spec, self.graph)
+
+    def run(self, features: Optional[np.ndarray] = None) -> np.ndarray:
+        """Build and execute one inference pass."""
+        return self.build().run(features)
+
+    def measure(self, repeats: Optional[int] = None) -> List[float]:
+        """End-to-end wall-clock seconds per repeat (build + inference).
+
+        The paper's Fig. 3 methodology: each run is measured three times
+        and the mean of the statistics is reported.
+        """
+        repeats = repeats if repeats is not None else self.config.repeats
+        times = []
+        for _ in range(repeats):
+            start = time.perf_counter()
+            self.build().run()
+            times.append(time.perf_counter() - start)
+        return times
+
+    def record(self, features: Optional[np.ndarray] = None) -> LaunchRecorder:
+        """Run once under kernel instrumentation; returns the recorder."""
+        pipeline = self.build()
+        with record_launches(sample_cap=self.config.sample_cap) as recorder:
+            pipeline.run(features)
+        return recorder
+
+    def simulate(self, simulator=None) -> list:
+        """Record one pass and simulate every launch on the GPU model.
+
+        ``simulator`` defaults to a fresh
+        :class:`~repro.gpu.simulator.GpuSimulator`.
+        """
+        from repro.gpu.simulator import GpuSimulator
+        sim = simulator or GpuSimulator()
+        return sim.simulate_all(self.record().launches)
+
+    def profile(self, profiler=None) -> list:
+        """Record one pass and profile every launch (nvprof substitute)."""
+        from repro.gpu.profiler import NvprofProfiler
+        prof = profiler or NvprofProfiler()
+        return prof.profile_all(self.record().launches)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"GNNPipeline({self.figure_label()}, model={self.config.model},"
+                f" dataset={self.config.dataset})")

@@ -1,0 +1,39 @@
+"""Dataset substrate: Table IV workloads backed by synthetic generators."""
+
+from repro.datasets.loader import (
+    cache_info,
+    clear_cache,
+    dataset_statistics,
+    load_dataset,
+)
+from repro.datasets.specs import (
+    DATASET_NAMES,
+    DATASETS,
+    SHORT_FORMS,
+    DatasetSpec,
+    get_spec,
+    scaled_spec,
+)
+from repro.datasets.synthetic import (
+    generate_graph,
+    power_law_weights,
+    sample_edges,
+    synthesize_features,
+)
+
+__all__ = [
+    "DATASET_NAMES",
+    "DATASETS",
+    "SHORT_FORMS",
+    "DatasetSpec",
+    "cache_info",
+    "clear_cache",
+    "dataset_statistics",
+    "generate_graph",
+    "get_spec",
+    "load_dataset",
+    "power_law_weights",
+    "sample_edges",
+    "scaled_spec",
+    "synthesize_features",
+]

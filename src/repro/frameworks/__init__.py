@@ -1,0 +1,26 @@
+"""Framework execution backends: native gSuite, PyG-like, DGL-like."""
+
+from repro.frameworks.base import (
+    Backend,
+    BuiltPipeline,
+    PipelineSpec,
+    time_end_to_end,
+)
+from repro.frameworks.dgl_like import DGLGraphLike, DGLLikeBackend
+from repro.frameworks.native import NativeBackend
+from repro.frameworks.pyg_like import PyGLikeBackend
+from repro.frameworks.registry import BACKEND_NAMES, BACKENDS, get_backend
+
+__all__ = [
+    "BACKENDS",
+    "BACKEND_NAMES",
+    "Backend",
+    "BuiltPipeline",
+    "DGLGraphLike",
+    "DGLLikeBackend",
+    "NativeBackend",
+    "PipelineSpec",
+    "PyGLikeBackend",
+    "get_backend",
+    "time_end_to_end",
+]

@@ -1,0 +1,109 @@
+"""Backend abstraction for the framework-comparison experiments.
+
+Fig. 3/4 compare four execution paths over the *same* GNN function:
+PyG, DGL, gSuite-MP and gSuite-SpMM.  Here each path is a
+:class:`Backend` that turns a :class:`PipelineSpec` plus a graph into a
+:class:`BuiltPipeline`.  All backends route their math through the
+instrumented core kernels (so kernel-level recording works everywhere)
+and produce numerically identical outputs for the same spec — the
+differences are the *execution structures*: per-call dispatch and
+re-validation (PyG-like), up-front graph object construction with fused
+SpMM (DGL-like), or the minimal direct path (native gSuite).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+import numpy as np
+
+from repro.errors import BackendError
+from repro.graph import Graph
+
+__all__ = ["PipelineSpec", "BuiltPipeline", "Backend", "time_end_to_end"]
+
+
+@dataclass(frozen=True)
+class PipelineSpec:
+    """Everything needed to build one GNN inference pipeline.
+
+    This is the paper's "user parameters" bundle: model, computational
+    model, stack geometry and seed.  Dataset choice lives outside (the
+    graph is passed separately) so one spec can sweep datasets.
+    """
+
+    model: str = "gcn"
+    compute_model: str = "MP"
+    hidden: int = 16
+    out_features: int = 7
+    num_layers: int = 2
+    activation: str = "relu"
+    seed: int = 0
+
+    def __post_init__(self):
+        if self.num_layers < 1:
+            raise BackendError(f"num_layers must be >= 1, got {self.num_layers}")
+        if self.hidden < 1 or self.out_features < 1:
+            raise BackendError(
+                f"hidden and out_features must be positive, got "
+                f"{self.hidden} and {self.out_features}"
+            )
+
+
+class BuiltPipeline:
+    """A ready-to-run inference pipeline bound to one graph."""
+
+    def __init__(self, backend_name: str, spec: PipelineSpec, graph: Graph):
+        self.backend_name = backend_name
+        self.spec = spec
+        self.graph = graph
+
+    def run(self, features: Optional[np.ndarray] = None) -> np.ndarray:
+        """Execute inference, returning ``[num_nodes, out_features]``."""
+        raise NotImplementedError
+
+
+class Backend:
+    """A framework execution path.
+
+    Subclasses set ``name`` (the label used in figures) and implement
+    :meth:`build`.  ``supported_compute_models`` documents which side of
+    the MP/SpMM split the framework realises (PyG is MP-based, DGL is
+    SpMM-based, gSuite does both).
+    """
+
+    name: str = "base"
+    supported_compute_models = ("MP", "SpMM")
+
+    def build(self, spec: PipelineSpec, graph: Graph) -> BuiltPipeline:
+        """Construct a pipeline for ``spec`` over ``graph``."""
+        raise NotImplementedError
+
+    def check_spec(self, spec: PipelineSpec) -> None:
+        """Reject specs whose compute model this backend cannot realise."""
+        if spec.compute_model not in self.supported_compute_models:
+            raise BackendError(
+                f"backend {self.name!r} does not support the "
+                f"{spec.compute_model} computational model"
+            )
+
+
+def time_end_to_end(backend: Backend, spec: PipelineSpec, graph: Graph,
+                    repeats: int = 3) -> List[float]:
+    """Wall-clock end-to-end times (build + inference), one per repeat.
+
+    This is the paper's Fig. 3 measurement: each repeat pays the
+    framework's full pipeline-construction cost, which is exactly where
+    PyG-style initialization overheads show up.
+    """
+    if repeats < 1:
+        raise BackendError(f"repeats must be >= 1, got {repeats}")
+    times = []
+    for _ in range(repeats):
+        start = time.perf_counter()
+        pipeline = backend.build(spec, graph)
+        pipeline.run()
+        times.append(time.perf_counter() - start)
+    return times

@@ -1,0 +1,51 @@
+"""The native gSuite backend: the minimal, dependency-free path.
+
+Directly instantiates a registered model and calls it.  Exposed as two
+figure labels — ``gSuite-MP`` and ``gSuite-SpMM`` — depending on the
+spec's compute model.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.core.models import build_model
+from repro.frameworks.base import Backend, BuiltPipeline, PipelineSpec
+from repro.graph import Graph
+
+__all__ = ["NativeBackend"]
+
+
+class _NativePipeline(BuiltPipeline):
+    def __init__(self, backend_name: str, spec: PipelineSpec, graph: Graph):
+        super().__init__(backend_name, spec, graph)
+        self._model = build_model(
+            spec.model,
+            in_features=graph.num_features,
+            hidden=spec.hidden,
+            out_features=spec.out_features,
+            num_layers=spec.num_layers,
+            compute_model=spec.compute_model,
+            activation=spec.activation,
+            seed=spec.seed,
+        )
+
+    def run(self, features: Optional[np.ndarray] = None) -> np.ndarray:
+        return self._model.forward(self.graph, features)
+
+
+class NativeBackend(Backend):
+    """gSuite's own execution path (both computational models)."""
+
+    name = "gsuite"
+    supported_compute_models = ("MP", "SpMM")
+
+    def build(self, spec: PipelineSpec, graph: Graph) -> BuiltPipeline:
+        self.check_spec(spec)
+        return _NativePipeline(self.figure_label(spec), spec, graph)
+
+    def figure_label(self, spec: PipelineSpec) -> str:
+        """The paper's label for this path: gSuite-MP or gSuite-SpMM."""
+        return f"gSuite-{spec.compute_model}"

@@ -1,0 +1,40 @@
+"""Backend registry — the "framework" axis of the benchmark grid."""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.errors import BackendError
+from repro.frameworks.base import Backend
+from repro.frameworks.dgl_like import DGLLikeBackend
+from repro.frameworks.native import NativeBackend
+from repro.frameworks.pyg_like import PyGLikeBackend
+
+__all__ = ["BACKENDS", "BACKEND_NAMES", "get_backend"]
+
+BACKENDS: Dict[str, Backend] = {
+    "gsuite": NativeBackend(),
+    "pyg": PyGLikeBackend(),
+    "dgl": DGLLikeBackend(),
+}
+
+#: Figure order: PyG, DGL, gSuite-MP, gSuite-SpMM (gsuite covers the
+#: last two via the spec's compute model).
+BACKEND_NAMES = ("pyg", "dgl", "gsuite")
+
+_ALIASES = {
+    "none": "gsuite",          # paper: "no framework indicated" -> gSuite
+    "native": "gsuite",
+    "pytorch-geometric": "pyg",
+    "deep-graph-library": "dgl",
+}
+
+
+def get_backend(name: str) -> Backend:
+    """Resolve a backend by name or alias."""
+    key = name.strip().lower()
+    key = _ALIASES.get(key, key)
+    if key not in BACKENDS:
+        known = ", ".join(sorted(set(BACKENDS) | set(_ALIASES)))
+        raise BackendError(f"unknown backend {name!r}; known: {known}")
+    return BACKENDS[key]

@@ -1,0 +1,225 @@
+"""Set-associative cache simulation and the two-level hierarchy driver.
+
+The cache is an exact LRU set-associative model processing line-granular
+address streams (as produced by the kernel instrumentation).  The
+hierarchy driver reproduces the *sampled multi-SM* arrangement described
+in DESIGN.md: the interleaved load/store stream is chunked CTA-wise and
+dealt round-robin to ``simulated_sms`` private L1s; the union of their
+misses (in program order) feeds one shared, capacity-scaled L2.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.errors import SimulationError
+from repro.gpu.config import CacheConfig, GPUConfig
+
+__all__ = [
+    "CacheStats",
+    "SetAssociativeCache",
+    "HierarchyResult",
+    "simulate_hierarchy",
+    "LEVEL_L1",
+    "LEVEL_L2",
+    "LEVEL_DRAM",
+]
+
+#: Per-access service level codes.
+LEVEL_L1 = 0
+LEVEL_L2 = 1
+LEVEL_DRAM = 2
+
+#: Accesses per CTA chunk when dealing the trace across SM L1s.
+_CTA_CHUNK = 64
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss counters for one cache instance."""
+
+    accesses: int = 0
+    hits: int = 0
+
+    @property
+    def misses(self) -> int:
+        return self.accesses - self.hits
+
+    @property
+    def hit_rate(self) -> float:
+        """Hit fraction; 0.0 for an untouched cache."""
+        return self.hits / self.accesses if self.accesses else 0.0
+
+    def merge(self, other: "CacheStats") -> "CacheStats":
+        """Accumulate another instance's counters into this one."""
+        self.accesses += other.accesses
+        self.hits += other.hits
+        return self
+
+
+class SetAssociativeCache:
+    """Exact-LRU set-associative cache over line addresses.
+
+    Replacement state is a move-to-front list per set (index 0 = LRU
+    victim).  ``access_many`` is the hot path: it processes a whole
+    address array with one Python-level loop, returning the per-access
+    hit mask.
+    """
+
+    def __init__(self, config: CacheConfig):
+        self.config = config
+        self.stats = CacheStats()
+        self._sets: List[List[int]] = [[] for _ in range(config.num_sets)]
+
+    def reset(self) -> None:
+        """Drop all contents and counters."""
+        self.stats = CacheStats()
+        self._sets = [[] for _ in range(self.config.num_sets)]
+
+    def access_many(self, addresses: np.ndarray,
+                    is_store: Optional[np.ndarray] = None) -> np.ndarray:
+        """Run ``addresses`` (byte addresses) through the cache in order.
+
+        ``is_store`` marks write accesses; with ``write_allocate=False``
+        a write miss bypasses the cache (no fill) — it still counts as an
+        access and a miss.
+
+        Returns a boolean hit mask aligned with ``addresses``.
+        """
+        addresses = np.asarray(addresses, dtype=np.int64)
+        n = addresses.shape[0]
+        hits = np.zeros(n, dtype=bool)
+        if n == 0:
+            return hits
+        lines = addresses // self.config.line_bytes
+        set_ids = (lines % self.config.num_sets).tolist()
+        tags = lines.tolist()
+        stores = (np.asarray(is_store, dtype=bool).tolist()
+                  if is_store is not None else None)
+        allocate_writes = self.config.write_allocate
+        ways = self.config.associativity
+        sets = self._sets
+        hit_count = 0
+        for i in range(n):
+            entries = sets[set_ids[i]]
+            tag = tags[i]
+            if tag in entries:
+                hit_count += 1
+                hits[i] = True
+                # Move to MRU position.
+                entries.remove(tag)
+                entries.append(tag)
+            else:
+                if stores is not None and stores[i] and not allocate_writes:
+                    continue  # write-no-allocate: no fill on store miss
+                if len(entries) >= ways:
+                    entries.pop(0)
+                entries.append(tag)
+        self.stats.accesses += n
+        self.stats.hits += hit_count
+        return hits
+
+
+@dataclass
+class HierarchyResult:
+    """Outcome of running one kernel trace through L1+L2.
+
+    ``levels`` gives, per access in interleaved program order, where the
+    access was served (:data:`LEVEL_L1` / :data:`LEVEL_L2` /
+    :data:`LEVEL_DRAM`).  ``is_store`` aligns with ``levels``.
+    """
+
+    levels: np.ndarray
+    is_store: np.ndarray
+    l1: CacheStats
+    l2: CacheStats
+
+    @property
+    def dram_accesses(self) -> int:
+        """Number of accesses that reached DRAM."""
+        return int(np.count_nonzero(self.levels == LEVEL_DRAM))
+
+    def latencies(self, config: GPUConfig) -> np.ndarray:
+        """Per-access service latency in cycles under ``config``."""
+        table = np.array(
+            [config.l1_latency, config.l2_latency, config.dram_latency],
+            dtype=np.int64,
+        )
+        return table[self.levels]
+
+
+def _interleave(loads: np.ndarray, stores: np.ndarray
+                ) -> Tuple[np.ndarray, np.ndarray]:
+    """Merge load and store streams into approximate program order.
+
+    Kernels emit loads and stores as separate arrays; a real kernel
+    interleaves them per element.  Proportional positional merge restores
+    that interleaving without per-kernel knowledge.
+    """
+    nl, ns = loads.shape[0], stores.shape[0]
+    if nl == 0:
+        return stores, np.ones(ns, dtype=bool)
+    if ns == 0:
+        return loads, np.zeros(nl, dtype=bool)
+    pos_l = np.arange(nl, dtype=np.float64) / nl
+    pos_s = np.arange(ns, dtype=np.float64) / ns
+    merged = np.concatenate([loads, stores])
+    is_store = np.concatenate([np.zeros(nl, dtype=bool), np.ones(ns, dtype=bool)])
+    order = np.argsort(np.concatenate([pos_l, pos_s]), kind="stable")
+    return merged[order], is_store[order]
+
+
+def simulate_hierarchy(loads: np.ndarray, stores: np.ndarray,
+                       config: GPUConfig,
+                       atomic: bool = False) -> HierarchyResult:
+    """Simulate one kernel's memory trace through the cache hierarchy.
+
+    The trace is chunked into CTA-sized blocks dealt round-robin across
+    ``config.simulated_sms`` private L1 caches (preserving intra-chunk
+    locality, spreading inter-chunk the way CTAs spread over SMs).  L1
+    misses feed a shared L2 whose capacity is scaled to the simulated SM
+    count.
+
+    ``atomic`` marks the store stream as atomic read-modify-writes, which
+    allocate cache lines regardless of the write policy (GPUs resolve
+    atomics in cache).
+    """
+    if config.l1.line_bytes != config.l2.line_bytes:
+        raise SimulationError("L1 and L2 line sizes must match")
+    accesses, is_store = _interleave(np.asarray(loads, dtype=np.int64),
+                                     np.asarray(stores, dtype=np.int64))
+    n = accesses.shape[0]
+    levels = np.full(n, LEVEL_DRAM, dtype=np.int8)
+    l1_total = CacheStats()
+    l2 = SetAssociativeCache(config.scaled_l2())
+    if n == 0:
+        return HierarchyResult(levels=levels, is_store=is_store,
+                               l1=l1_total, l2=l2.stats)
+
+    chunk_ids = np.arange(n) // _CTA_CHUNK
+    sm_of_chunk = chunk_ids % config.simulated_sms
+    # Atomic RMWs behave like allocating accesses in every level.
+    policy_stores = np.zeros(n, dtype=bool) if atomic else is_store
+
+    miss_positions: List[np.ndarray] = []
+    for sm in range(config.simulated_sms):
+        mask = sm_of_chunk == sm
+        if not np.any(mask):
+            continue
+        l1 = SetAssociativeCache(config.l1)
+        positions = np.flatnonzero(mask)
+        hit_mask = l1.access_many(accesses[positions], policy_stores[positions])
+        l1_total.merge(l1.stats)
+        levels[positions[hit_mask]] = LEVEL_L1
+        miss_positions.append(positions[~hit_mask])
+
+    if miss_positions:
+        misses = np.sort(np.concatenate(miss_positions))
+        l2_hits = l2.access_many(accesses[misses], policy_stores[misses])
+        levels[misses[l2_hits]] = LEVEL_L2
+
+    return HierarchyResult(levels=levels, is_store=is_store,
+                           l1=l1_total, l2=l2.stats)

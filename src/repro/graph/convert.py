@@ -1,0 +1,82 @@
+"""Format-to-format conversion utilities.
+
+The paper advertises "utilities to transform a dataset from one format to
+another" (Section II-D).  This module is the single entry point for those
+transforms: :func:`convert` dispatches by target-format name, and the
+``edge_index``-oriented helpers bridge between the Graph/COO world of MP
+frameworks and the CSR/dense world of SpMM frameworks.
+"""
+
+from __future__ import annotations
+
+from typing import Union
+
+import numpy as np
+
+from repro.errors import ConversionError
+from repro.graph.formats import COOMatrix, CSCMatrix, CSRMatrix, DenseMatrix
+
+__all__ = [
+    "FORMATS",
+    "convert",
+    "edge_index_to_coo",
+    "coo_to_edge_index",
+    "edge_index_to_csr",
+    "csr_to_edge_index",
+    "dense_to_edge_index",
+]
+
+AnyMatrix = Union[COOMatrix, CSRMatrix, CSCMatrix, DenseMatrix]
+
+#: Canonical format names accepted by :func:`convert`.
+FORMATS = ("coo", "csr", "csc", "dense")
+
+
+def convert(matrix: AnyMatrix, target: str) -> AnyMatrix:
+    """Convert ``matrix`` to the format named ``target``.
+
+    ``target`` must be one of :data:`FORMATS`.  Converting a matrix to its
+    own format returns it unchanged (no copy), so chained pipelines do not
+    pay for redundant transforms.
+    """
+    target = target.lower()
+    if target not in FORMATS:
+        raise ConversionError(
+            f"unknown format {target!r}; expected one of {FORMATS}"
+        )
+    if not hasattr(matrix, "to_" + target):
+        raise ConversionError(
+            f"object of type {type(matrix).__name__} is not a graph matrix"
+        )
+    return getattr(matrix, "to_" + target)()
+
+
+def edge_index_to_coo(edge_index, num_nodes: int, values=None) -> COOMatrix:
+    """Build the adjacency COO (row = destination) from a ``(2, E)`` index."""
+    edge_index = np.asarray(edge_index)
+    if edge_index.ndim != 2 or edge_index.shape[0] != 2:
+        raise ConversionError(
+            f"edge_index must have shape (2, E), got {edge_index.shape}"
+        )
+    return COOMatrix(edge_index[1], edge_index[0], values,
+                     shape=(num_nodes, num_nodes))
+
+
+def coo_to_edge_index(coo: COOMatrix) -> np.ndarray:
+    """Recover the ``(2, E)`` edge index from an adjacency COO."""
+    return np.vstack([coo.col, coo.row])
+
+
+def edge_index_to_csr(edge_index, num_nodes: int, values=None) -> CSRMatrix:
+    """Build the adjacency CSR (row = destination) from a ``(2, E)`` index."""
+    return edge_index_to_coo(edge_index, num_nodes, values).to_csr()
+
+
+def csr_to_edge_index(csr: CSRMatrix) -> np.ndarray:
+    """Recover the ``(2, E)`` edge index from an adjacency CSR."""
+    return coo_to_edge_index(csr.to_coo())
+
+
+def dense_to_edge_index(dense: DenseMatrix) -> np.ndarray:
+    """Extract the edge index of the non-zero entries of a dense adjacency."""
+    return coo_to_edge_index(dense.to_coo())

@@ -1,0 +1,162 @@
+"""Structural graph transforms used while assembling GNN pipelines.
+
+These are the preprocessing steps the paper's Data Loader performs before
+inference: inserting self-loops (GCN's ``A-hat = A + I``), symmetric degree
+normalisation (``D^-1/2 A-hat D^-1/2``), deduplicating parallel edges, and
+making a directed edge list symmetric.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from repro.errors import GraphFormatError
+from repro.graph.formats import COOMatrix, CSRMatrix
+from repro.graph.graph import Graph
+
+__all__ = [
+    "add_self_loops",
+    "remove_self_loops",
+    "coalesce_edges",
+    "to_undirected",
+    "symmetric_normalization",
+    "normalized_adjacency",
+    "gcn_edge_weights",
+    "subgraph",
+]
+
+
+def add_self_loops(graph: Graph) -> Graph:
+    """Append one ``v -> v`` edge for every node that lacks one.
+
+    Matches PyG's ``add_remaining_self_loops``: nodes that already carry a
+    self-loop are left untouched, new self-loop weights default to 1.
+    """
+    has_loop = np.zeros(graph.num_nodes, dtype=bool)
+    loops = graph.src == graph.dst
+    has_loop[graph.src[loops]] = True
+    missing = np.nonzero(~has_loop)[0]
+    loop_edges = np.vstack([missing, missing])
+    edge_index = np.hstack([graph.edge_index, loop_edges])
+    edge_weight = None
+    if graph.edge_weight is not None:
+        edge_weight = np.concatenate(
+            [graph.edge_weight, np.ones(missing.shape[0], dtype=np.float32)]
+        )
+    return Graph(edge_index, features=graph.features, num_nodes=graph.num_nodes,
+                 edge_weight=edge_weight, name=graph.name)
+
+
+def remove_self_loops(graph: Graph) -> Graph:
+    """Drop all ``v -> v`` edges."""
+    keep = graph.src != graph.dst
+    edge_weight = graph.edge_weight[keep] if graph.edge_weight is not None else None
+    return Graph(graph.edge_index[:, keep], features=graph.features,
+                 num_nodes=graph.num_nodes, edge_weight=edge_weight, name=graph.name)
+
+
+def coalesce_edges(graph: Graph) -> Graph:
+    """Merge duplicate edges, summing their weights, and sort row-major."""
+    coo = COOMatrix(graph.dst, graph.src, graph.edge_values(),
+                    shape=(graph.num_nodes, graph.num_nodes)).coalesce()
+    edge_index = np.vstack([coo.col, coo.row])
+    weights = coo.val
+    if graph.edge_weight is None and np.allclose(weights, 1.0):
+        weights = None
+    return Graph(edge_index, features=graph.features, num_nodes=graph.num_nodes,
+                 edge_weight=weights, name=graph.name)
+
+
+def to_undirected(graph: Graph) -> Graph:
+    """Make the edge list symmetric by adding every reverse edge.
+
+    Duplicates introduced by edges that already exist in both directions
+    are coalesced away (weights summed then clipped back to the original
+    when the graph was unweighted).
+    """
+    forward = graph.edge_index
+    backward = graph.edge_index[::-1]
+    both = np.hstack([forward, backward])
+    merged = Graph(both, features=graph.features, num_nodes=graph.num_nodes,
+                   name=graph.name)
+    merged = coalesce_edges(merged)
+    if graph.edge_weight is None and merged.edge_weight is not None:
+        # Summation may have produced weight-2 entries for reciprocal edges;
+        # an unweighted graph stays unweighted.
+        return Graph(merged.edge_index, features=graph.features,
+                     num_nodes=graph.num_nodes, name=graph.name)
+    return merged
+
+
+def symmetric_normalization(adjacency: CSRMatrix) -> CSRMatrix:
+    """Compute ``D^-1/2 A D^-1/2`` for a CSR adjacency matrix.
+
+    ``D`` is the diagonal row-sum matrix of ``A`` (paper Eq. 2).  Rows or
+    columns with zero degree scale by zero, matching PyG's convention of
+    masking infinite inverse square roots.
+    """
+    if adjacency.shape[0] != adjacency.shape[1]:
+        raise GraphFormatError(
+            f"normalisation requires a square matrix, got {adjacency.shape}"
+        )
+    degree = np.zeros(adjacency.shape[0], dtype=np.float64)
+    rows = adjacency.expand_rows()
+    np.add.at(degree, rows, adjacency.data.astype(np.float64))
+    inv_sqrt = np.zeros_like(degree)
+    positive = degree > 0
+    inv_sqrt[positive] = 1.0 / np.sqrt(degree[positive])
+    scaled = (
+        adjacency.data * inv_sqrt[rows] * inv_sqrt[adjacency.indices]
+    ).astype(np.float32)
+    return CSRMatrix(adjacency.indptr, adjacency.indices, scaled,
+                     shape=adjacency.shape)
+
+
+def normalized_adjacency(graph: Graph, self_loops: bool = True) -> CSRMatrix:
+    """Build the GCN propagation matrix ``D^-1/2 (A + I) D^-1/2``."""
+    prepared = add_self_loops(graph) if self_loops else graph
+    return symmetric_normalization(prepared.adjacency_csr())
+
+
+def gcn_edge_weights(graph: Graph) -> Tuple[np.ndarray, np.ndarray]:
+    """Per-edge GCN normalisation ``1/sqrt(du*dv)`` for the MP path.
+
+    Returns ``(edge_index, weights)`` for the self-loop-augmented graph:
+    the weight of edge ``u -> v`` is ``1/sqrt(deg(u) * deg(v))`` with
+    degrees counted after self-loop insertion (paper Eq. 1).
+    """
+    looped = add_self_loops(graph)
+    values = looped.edge_values().astype(np.float64)
+    degree = np.zeros(looped.num_nodes, dtype=np.float64)
+    np.add.at(degree, looped.dst, values)
+    inv_sqrt = np.zeros_like(degree)
+    positive = degree > 0
+    inv_sqrt[positive] = 1.0 / np.sqrt(degree[positive])
+    weights = (values * inv_sqrt[looped.src] * inv_sqrt[looped.dst]).astype(np.float32)
+    return looped.edge_index, weights
+
+
+def subgraph(graph: Graph, nodes) -> Graph:
+    """Induce the subgraph on ``nodes`` with node ids relabelled compactly.
+
+    Used by the scaled dataset loaders to carve CI-sized workloads out of
+    full-size generators while preserving local structure.
+    """
+    nodes = np.asarray(nodes, dtype=np.int64)
+    if nodes.size and (nodes.min() < 0 or nodes.max() >= graph.num_nodes):
+        raise GraphFormatError("subgraph node ids out of range")
+    keep_mask = np.zeros(graph.num_nodes, dtype=bool)
+    keep_mask[nodes] = True
+    relabel = np.full(graph.num_nodes, -1, dtype=np.int64)
+    relabel[nodes] = np.arange(nodes.shape[0], dtype=np.int64)
+    edge_mask = keep_mask[graph.src] & keep_mask[graph.dst]
+    edge_index = np.vstack([
+        relabel[graph.src[edge_mask]],
+        relabel[graph.dst[edge_mask]],
+    ])
+    features = graph.features[nodes] if graph.features is not None else None
+    weight = graph.edge_weight[edge_mask] if graph.edge_weight is not None else None
+    return Graph(edge_index, features=features, num_nodes=nodes.shape[0],
+                 edge_weight=weight, name=graph.name)

@@ -1,0 +1,60 @@
+"""Consistency checks for graphs and sparse containers.
+
+The loaders call :func:`validate_graph` after every generator/transform so
+that structural corruption (out-of-range ids, NaN features, inconsistent
+CSR pointers) is caught at the boundary rather than inside a kernel.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import GraphFormatError
+from repro.graph.formats import CSRMatrix
+from repro.graph.graph import Graph
+
+__all__ = ["validate_graph", "validate_csr", "check_same_structure"]
+
+
+def validate_graph(graph: Graph) -> Graph:
+    """Raise :class:`GraphFormatError` if ``graph`` is inconsistent.
+
+    Returns the graph unchanged on success so the call can be chained.
+    """
+    if graph.edge_index.shape[0] != 2:
+        raise GraphFormatError("edge_index must have two rows")
+    if graph.num_edges:
+        lo = int(graph.edge_index.min())
+        hi = int(graph.edge_index.max())
+        if lo < 0:
+            raise GraphFormatError(f"edge_index contains negative id {lo}")
+        if hi >= graph.num_nodes:
+            raise GraphFormatError(
+                f"edge_index references node {hi} but num_nodes={graph.num_nodes}"
+            )
+    if graph.features is not None:
+        if graph.features.shape[0] != graph.num_nodes:
+            raise GraphFormatError("feature row count does not match num_nodes")
+        if not np.all(np.isfinite(graph.features)):
+            raise GraphFormatError("features contain NaN or infinite values")
+    if graph.edge_weight is not None:
+        if graph.edge_weight.shape[0] != graph.num_edges:
+            raise GraphFormatError("edge_weight length does not match num_edges")
+        if not np.all(np.isfinite(graph.edge_weight)):
+            raise GraphFormatError("edge_weight contains NaN or infinite values")
+    return graph
+
+
+def validate_csr(matrix: CSRMatrix) -> CSRMatrix:
+    """Re-check CSR invariants (constructor-equivalent, usable post-mutation)."""
+    CSRMatrix(matrix.indptr, matrix.indices, matrix.data, shape=matrix.shape)
+    return matrix
+
+
+def check_same_structure(a: Graph, b: Graph) -> bool:
+    """True when two graphs share node count and the exact same edge list."""
+    return (
+        a.num_nodes == b.num_nodes
+        and a.num_edges == b.num_edges
+        and bool(np.array_equal(a.edge_index, b.edge_index))
+    )

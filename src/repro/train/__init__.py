@@ -1,0 +1,54 @@
+"""GNN training substrate (the paper's stated future work, implemented).
+
+Reverse-mode autodiff over the suite's own core kernels, trainable
+GCN/GIN/SAGE models, SGD/Adam optimizers, and a transductive
+node-classification trainer.
+"""
+
+from repro.train.autodiff import (
+    Tensor,
+    add,
+    add_bias,
+    constant,
+    gather,
+    matmul,
+    mean_rows,
+    parameter,
+    relu,
+    scale,
+    scatter_sum,
+    softmax_cross_entropy,
+    spmm_op,
+)
+from repro.train.models import TrainableGNN, build_trainable
+from repro.train.optim import Adam, SGD
+from repro.train.trainer import (
+    Trainer,
+    TrainResult,
+    split_masks,
+    synthetic_labels,
+)
+
+__all__ = [
+    "Adam",
+    "SGD",
+    "Tensor",
+    "TrainResult",
+    "TrainableGNN",
+    "Trainer",
+    "add",
+    "add_bias",
+    "build_trainable",
+    "constant",
+    "gather",
+    "matmul",
+    "mean_rows",
+    "parameter",
+    "relu",
+    "scale",
+    "scatter_sum",
+    "softmax_cross_entropy",
+    "split_masks",
+    "spmm_op",
+    "synthetic_labels",
+]

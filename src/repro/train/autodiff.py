@@ -1,0 +1,315 @@
+"""Minimal reverse-mode automatic differentiation over the core kernels.
+
+The paper's future work is "adding support for GNN-Training, which
+includes the implementation of training-related aspects such as neuron
+layers, propagations, weights".  This module provides exactly that
+substrate: a :class:`Tensor` with a gradient tape whose operations are
+the suite's own core kernels — so the *backward* pass runs through the
+same instrumented gather/scatter/sgemm/spmm primitives the forward pass
+uses (the gradient of ``index_select`` is a ``scatter``-sum and vice
+versa), and training workloads can be characterized with the identical
+tooling.
+
+Only the operations GNN training needs are implemented; each op's
+backward rule is documented inline.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional, Tuple
+
+import numpy as np
+
+from repro.core.kernels import index_select as _gather
+from repro.core.kernels import scatter as _scatter
+from repro.core.kernels import sgemm as _sgemm
+from repro.core.kernels import spmm as _spmm
+from repro.errors import ModelError
+from repro.graph.formats import CSRMatrix
+
+__all__ = [
+    "Tensor",
+    "parameter",
+    "constant",
+    "matmul",
+    "spmm_op",
+    "gather",
+    "scatter_sum",
+    "add",
+    "scale",
+    "add_bias",
+    "relu",
+    "mean_rows",
+    "softmax_cross_entropy",
+]
+
+
+class Tensor:
+    """A node in the gradient tape.
+
+    ``data`` is a float32 ndarray; ``grad`` accumulates during
+    :meth:`backward`.  Leaf tensors created with ``requires_grad=True``
+    are the trainable parameters.
+    """
+
+    __slots__ = ("data", "grad", "requires_grad", "_parents", "_backward")
+
+    def __init__(self, data: np.ndarray, requires_grad: bool = False,
+                 parents: Tuple["Tensor", ...] = (),
+                 backward: Optional[Callable[[np.ndarray], None]] = None):
+        self.data = np.asarray(data, dtype=np.float32)
+        self.grad: Optional[np.ndarray] = None
+        self.requires_grad = requires_grad
+        self._parents = parents
+        self._backward = backward
+
+    @property
+    def shape(self) -> tuple:
+        return self.data.shape
+
+    def _accumulate(self, grad: np.ndarray) -> None:
+        grad = np.asarray(grad, dtype=np.float32)
+        if grad.shape != self.data.shape:
+            raise ModelError(
+                f"gradient shape {grad.shape} does not match tensor shape "
+                f"{self.data.shape}"
+            )
+        if self.grad is None:
+            self.grad = grad.copy()
+        else:
+            self.grad += grad
+
+    def backward(self, grad: Optional[np.ndarray] = None) -> None:
+        """Reverse-propagate from this tensor through the tape.
+
+        ``grad`` defaults to all-ones (or 1.0 for scalars), the usual
+        convention for loss tensors.
+        """
+        if grad is None:
+            grad = np.ones_like(self.data)
+        # Topological order via iterative DFS.
+        order: List[Tensor] = []
+        seen = set()
+        stack: List[Tuple[Tensor, bool]] = [(self, False)]
+        while stack:
+            node, expanded = stack.pop()
+            if expanded:
+                order.append(node)
+                continue
+            if id(node) in seen:
+                continue
+            seen.add(id(node))
+            stack.append((node, True))
+            for parent in node._parents:
+                stack.append((parent, False))
+        self._accumulate(grad)
+        for node in reversed(order):
+            if node._backward is not None and node.grad is not None:
+                node._backward(node.grad)
+
+    def zero_grad(self) -> None:
+        """Clear the accumulated gradient."""
+        self.grad = None
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Tensor(shape={self.data.shape}, grad={self.grad is not None})"
+
+
+def parameter(data: np.ndarray) -> Tensor:
+    """A trainable leaf tensor."""
+    return Tensor(data, requires_grad=True)
+
+
+def constant(data: np.ndarray) -> Tensor:
+    """A non-trainable leaf tensor (inputs, precomputed structure)."""
+    return Tensor(data, requires_grad=False)
+
+
+def _needs(*tensors: Tensor) -> bool:
+    """Whether any operand participates in gradient flow."""
+    return any(t.requires_grad or t._backward is not None or t._parents
+               for t in tensors)
+
+
+def matmul(a: Tensor, b: Tensor, tag: str = "") -> Tensor:
+    """Dense product via the ``sgemm`` kernel.
+
+    Backward: ``dA = G @ B^T`` and ``dB = A^T @ G`` — two more sgemms.
+    """
+    out_data = _sgemm(a.data, b.data, tag=tag)
+    if not _needs(a, b):
+        return Tensor(out_data)
+
+    def backward(grad: np.ndarray) -> None:
+        a._accumulate(_sgemm(grad, b.data.T, tag=tag + "-dA"))
+        b._accumulate(_sgemm(a.data.T, grad, tag=tag + "-dB"))
+
+    return Tensor(out_data, parents=(a, b), backward=backward)
+
+
+def spmm_op(adjacency: CSRMatrix, x: Tensor,
+            adjacency_t: Optional[CSRMatrix] = None, tag: str = "") -> Tensor:
+    """Sparse propagation ``A @ X`` via the ``spmm`` kernel.
+
+    Backward: ``dX = A^T @ G`` — another spmm over the transposed
+    structure (precomputed once and passed as ``adjacency_t``, or built
+    on first use).
+    """
+    out_data = _spmm(adjacency, x.data, tag=tag)
+    if not _needs(x):
+        return Tensor(out_data)
+    transposed = adjacency_t
+
+    def backward(grad: np.ndarray) -> None:
+        nonlocal transposed
+        if transposed is None:
+            transposed = adjacency.to_coo().transpose().to_csr()
+        x._accumulate(_spmm(transposed, grad, tag=tag + "-dX"))
+
+    return Tensor(out_data, parents=(x,), backward=backward)
+
+
+def gather(x: Tensor, index: np.ndarray, tag: str = "") -> Tensor:
+    """Row gather via ``indexSelect``.
+
+    Backward: the gradient of a gather is a ``scatter``-sum of the
+    output gradient back onto the gathered rows.
+    """
+    out_data = _gather(x.data, index, tag=tag)
+    if not _needs(x):
+        return Tensor(out_data)
+
+    def backward(grad: np.ndarray) -> None:
+        x._accumulate(_scatter(grad, index, dim_size=x.data.shape[0],
+                               reduce="sum", tag=tag + "-dX"))
+
+    return Tensor(out_data, parents=(x,), backward=backward)
+
+
+def scatter_sum(x: Tensor, index: np.ndarray, dim_size: int,
+                tag: str = "") -> Tensor:
+    """Scatter-sum via the ``scatter`` kernel.
+
+    Backward: the gradient of a scatter-sum is a gather of the output
+    gradient along the same index.
+    """
+    out_data = _scatter(x.data, index, dim_size=dim_size, reduce="sum",
+                        tag=tag)
+    if not _needs(x):
+        return Tensor(out_data)
+
+    def backward(grad: np.ndarray) -> None:
+        x._accumulate(_gather(grad, index, tag=tag + "-dX"))
+
+    return Tensor(out_data, parents=(x,), backward=backward)
+
+
+def add(a: Tensor, b: Tensor) -> Tensor:
+    """Elementwise sum of same-shaped tensors."""
+    if a.data.shape != b.data.shape:
+        raise ModelError(
+            f"add shape mismatch: {a.data.shape} vs {b.data.shape}")
+    out_data = a.data + b.data
+    if not _needs(a, b):
+        return Tensor(out_data)
+
+    def backward(grad: np.ndarray) -> None:
+        a._accumulate(grad)
+        b._accumulate(grad)
+
+    return Tensor(out_data, parents=(a, b), backward=backward)
+
+
+def scale(x: Tensor, factor: float) -> Tensor:
+    """Multiplication by a (non-trainable) scalar."""
+    out_data = x.data * np.float32(factor)
+    if not _needs(x):
+        return Tensor(out_data)
+
+    def backward(grad: np.ndarray) -> None:
+        x._accumulate(grad * np.float32(factor))
+
+    return Tensor(out_data, parents=(x,), backward=backward)
+
+
+def add_bias(x: Tensor, bias: Tensor) -> Tensor:
+    """Row-broadcast bias addition; bias gradient sums over rows."""
+    if bias.data.shape != (x.data.shape[-1],):
+        raise ModelError(
+            f"bias shape {bias.data.shape} does not match feature width "
+            f"{x.data.shape[-1]}"
+        )
+    out_data = x.data + bias.data
+    if not _needs(x, bias):
+        return Tensor(out_data)
+
+    def backward(grad: np.ndarray) -> None:
+        x._accumulate(grad)
+        bias._accumulate(grad.sum(axis=0))
+
+    return Tensor(out_data, parents=(x, bias), backward=backward)
+
+
+def relu(x: Tensor) -> Tensor:
+    """Rectifier; gradient masked by the activation pattern."""
+    mask = x.data > 0
+    out_data = x.data * mask
+    if not _needs(x):
+        return Tensor(out_data)
+
+    def backward(grad: np.ndarray) -> None:
+        x._accumulate(grad * mask)
+
+    return Tensor(out_data, parents=(x,), backward=backward)
+
+
+def mean_rows(x: Tensor) -> Tensor:
+    """Scalar mean over all entries (loss reduction helper)."""
+    out_data = np.array(x.data.mean(), dtype=np.float32)
+    if not _needs(x):
+        return Tensor(out_data)
+
+    def backward(grad: np.ndarray) -> None:
+        x._accumulate(np.full_like(x.data, grad / x.data.size))
+
+    return Tensor(out_data, parents=(x,), backward=backward)
+
+
+def softmax_cross_entropy(logits: Tensor, labels: np.ndarray,
+                          mask: Optional[np.ndarray] = None) -> Tensor:
+    """Mean softmax cross-entropy over (optionally masked) rows.
+
+    ``labels`` are integer class ids; ``mask`` selects the training rows
+    (the transductive node-classification convention).  Backward is the
+    standard ``(softmax - onehot) / n`` rule.
+    """
+    labels = np.asarray(labels)
+    n, classes = logits.data.shape
+    if labels.shape != (n,):
+        raise ModelError(f"labels must have shape ({n},), got {labels.shape}")
+    if labels.size and (labels.min() < 0 or labels.max() >= classes):
+        raise ModelError("labels out of range for logit width")
+    if mask is None:
+        mask = np.ones(n, dtype=bool)
+    else:
+        mask = np.asarray(mask, dtype=bool)
+        if mask.shape != (n,):
+            raise ModelError(f"mask must have shape ({n},), got {mask.shape}")
+    count = int(mask.sum())
+    if count == 0:
+        raise ModelError("cross-entropy mask selects no rows")
+
+    shifted = logits.data - logits.data.max(axis=1, keepdims=True)
+    exp = np.exp(shifted)
+    softmax = exp / exp.sum(axis=1, keepdims=True)
+    picked = softmax[np.arange(n), labels]
+    losses = -np.log(np.maximum(picked, 1e-12))
+    loss_value = np.array(losses[mask].mean(), dtype=np.float32)
+
+    def backward(grad: np.ndarray) -> None:
+        delta = softmax.copy()
+        delta[np.arange(n), labels] -= 1.0
+        delta[~mask] = 0.0
+        logits._accumulate(delta * (float(grad) / count))
+
+    return Tensor(loss_value, parents=(logits,), backward=backward)

@@ -1,0 +1,175 @@
+"""Trainable GNN models assembled from autodiff ops over core kernels.
+
+Mirrors the inference models in :mod:`repro.core.models` — same
+formulas, same weight initialisation (so a trained parameter set can be
+loaded straight into the inference models) — but every operation runs
+through the gradient tape.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.core.models import build_model
+from repro.errors import ModelError
+from repro.graph import Graph, add_self_loops, gcn_edge_weights
+from repro.train import autodiff as ad
+
+__all__ = ["TrainableGNN", "build_trainable"]
+
+
+class TrainableGNN:
+    """A trainable wrapper: parameters as tape leaves + a forward builder.
+
+    Construction borrows the weight tensors of the corresponding
+    inference model (identical seeds give identical initial weights), so
+    inference/training parity is testable and trained weights can be
+    copied back with :meth:`export_weights`.
+    """
+
+    def __init__(self, model_name: str, graph: Graph, hidden: int,
+                 out_features: int, num_layers: int = 2, seed: int = 0,
+                 compute_model: str = "MP"):
+        self.model_name = model_name.strip().lower()
+        if self.model_name in ("sag", "graphsage"):
+            self.model_name = "sage"
+        if self.model_name not in ("gcn", "gin", "sage"):
+            raise ModelError(
+                f"no trainable implementation for model {model_name!r}")
+        self.graph = graph
+        reference = build_model(
+            self.model_name, in_features=graph.num_features, hidden=hidden,
+            out_features=out_features, num_layers=num_layers,
+            compute_model=compute_model, seed=seed,
+        )
+        self._reference = reference
+        self.compute_model = compute_model
+        self.num_layers = num_layers
+        # Lift every weight array into a trainable tape leaf.
+        self.params: List[Dict[str, ad.Tensor]] = [
+            {key: ad.parameter(np.array(value)) for key, value in layer.items()}
+            for layer in reference.weights
+        ]
+        self._state = reference.prepare(graph)
+        if compute_model == "SpMM":
+            # The propagation structure and its transpose are fixed; the
+            # backward spmm reuses the precomputed transpose.
+            key = "propagation" if self.model_name == "gcn" else "aggregate"
+            self._propagation = self._state[key]
+            self._propagation_t = (
+                self._propagation.to_coo().transpose().to_csr())
+        elif self.model_name == "gcn":
+            self._edge_index, self._edge_weight = (
+                self._state["edge_index"], self._state["edge_weight"])
+        elif self.model_name == "sage":
+            self._edge_index = self._state["edge_index"]
+
+    # -- parameters ---------------------------------------------------------
+    def parameters(self) -> List[ad.Tensor]:
+        """Flat list of trainable tensors."""
+        return [tensor for layer in self.params for tensor in layer.values()]
+
+    def zero_grad(self) -> None:
+        """Clear all parameter gradients."""
+        for tensor in self.parameters():
+            tensor.zero_grad()
+
+    def export_weights(self) -> List[Dict[str, np.ndarray]]:
+        """Current weights in the inference models' layout."""
+        return [{key: tensor.data.copy() for key, tensor in layer.items()}
+                for layer in self.params]
+
+    def parameter_count(self) -> int:
+        """Total trainable scalars."""
+        return int(sum(t.data.size for t in self.parameters()))
+
+    # -- forward -------------------------------------------------------------
+    def forward(self, features: Optional[np.ndarray] = None) -> ad.Tensor:
+        """Build the forward tape; returns the logits tensor."""
+        data = features if features is not None else self.graph.features
+        if data is None:
+            raise ModelError("graph carries no features")
+        x = ad.constant(data)
+        for layer in range(self.num_layers):
+            x = self._layer(layer, x)
+            if layer < self.num_layers - 1:
+                x = ad.relu(x)
+        return x
+
+    def _layer(self, layer: int, x: ad.Tensor) -> ad.Tensor:
+        params = self.params[layer]
+        tag = f"{self.model_name}-train-l{layer}"
+        if self.compute_model == "SpMM":
+            propagated = ad.spmm_op(self._propagation, x,
+                                    adjacency_t=self._propagation_t, tag=tag)
+            if self.model_name == "gcn":
+                return ad.add_bias(
+                    ad.matmul(propagated, params["W"], tag=tag), params["b"])
+            # gin: the aggregate matrix already folds in (1+eps) I.
+            hidden = ad.relu(ad.add_bias(
+                ad.matmul(propagated, params["W1"], tag=tag), params["b1"]))
+            return ad.add_bias(ad.matmul(hidden, params["W2"], tag=tag),
+                               params["b2"])
+        if self.model_name == "gcn":
+            h = ad.matmul(x, params["W"], tag=tag)
+            messages = ad.gather(h, self._edge_index[0], tag=tag)
+            # Edge normalisation is a constant per-edge scale.
+            weighted = _edge_scale(messages, self._edge_weight)
+            aggregated = ad.scatter_sum(weighted, self._edge_index[1],
+                                        dim_size=self.graph.num_nodes, tag=tag)
+            return ad.add_bias(aggregated, params["b"])
+        if self.model_name == "gin":
+            messages = ad.gather(x, self.graph.src, tag=tag)
+            neighbour = ad.scatter_sum(messages, self.graph.dst,
+                                       dim_size=self.graph.num_nodes, tag=tag)
+            combined = ad.add(ad.scale(x, 1.0 + self._reference.epsilon),
+                              neighbour)
+            hidden = ad.relu(ad.add_bias(
+                ad.matmul(combined, params["W1"], tag=tag), params["b1"]))
+            return ad.add_bias(ad.matmul(hidden, params["W2"], tag=tag),
+                               params["b2"])
+        # sage
+        messages = ad.gather(x, self._edge_index[0], tag=tag)
+        summed = ad.scatter_sum(messages, self._edge_index[1],
+                                dim_size=self.graph.num_nodes, tag=tag)
+        mean_neigh = _row_scale(summed, self._sage_inverse_degrees())
+        self_part = ad.matmul(x, params["W1"], tag=tag)
+        neigh_part = ad.add_bias(ad.matmul(mean_neigh, params["W2"], tag=tag),
+                                 params["b"])
+        return ad.add(self_part, neigh_part)
+
+    def _sage_inverse_degrees(self) -> np.ndarray:
+        """1/deg over the self-loop-augmented graph (mean aggregator)."""
+        degree = np.zeros(self.graph.num_nodes, dtype=np.float32)
+        np.add.at(degree, self._edge_index[1], 1.0)
+        return 1.0 / np.maximum(degree, 1.0)
+
+
+def _edge_scale(messages: ad.Tensor, weights: np.ndarray) -> ad.Tensor:
+    """Per-row constant scaling (GCN's 1/sqrt(du dv) edge weights)."""
+    factors = weights[:, None].astype(np.float32)
+    out = ad.Tensor(messages.data * factors, parents=(messages,),
+                    backward=lambda grad: messages._accumulate(grad * factors))
+    return out
+
+
+def _row_scale(x: ad.Tensor, factors_1d: np.ndarray) -> ad.Tensor:
+    """Per-row constant scaling (SAGE's 1/deg mean normalisation)."""
+    factors = factors_1d[:, None].astype(np.float32)
+    return ad.Tensor(x.data * factors, parents=(x,),
+                     backward=lambda grad: x._accumulate(grad * factors))
+
+
+def build_trainable(model_name: str, graph: Graph, hidden: int = 16,
+                    out_features: int = 7, num_layers: int = 2,
+                    seed: int = 0, compute_model: str = "MP") -> TrainableGNN:
+    """Factory mirroring :func:`repro.core.models.build_model`.
+
+    ``compute_model="SpMM"`` trains GCN/GIN through the fused sparse
+    path (the way DGL trains); SAGE remains MP-only, as in inference.
+    """
+    return TrainableGNN(model_name, graph, hidden, out_features,
+                        num_layers=num_layers, seed=seed,
+                        compute_model=compute_model)

@@ -1,0 +1,144 @@
+"""Integration tests for the experiment drivers on a tiny profile.
+
+A micro profile (heavily scaled datasets, low simulation budgets) keeps
+each driver's full pipeline — record, simulate, profile, aggregate,
+render — under test without benchmark-scale runtimes.  Qualitative
+checks are only asserted where they are meaningful at micro scale
+(structure, normalisation, registry content); the shape claims are
+asserted by the real benchmark suite.
+"""
+
+import pytest
+
+from repro.bench.common import clear_bench_cache
+from repro.bench.experiments import (
+    fig3,
+    fig4,
+    fig5,
+    fig6,
+    fig7,
+    fig8,
+    fig9,
+    table2,
+    table4,
+)
+from repro.bench.profiles import BenchProfile
+
+MICRO = BenchProfile(
+    name="micro",
+    dataset_scales={
+        "cora": 0.1,
+        "citeseer": 0.1,
+        "pubmed": 0.02,
+        "reddit": 0.001,
+        "livejournal": 0.0002,
+    },
+    sample_cap=20_000,
+    max_cycles=4_000,
+    repeats=1,
+)
+
+
+@pytest.fixture(scope="module", autouse=True)
+def fresh_cache():
+    clear_bench_cache()
+    yield
+    clear_bench_cache()
+
+
+class TestTableDrivers:
+    def test_table2_rows_and_checks(self):
+        rows = table2.rows(MICRO)
+        assert len(rows) == 5
+        assert all(table2.checks(rows).values())
+        assert "Table II" in table2.render(MICRO)
+
+    def test_table4_rows_and_checks(self):
+        rows = table4.rows(MICRO)
+        assert len(rows) == 5
+        checks = table4.checks(rows)
+        assert checks["full_specs_match_paper"]
+        assert checks["generators_met_scaled_spec"]
+
+
+class TestFig3:
+    def test_grid_covers_all_variants(self):
+        rows = fig3.rows(MICRO)
+        labels = {r[0] for r in rows}
+        assert labels == {"PyG", "DGL", "gSuite-MP", "gSuite-SpMM"}
+        # SAG has no SpMM implementation.
+        assert not any(r[0] == "gSuite-SpMM" and r[1] == "SAGE" for r in rows)
+        assert all(r[3] > 0 and r[4] > 0 for r in rows)
+
+    def test_render(self):
+        assert "Fig. 3" in fig3.render(MICRO)
+
+
+class TestFig4:
+    def test_distributions_normalised(self):
+        rows = fig4.rows(MICRO)
+        checks = fig4.checks(rows)
+        assert checks["distributions_normalised"]
+        assert checks["spmm_variants_spend_time_in_sp"]
+
+
+class TestFig5:
+    def test_panels_and_invariants(self):
+        rows = fig5.rows(MICRO)
+        checks = fig5.checks(rows)
+        assert checks["gather_scatter_int_dominated"]
+        assert checks["sgemm_fp32_dominated"]
+        # All four panels present.
+        assert {r[0] for r in rows} == {"gSuite-MP", "gSuite-SpMM"}
+
+
+class TestFig6:
+    def test_rows_are_distributions(self):
+        rows = fig6.rows(MICRO)
+        assert rows
+        for r in rows:
+            assert abs(sum(r[4:]) - 1.0) < 1e-6
+        checks = fig6.checks(rows)
+        assert checks["average_memory_share_substantial"]
+
+
+class TestFig7:
+    def test_rows_are_distributions(self):
+        rows = fig7.rows(MICRO)
+        assert rows
+        checks = fig7.checks(rows)
+        assert checks["distributions_normalised"]
+
+
+class TestFig8:
+    def test_rates_bounded(self):
+        rows = fig8.rows(MICRO)
+        checks = fig8.checks(rows)
+        assert checks["all_rates_in_unit_interval"]
+        assert checks["l1_agrees_more_than_l2"]
+
+
+class TestFig9:
+    def test_utils_bounded(self):
+        rows = fig9.rows(MICRO)
+        checks = fig9.checks(rows)
+        assert checks["all_utils_in_unit_interval"]
+
+
+class TestHarness:
+    def test_run_all_writes_tables(self, tmp_path, monkeypatch):
+        import io
+
+        import repro.bench.harness as harness
+        import repro.bench.tables as tables
+
+        # Redirect results into a temp dir.
+        monkeypatch.setattr(
+            tables, "results_dir",
+            lambda base=None: tables.Path(tmp_path))
+        stream = io.StringIO()
+        checks = harness.run_all(MICRO, stream=stream)
+        assert set(checks) == set(harness.EXPERIMENTS)
+        written = {p.stem for p in tmp_path.glob("*.txt")}
+        assert written == set(harness.EXPERIMENTS)
+        assert "Fig. 6" in stream.getvalue()

@@ -1,0 +1,38 @@
+"""Tests for benchmark sizing profiles."""
+
+import pytest
+
+from repro.bench.profiles import PROFILES, BenchProfile, active_profile
+from repro.errors import ConfigError
+
+
+class TestProfiles:
+    def test_ci_and_full_present(self):
+        assert {"ci", "full"} == set(PROFILES)
+
+    def test_ci_scales_large_datasets(self):
+        ci = PROFILES["ci"]
+        assert ci.scale_of("cora") == 1.0
+        assert ci.scale_of("reddit") < 1.0
+        assert ci.scale_of("livejournal") < 1.0
+
+    def test_full_is_unscaled(self):
+        full = PROFILES["full"]
+        for name in ("cora", "citeseer", "pubmed", "reddit", "livejournal"):
+            assert full.scale_of(name) == 1.0
+
+    def test_default_profile_is_ci(self, monkeypatch):
+        monkeypatch.delenv("GSUITE_PROFILE", raising=False)
+        assert active_profile().name == "ci"
+
+    def test_env_selects_profile(self, monkeypatch):
+        monkeypatch.setenv("GSUITE_PROFILE", "FULL")
+        assert active_profile().name == "full"
+
+    def test_unknown_profile_rejected(self, monkeypatch):
+        monkeypatch.setenv("GSUITE_PROFILE", "huge")
+        with pytest.raises(ConfigError):
+            active_profile()
+
+    def test_unknown_dataset_defaults_to_one(self):
+        assert PROFILES["ci"].scale_of("wiki-cs") == 1.0

@@ -1,0 +1,40 @@
+"""Tests for table formatting and result persistence."""
+
+from repro.bench.tables import format_table, results_dir, write_result
+
+
+class TestFormatTable:
+    def test_alignment_and_title(self):
+        out = format_table(("A", "Long Header"), [(1, 2.0), (333, 4.5)],
+                           title="T")
+        lines = out.splitlines()
+        assert lines[0] == "T"
+        assert "Long Header" in lines[1]
+        assert set(lines[2]) <= {"-", " "}
+        # Columns align: every data line has the header's separator offset.
+        assert lines[3].startswith("1  ")
+
+    def test_float_formatting(self):
+        out = format_table(("x",), [(0.123456,)])
+        assert "0.1235" in out
+
+    def test_empty_rows(self):
+        out = format_table(("x", "y"), [])
+        assert "x" in out and out.endswith("\n")
+
+    def test_wide_cells_stretch_columns(self):
+        out = format_table(("h",), [("wider-than-header",)])
+        header_line, sep, row = out.splitlines()
+        assert len(sep) >= len("wider-than-header")
+
+
+class TestPersistence:
+    def test_write_result(self, tmp_path):
+        path = write_result("unit", "hello\n", base=str(tmp_path))
+        assert path.read_text() == "hello\n"
+        assert path.name == "unit.txt"
+
+    def test_results_dir_created(self, tmp_path):
+        target = tmp_path / "nested"
+        out = results_dir(str(target))
+        assert out.is_dir()

@@ -1,0 +1,90 @@
+"""Tests for SuiteConfig (defaults file + user-parameter overrides)."""
+
+import json
+
+import pytest
+
+from repro.core.config import DEFAULTS, SuiteConfig
+from repro.errors import ConfigError
+
+
+class TestDefaults:
+    def test_shipped_defaults(self):
+        assert DEFAULTS.dataset == "cora"
+        assert DEFAULTS.model == "gcn"
+        assert DEFAULTS.compute_model == "MP"
+        assert DEFAULTS.framework == "gsuite"
+        assert DEFAULTS.repeats == 3  # paper: three runs, mean reported
+
+    def test_partial_overrides(self):
+        cfg = SuiteConfig(model="gin", dataset="reddit")
+        assert cfg.model == "gin"
+        assert cfg.num_layers == DEFAULTS.num_layers
+
+
+class TestValidation:
+    @pytest.mark.parametrize("bad", [
+        {"num_layers": 0},
+        {"hidden": 0},
+        {"out_features": 0},
+        {"scale": 0.0},
+        {"scale": 1.5},
+        {"repeats": 0},
+        {"sample_cap": 0},
+        {"compute_model": "TPU"},
+    ])
+    def test_invalid_values_rejected(self, bad):
+        with pytest.raises(ConfigError):
+            SuiteConfig(**bad)
+
+    def test_from_dict_rejects_unknown_keys(self):
+        with pytest.raises(ConfigError) as err:
+            SuiteConfig.from_dict({"modle": "gcn"})
+        assert "modle" in str(err.value)
+
+    def test_with_overrides_rejects_unknown_keys(self):
+        with pytest.raises(ConfigError):
+            DEFAULTS.with_overrides(depth=3)
+
+
+class TestFileRoundTrip:
+    def test_save_and_load(self, tmp_path):
+        cfg = SuiteConfig(model="sage", dataset="pubmed", num_layers=3)
+        path = tmp_path / "config.json"
+        cfg.save(path)
+        loaded = SuiteConfig.from_file(path)
+        assert loaded == cfg
+
+    def test_file_overrides(self, tmp_path):
+        path = tmp_path / "config.json"
+        SuiteConfig(model="gcn").save(path)
+        loaded = SuiteConfig.from_file(path, model="gin")
+        assert loaded.model == "gin"
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(ConfigError):
+            SuiteConfig.from_file(tmp_path / "absent.json")
+
+    def test_malformed_file(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text("not json {")
+        with pytest.raises(ConfigError):
+            SuiteConfig.from_file(path)
+
+    def test_non_object_file(self, tmp_path):
+        path = tmp_path / "list.json"
+        path.write_text(json.dumps([1, 2]))
+        with pytest.raises(ConfigError):
+            SuiteConfig.from_file(path)
+
+
+class TestImmutability:
+    def test_with_overrides_returns_new(self):
+        cfg = SuiteConfig()
+        other = cfg.with_overrides(model="gin")
+        assert cfg.model == "gcn"
+        assert other.model == "gin"
+
+    def test_to_dict_round_trips(self):
+        cfg = SuiteConfig(model="gin", scale=0.5)
+        assert SuiteConfig.from_dict(cfg.to_dict()) == cfg

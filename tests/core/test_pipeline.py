@@ -1,0 +1,86 @@
+"""Integration tests for the GNNPipeline facade."""
+
+import numpy as np
+import pytest
+
+from repro.core import GNNPipeline, SuiteConfig
+from repro.errors import ConfigError
+from repro.gpu import GpuSimulator, NvprofProfiler, v100_config
+
+
+@pytest.fixture(scope="module")
+def pipeline():
+    return GNNPipeline.from_params(model="gcn", dataset="cora", scale=0.15)
+
+
+class TestConstruction:
+    def test_from_params_uses_defaults(self, pipeline):
+        assert pipeline.config.num_layers == 2
+        assert pipeline.figure_label() == "gSuite-MP"
+
+    def test_unknown_param_rejected(self):
+        with pytest.raises(ConfigError):
+            GNNPipeline.from_params(modle="gcn")
+
+    def test_out_features_defaults_to_class_count(self, pipeline):
+        assert pipeline.spec.out_features == 7  # Cora has 7 classes
+
+    def test_out_features_override(self):
+        pipe = GNNPipeline.from_params(dataset="cora", out_features=3,
+                                       scale=0.1)
+        assert pipe.spec.out_features == 3
+
+    def test_explicit_graph_skips_loading(self):
+        from repro.graph import Graph
+        g = Graph(np.array([[0, 1], [1, 0]]),
+                  features=np.ones((2, 4), dtype=np.float32), name="custom")
+        pipe = GNNPipeline(SuiteConfig(dataset="cora"), graph=g)
+        assert pipe.graph is g
+
+    def test_figure_labels(self):
+        assert GNNPipeline.from_params(framework="pyg",
+                                       scale=0.1).figure_label() == "PyG"
+        assert GNNPipeline.from_params(
+            framework="gsuite", compute_model="SpMM",
+            scale=0.1).figure_label() == "gSuite-SpMM"
+
+
+class TestExecution:
+    def test_run_shape(self, pipeline):
+        out = pipeline.run()
+        assert out.shape == (pipeline.graph.num_nodes, 7)
+
+    def test_measure_repeats(self, pipeline):
+        times = pipeline.measure(repeats=2)
+        assert len(times) == 2
+        assert all(t > 0 for t in times)
+
+    def test_measure_uses_config_repeats(self):
+        pipe = GNNPipeline.from_params(dataset="cora", scale=0.1, repeats=2)
+        assert len(pipe.measure()) == 2
+
+    def test_record_collects_kernel_launches(self, pipeline):
+        recorder = pipeline.record()
+        kernels = {l.kernel for l in recorder.launches}
+        assert kernels == {"sgemm", "indexSelect", "scatter"}
+
+    def test_record_respects_sample_cap(self):
+        pipe = GNNPipeline.from_params(dataset="cora", scale=0.1,
+                                       sample_cap=128)
+        recorder = pipe.record()
+        assert recorder.sample_cap == 128
+
+    def test_simulate_and_profile(self, pipeline):
+        sims = pipeline.simulate(GpuSimulator(v100_config(max_cycles=5_000)))
+        profs = pipeline.profile()
+        assert len(sims) == len(profs) == 6  # 3 kernels x 2 layers
+        assert all(0 <= r.l1_hit_rate <= 1 for r in sims)
+        assert all(0 <= p.l1_hit_rate <= 1 for p in profs)
+
+    def test_backend_dispatch(self):
+        mp = GNNPipeline.from_params(dataset="cora", scale=0.1,
+                                     framework="pyg")
+        sp = GNNPipeline.from_params(dataset="cora", scale=0.1,
+                                     framework="dgl", compute_model="SpMM")
+        a, b = mp.run(), sp.run()
+        assert np.allclose(a, b, atol=1e-3)  # same function, two frameworks

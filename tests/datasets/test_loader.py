@@ -1,0 +1,70 @@
+"""Tests for the dataset loading facade."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import (
+    cache_info,
+    clear_cache,
+    dataset_statistics,
+    load_dataset,
+)
+from repro.errors import DatasetError
+
+
+@pytest.fixture(autouse=True)
+def fresh_cache():
+    clear_cache()
+    yield
+    clear_cache()
+
+
+class TestLoadDataset:
+    def test_loads_by_short_form(self):
+        g = load_dataset("CR", scale=0.2)
+        assert g.name == "cora"
+
+    def test_scale_shrinks_graph(self):
+        small = load_dataset("pubmed", scale=0.1)
+        assert small.num_nodes < 19_717
+        assert small.num_features == 500  # feature length untouched
+
+    def test_cache_hit_returns_same_object(self):
+        a = load_dataset("cora", scale=0.2)
+        b = load_dataset("cora", scale=0.2)
+        assert a is b
+        assert cache_info()[0] == 1
+
+    def test_cache_distinguishes_seeds(self):
+        a = load_dataset("cora", scale=0.2, seed=0)
+        b = load_dataset("cora", scale=0.2, seed=1)
+        assert a is not b
+        assert not np.array_equal(a.edge_index, b.edge_index)
+
+    def test_cache_eviction_bounded(self):
+        limit = cache_info()[1]
+        for seed in range(limit + 3):
+            load_dataset("cora", scale=0.05, seed=seed)
+        assert cache_info()[0] <= limit
+
+    def test_without_features(self):
+        g = load_dataset("citeseer", scale=0.2, with_features=False)
+        assert g.features is None
+
+    def test_unknown_dataset(self):
+        with pytest.raises(DatasetError):
+            load_dataset("imdb")
+
+
+class TestStatistics:
+    def test_statistics_match_spec(self):
+        stats = dataset_statistics("cora", scale=0.25)
+        assert stats["nodes"] == stats["spec_nodes"]
+        assert stats["edges"] == stats["spec_edges"]
+        assert stats["feature_length"] == stats["spec_feature_length"]
+        assert stats["short_form"] == "CR"
+
+    def test_degree_summary_sane(self):
+        stats = dataset_statistics("pubmed", scale=0.1)
+        assert stats["max_degree"] >= stats["mean_degree"]
+        assert stats["mean_degree"] > 0

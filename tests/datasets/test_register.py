@@ -1,0 +1,68 @@
+"""Tests for the dataset registration extension point."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import DATASETS, DatasetSpec, get_spec, load_dataset
+from repro.datasets.specs import SHORT_FORMS, register_dataset
+from repro.errors import DatasetError
+
+
+@pytest.fixture
+def wiki_spec():
+    return DatasetSpec(
+        name="wiki-cs", short_form="WK", num_nodes=1_000,
+        feature_length=32, num_edges=8_000, degree_exponent=2.6,
+        feature_style="dense", locality=0.5, num_classes=10,
+    )
+
+
+@pytest.fixture(autouse=True)
+def cleanup():
+    yield
+    DATASETS.pop("wiki-cs", None)
+    SHORT_FORMS.pop("WK", None)
+
+
+class TestRegisterDataset:
+    def test_registered_dataset_is_loadable(self, wiki_spec):
+        register_dataset(wiki_spec)
+        graph = load_dataset("wiki-cs")
+        assert graph.num_nodes == 1_000
+        assert graph.num_edges == 8_000
+        assert graph.num_features == 32
+
+    def test_short_form_lookup_works(self, wiki_spec):
+        register_dataset(wiki_spec)
+        assert get_spec("wiki-cs").short_form == "WK"
+
+    def test_duplicate_rejected(self, wiki_spec):
+        register_dataset(wiki_spec)
+        with pytest.raises(DatasetError):
+            register_dataset(wiki_spec)
+
+    def test_overwrite_allowed(self, wiki_spec):
+        register_dataset(wiki_spec)
+        register_dataset(wiki_spec, overwrite=True)  # no error
+
+    def test_builtin_protected(self):
+        clone = DATASETS["cora"]
+        with pytest.raises(DatasetError):
+            register_dataset(clone)
+
+    def test_invalid_specs_rejected(self, wiki_spec):
+        from dataclasses import replace
+        with pytest.raises(DatasetError):
+            register_dataset(replace(wiki_spec, name=""))
+        with pytest.raises(DatasetError):
+            register_dataset(replace(wiki_spec, num_nodes=0))
+        with pytest.raises(DatasetError):
+            register_dataset(replace(wiki_spec, num_edges=10**9))
+
+    def test_registered_dataset_deterministic(self, wiki_spec):
+        register_dataset(wiki_spec)
+        from repro.datasets import clear_cache
+        a = load_dataset("wiki-cs")
+        clear_cache()
+        b = load_dataset("wiki-cs")
+        assert np.array_equal(a.edge_index, b.edge_index)

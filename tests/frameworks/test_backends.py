@@ -1,0 +1,142 @@
+"""Tests for the framework backends (native / PyG-like / DGL-like)."""
+
+import numpy as np
+import pytest
+
+from repro.core.kernels import record_launches
+from repro.datasets import load_dataset
+from repro.errors import BackendError
+from repro.frameworks import (
+    BACKEND_NAMES,
+    BACKENDS,
+    PipelineSpec,
+    get_backend,
+    time_end_to_end,
+)
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return load_dataset("cora", scale=0.15, seed=1)
+
+
+class TestPipelineSpec:
+    def test_defaults(self):
+        spec = PipelineSpec()
+        assert spec.model == "gcn"
+        assert spec.compute_model == "MP"
+        assert spec.num_layers == 2
+
+    def test_invalid_layers(self):
+        with pytest.raises(BackendError):
+            PipelineSpec(num_layers=0)
+
+    def test_invalid_dims(self):
+        with pytest.raises(BackendError):
+            PipelineSpec(hidden=0)
+
+
+class TestRegistry:
+    def test_all_backends_present(self):
+        assert set(BACKENDS) == {"gsuite", "pyg", "dgl"}
+        assert set(BACKEND_NAMES) == set(BACKENDS)
+
+    def test_aliases(self):
+        assert get_backend("none").name == "gsuite"
+        assert get_backend("PyTorch-Geometric").name == "PyG"
+
+    def test_unknown_backend(self):
+        with pytest.raises(BackendError):
+            get_backend("jax")
+
+
+class TestComputeModelSupport:
+    def test_pyg_rejects_spmm(self, graph):
+        with pytest.raises(BackendError):
+            get_backend("pyg").build(
+                PipelineSpec(compute_model="SpMM"), graph)
+
+    def test_native_supports_both(self, graph):
+        for cm in ("MP", "SpMM"):
+            out = get_backend("gsuite").build(
+                PipelineSpec(model="gcn", compute_model=cm), graph).run()
+            assert out.shape == (graph.num_nodes, 7)
+
+    def test_native_figure_labels(self):
+        backend = get_backend("gsuite")
+        assert backend.figure_label(PipelineSpec(compute_model="MP")) == "gSuite-MP"
+        assert backend.figure_label(PipelineSpec(compute_model="SpMM")) == "gSuite-SpMM"
+
+
+class TestNumericalEquivalence:
+    @pytest.mark.parametrize("model", ["gcn", "gin", "sage"])
+    def test_all_backends_compute_same_function(self, graph, model):
+        spec_mp = PipelineSpec(model=model, compute_model="MP", seed=5)
+        spec_sp = PipelineSpec(model=model, compute_model="SpMM", seed=5)
+        reference = get_backend("gsuite").build(spec_mp, graph).run()
+        pyg_out = get_backend("pyg").build(spec_mp, graph).run()
+        dgl_out = get_backend("dgl").build(spec_sp, graph).run()
+        assert np.allclose(pyg_out, reference, atol=1e-3)
+        assert np.allclose(dgl_out, reference, atol=1e-3)
+
+    def test_feature_override(self, graph):
+        spec = PipelineSpec(model="gcn", seed=2)
+        zeros = np.zeros((graph.num_nodes, graph.num_features), np.float32)
+        for name in BACKEND_NAMES:
+            cm = "SpMM" if name == "dgl" else "MP"
+            out = get_backend(name).build(
+                PipelineSpec(model="gcn", compute_model=cm, seed=2),
+                graph).run(features=zeros)
+            assert np.allclose(out, 0.0, atol=1e-6)
+
+
+class TestKernelComposition:
+    def test_pyg_records_mp_kernels(self, graph):
+        pipeline = get_backend("pyg").build(PipelineSpec(model="gcn"), graph)
+        with record_launches() as rec:
+            pipeline.run()
+        kernels = {l.kernel for l in rec.launches}
+        assert kernels == {"sgemm", "indexSelect", "scatter"}
+
+    def test_dgl_records_spmm_kernels(self, graph):
+        pipeline = get_backend("dgl").build(
+            PipelineSpec(model="gcn", compute_model="SpMM"), graph)
+        with record_launches() as rec:
+            pipeline.run()
+        kernels = {l.kernel for l in rec.launches}
+        assert kernels == {"sgemm", "spmm"}
+
+    def test_dgl_runs_sage_via_spmm(self, graph):
+        pipeline = get_backend("dgl").build(
+            PipelineSpec(model="sage", compute_model="SpMM"), graph)
+        with record_launches() as rec:
+            out = pipeline.run()
+        assert out.shape == (graph.num_nodes, 7)
+        assert any(l.kernel == "spmm" for l in rec.launches)
+
+    def test_pyg_gcn_renormalises_every_layer(self, graph):
+        """PyG's uncached gcn_norm means one gather per layer over the
+        self-loop-augmented edge set."""
+        pipeline = get_backend("pyg").build(
+            PipelineSpec(model="gcn", num_layers=3), graph)
+        with record_launches() as rec:
+            pipeline.run()
+        gathers = [l for l in rec.launches if l.kernel == "indexSelect"]
+        assert len(gathers) == 3
+
+
+class TestEndToEndTiming:
+    def test_timing_returns_one_value_per_repeat(self, graph):
+        times = time_end_to_end(get_backend("gsuite"), PipelineSpec(), graph,
+                                repeats=3)
+        assert len(times) == 3
+        assert all(t > 0 for t in times)
+
+    def test_invalid_repeats(self, graph):
+        with pytest.raises(BackendError):
+            time_end_to_end(get_backend("gsuite"), PipelineSpec(), graph,
+                            repeats=0)
+
+    def test_pyg_unknown_model_rejected(self, graph):
+        with pytest.raises(Exception):
+            get_backend("pyg").build(PipelineSpec(model="gat"), graph)

@@ -1,0 +1,109 @@
+"""Tests for the PyG-like backend's internal mini-framework."""
+
+import numpy as np
+import pytest
+
+from repro.errors import BackendError
+from repro.frameworks.pyg_like import (
+    GCNConv,
+    GINConv,
+    MessagePassing,
+    Parameter,
+    SAGEConv,
+    _Tape,
+    _gcn_norm,
+    _validate_edge_index,
+)
+from repro.graph import Graph, coalesce_edges, normalized_adjacency
+
+
+class TestParameter:
+    def test_reset_is_bounded(self):
+        rng = np.random.default_rng(0)
+        p = Parameter((8, 4), rng)
+        bound = 1.0 / np.sqrt(8)
+        assert np.all(np.abs(p.data) <= bound + 1e-6)
+
+    def test_load_validates_shape(self):
+        p = Parameter((2, 3), np.random.default_rng(0))
+        with pytest.raises(BackendError):
+            p.load(np.zeros((3, 2)))
+
+    def test_load_replaces_values(self):
+        p = Parameter((2, 2), np.random.default_rng(0))
+        p.load(np.eye(2))
+        assert np.allclose(p.data, np.eye(2))
+
+
+class TestEdgeValidation:
+    def test_valid_passthrough(self):
+        edge_index = np.array([[0, 1], [1, 0]], dtype=np.int64)
+        out = _validate_edge_index(edge_index, 2)
+        assert np.array_equal(out, edge_index)
+
+    def test_dtype_coerced(self):
+        out = _validate_edge_index(np.array([[0], [1]], dtype=np.int32), 2)
+        assert out.dtype == np.int64
+
+    def test_bad_shape_rejected(self):
+        with pytest.raises(BackendError):
+            _validate_edge_index(np.zeros((3, 2), dtype=np.int64), 5)
+
+    def test_out_of_bounds_rejected(self):
+        with pytest.raises(BackendError):
+            _validate_edge_index(np.array([[0], [9]], dtype=np.int64), 2)
+
+
+class TestGcnNorm:
+    def test_matches_library_normalisation(self):
+        # Duplicate-free edge list (gcn_norm is unweighted, so duplicate
+        # edges would be weight-2 entries on the library side).
+        rng = np.random.default_rng(1)
+        pairs = rng.permutation(15 * 14)[:40]
+        src, dst = pairs // 14, pairs % 14
+        dst = dst + (dst >= src)  # skip the diagonal
+        g = coalesce_edges(Graph(np.vstack([src, dst]), num_nodes=15))
+        assert g.num_edges == 40  # genuinely duplicate-free
+        full, weight = _gcn_norm(g.edge_index, g.num_nodes)
+        from repro.graph.formats import COOMatrix
+        assembled = COOMatrix(full[1], full[0], weight,
+                              shape=(15, 15)).to_dense().array
+        expected = normalized_adjacency(g).to_dense().array
+        assert np.allclose(assembled, expected, atol=1e-5)
+
+    def test_adds_all_self_loops(self):
+        full, _ = _gcn_norm(np.array([[0], [1]], dtype=np.int64), 4)
+        assert full.shape[1] == 1 + 4
+
+
+class TestTapeAndConvs:
+    def test_tape_records_operations(self):
+        tape = _Tape()
+        rng = np.random.default_rng(2)
+        conv = GCNConv(6, 4, rng, tape)
+        x = rng.standard_normal((10, 6)).astype(np.float32)
+        edge_index = rng.integers(0, 10, size=(2, 30)).astype(np.int64)
+        conv.forward(x, edge_index, 10, tag="t")
+        ops = [node["op"] for node in tape.nodes]
+        assert "sgemm" in ops and "scatter" in ops and "index_select" in ops
+
+    def test_message_passing_default_message(self):
+        mp = MessagePassing(_Tape())
+        msgs = np.ones((3, 2), dtype=np.float32)
+        assert np.array_equal(mp.message(msgs, None), msgs)
+        weighted = mp.message(msgs, np.array([2.0, 3.0, 4.0], np.float32))
+        assert np.allclose(weighted[:, 0], [2.0, 3.0, 4.0])
+
+    def test_gin_conv_shapes(self):
+        rng = np.random.default_rng(3)
+        conv = GINConv(5, 3, 0.1, rng, _Tape())
+        x = rng.standard_normal((8, 5)).astype(np.float32)
+        edge_index = rng.integers(0, 8, size=(2, 20)).astype(np.int64)
+        assert conv.forward(x, edge_index, 8, tag="t").shape == (8, 3)
+
+    def test_sage_conv_shapes(self):
+        rng = np.random.default_rng(4)
+        conv = SAGEConv(5, 3, rng, _Tape())
+        x = rng.standard_normal((8, 5)).astype(np.float32)
+        edge_index = rng.integers(0, 8, size=(2, 20)).astype(np.int64)
+        assert conv.forward(x, edge_index, 8, tag="t").shape == (8, 3)

@@ -1,0 +1,156 @@
+"""Tests for the cycle-level warp scheduler simulation."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import SimulationError
+from repro.gpu.config import v100_config
+from repro.gpu.metrics import OCCUPANCY_STATES, STALL_REASONS
+from repro.gpu.warp_sim import _ALU, _CTL, _MEM, build_pattern, simulate_warps
+
+CFG = v100_config(max_cycles=20_000)
+FAST = np.array([28], dtype=np.int64)      # all-L1 latencies
+SLOW = np.array([420], dtype=np.int64)     # all-DRAM latencies
+
+
+def run(pattern=None, warps=8, ipw=50, lats=FAST, **kw):
+    pattern = pattern if pattern is not None else build_pattern(0.2, 0.05)
+    return simulate_warps(CFG, warps, ipw, pattern, lats, **kw)
+
+
+class TestBuildPattern:
+    def test_fractions_respected(self):
+        pattern = build_pattern(0.25, 0.10, length=64)
+        assert pattern.count(_MEM) == 16
+        assert pattern.count(_CTL) == 6
+
+    def test_memory_spread_not_clumped(self):
+        pattern = build_pattern(0.25, 0.0, length=64)
+        gaps = np.diff([i for i, c in enumerate(pattern) if c == _MEM])
+        assert gaps.max() <= 8  # evenly strided, not back-to-back block
+
+    def test_zero_fractions(self):
+        pattern = build_pattern(0.0, 0.0)
+        assert all(c == _ALU for c in pattern)
+
+    def test_all_memory(self):
+        pattern = build_pattern(1.0, 0.0)
+        assert all(c == _MEM for c in pattern)
+
+    def test_invalid_fractions(self):
+        with pytest.raises(SimulationError):
+            build_pattern(1.5, 0.0)
+        with pytest.raises(SimulationError):
+            build_pattern(0.0, -0.1)
+
+
+class TestSimulateWarps:
+    def test_completes_simple_workload(self):
+        out = run()
+        assert out.completed
+        assert out.issued == 8 * 50
+        assert out.cycles > 0
+
+    def test_invalid_arguments(self):
+        with pytest.raises(SimulationError):
+            simulate_warps(CFG, 0, 10, [_ALU], FAST)
+        with pytest.raises(SimulationError):
+            simulate_warps(CFG, 1, 0, [_ALU], FAST)
+        with pytest.raises(SimulationError):
+            simulate_warps(CFG, 1, 10, [], FAST)
+
+    def test_stall_counts_cover_all_reasons(self):
+        out = run()
+        assert set(out.stall_counts) == set(STALL_REASONS)
+        assert set(out.occupancy_counts) == set(OCCUPANCY_STATES)
+
+    def test_issued_counter_matches_instruction_budget(self):
+        out = run(warps=4, ipw=25)
+        assert out.issued == 100
+
+    def test_slow_memory_increases_memory_stalls(self):
+        pattern = build_pattern(0.3, 0.05)
+        fast = run(pattern=pattern, lats=FAST)
+        slow = run(pattern=pattern, lats=SLOW)
+        fast_frac = fast.stall_counts["MemoryDependency"] / max(1, sum(fast.stall_counts.values()))
+        slow_frac = slow.stall_counts["MemoryDependency"] / max(1, sum(slow.stall_counts.values()))
+        assert slow_frac > fast_frac
+        assert slow.cycles > fast.cycles
+
+    def test_alu_only_kernel_has_no_memory_stalls(self):
+        out = run(pattern=[_ALU] * 16)
+        assert out.stall_counts["MemoryDependency"] == 0
+
+    def test_atomic_contention_creates_sync_stalls(self):
+        pattern = build_pattern(0.3, 0.0)
+        plain = run(pattern=pattern, lats=SLOW, atomic=False)
+        contended = run(pattern=pattern, lats=SLOW, atomic=True, contention=1.0)
+        assert contended.stall_counts["Synchronization"] > \
+            plain.stall_counts["Synchronization"]
+
+    def test_zero_contention_atomic_adds_nothing(self):
+        pattern = build_pattern(0.3, 0.0)
+        out = run(pattern=pattern, atomic=True, contention=0.0)
+        assert out.stall_counts["Synchronization"] == 0
+
+    def test_lane_buckets(self):
+        assert run(active_lanes=4).occupancy_counts["W8"] > 0
+        assert run(active_lanes=16).occupancy_counts["W20"] > 0
+        assert run(active_lanes=32).occupancy_counts["W32"] > 0
+
+    def test_more_warps_hide_latency(self):
+        pattern = build_pattern(0.3, 0.05)
+        few = simulate_warps(CFG, 2, 100, pattern, SLOW)
+        many = simulate_warps(CFG, 48, 100, pattern, SLOW)
+        ipc_few = few.issued / few.cycles
+        ipc_many = many.issued / many.cycles
+        assert ipc_many > ipc_few
+
+    def test_ipc_bounded_by_issue_width(self):
+        out = run(pattern=[_ALU] * 16, warps=64, ipw=100)
+        assert out.issued / out.cycles <= CFG.issue_width + 1e-9
+
+    def test_cycle_cap_respected(self):
+        cfg = v100_config(max_cycles=100)
+        out = simulate_warps(cfg, 4, 10_000, build_pattern(0.5, 0.0), SLOW)
+        assert out.cycles <= 100
+        assert not out.completed
+
+    def test_control_instructions_use_sfu_latency(self):
+        ctl_heavy = run(pattern=[_CTL] * 8, warps=1, ipw=40)
+        alu_only = run(pattern=[_ALU] * 8, warps=1, ipw=40)
+        assert ctl_heavy.cycles > alu_only.cycles
+
+    def test_empty_latency_array_defaults_to_l1(self):
+        out = run(lats=np.array([], dtype=np.int64),
+                  pattern=build_pattern(0.5, 0.0))
+        assert out.completed
+
+    def test_single_warp_single_instruction(self):
+        out = simulate_warps(CFG, 1, 1, [_ALU], FAST)
+        assert out.completed
+        assert out.issued == 1
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.integers(1, 32), st.integers(1, 80),
+       st.floats(0.0, 0.9), st.integers(0, 2**31 - 1))
+def test_accounting_invariants(warps, ipw, mem_fraction, seed):
+    """Property: counters are consistent for any workload shape.
+
+    * total issued equals warps x ipw when the sim completes;
+    * occupancy counts sum to the cycle count;
+    * every counter is non-negative.
+    """
+    rng = np.random.default_rng(seed)
+    lats = rng.choice([28, 193, 420], size=16).astype(np.int64)
+    pattern = build_pattern(mem_fraction, 0.05)
+    out = simulate_warps(v100_config(max_cycles=50_000), warps, ipw,
+                         pattern, lats)
+    assert out.completed
+    assert out.issued == warps * ipw
+    assert sum(out.occupancy_counts.values()) == out.cycles
+    assert all(v >= 0 for v in out.stall_counts.values())
+    assert out.stall_counts["InstructionIssued"] == out.issued

@@ -1,0 +1,85 @@
+"""Tests for the format conversion entry point."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConversionError
+from repro.graph import (
+    FORMATS,
+    Graph,
+    convert,
+    coo_to_edge_index,
+    csr_to_edge_index,
+    dense_to_edge_index,
+    edge_index_to_coo,
+    edge_index_to_csr,
+)
+from repro.graph.formats import COOMatrix, DenseMatrix
+
+
+@pytest.fixture
+def sample_coo():
+    rng = np.random.default_rng(0)
+    return COOMatrix(rng.integers(0, 8, 20), rng.integers(0, 8, 20), shape=(8, 8))
+
+
+class TestConvert:
+    @pytest.mark.parametrize("target", FORMATS)
+    def test_all_targets_reachable(self, sample_coo, target):
+        out = convert(sample_coo, target)
+        assert np.allclose(out.to_dense().array if target != "dense" else out.array,
+                           sample_coo.to_dense().array)
+
+    def test_identity_conversion_returns_same_object(self, sample_coo):
+        assert convert(sample_coo, "coo") is sample_coo
+
+    def test_case_insensitive(self, sample_coo):
+        assert convert(sample_coo, "CSR").nnz == sample_coo.nnz
+
+    def test_unknown_format_rejected(self, sample_coo):
+        with pytest.raises(ConversionError):
+            convert(sample_coo, "ellpack")
+
+    def test_non_matrix_rejected(self):
+        with pytest.raises(ConversionError):
+            convert(np.zeros((2, 2)), "csr")
+
+
+class TestEdgeIndexBridges:
+    def test_coo_roundtrip(self):
+        edge_index = np.array([[0, 1, 2], [1, 2, 0]])
+        coo = edge_index_to_coo(edge_index, 3)
+        back = coo_to_edge_index(coo)
+        assert np.array_equal(np.sort(back, axis=1), np.sort(edge_index, axis=1))
+
+    def test_coo_orientation_is_dst_row(self):
+        coo = edge_index_to_coo(np.array([[0], [2]]), 3)
+        assert coo.row[0] == 2 and coo.col[0] == 0
+
+    def test_csr_roundtrip_preserves_adjacency(self):
+        rng = np.random.default_rng(1)
+        edge_index = rng.integers(0, 10, size=(2, 30))
+        csr = edge_index_to_csr(edge_index, 10)
+        back = csr_to_edge_index(csr)
+        orig = edge_index_to_coo(edge_index, 10).to_dense().array
+        rebuilt = edge_index_to_coo(back, 10).to_dense().array
+        assert np.allclose(orig, rebuilt)
+
+    def test_dense_to_edge_index(self):
+        dense = DenseMatrix([[0.0, 0.0], [1.0, 0.0]])
+        edge_index = dense_to_edge_index(dense)
+        # entry A[1, 0] means edge 0 -> 1.
+        assert edge_index.shape == (2, 1)
+        assert edge_index[0, 0] == 0 and edge_index[1, 0] == 1
+
+    def test_bad_edge_index_shape(self):
+        with pytest.raises(ConversionError):
+            edge_index_to_coo(np.zeros((3, 2), dtype=np.int64), 4)
+
+    def test_graph_exports_match_bridges(self):
+        rng = np.random.default_rng(2)
+        edge_index = rng.integers(0, 6, size=(2, 15))
+        g = Graph(edge_index, num_nodes=6)
+        via_bridge = edge_index_to_csr(edge_index, 6).to_dense().array
+        via_graph = g.adjacency_csr().to_dense().array
+        assert np.allclose(via_bridge, via_graph)

@@ -1,0 +1,188 @@
+"""Unit and property tests for structural graph transforms."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import GraphFormatError
+from repro.graph import (
+    Graph,
+    add_self_loops,
+    coalesce_edges,
+    gcn_edge_weights,
+    normalized_adjacency,
+    remove_self_loops,
+    subgraph,
+    symmetric_normalization,
+    to_undirected,
+    validate_graph,
+)
+from repro.graph.formats import COOMatrix
+
+
+def random_graph(seed, nodes=20, edges=60, feats=4):
+    rng = np.random.default_rng(seed)
+    edge_index = rng.integers(0, nodes, size=(2, edges))
+    features = rng.standard_normal((nodes, feats)).astype(np.float32)
+    return Graph(edge_index, features=features, name=f"rand{seed}")
+
+
+class TestSelfLoops:
+    def test_adds_loop_for_every_node(self):
+        g = Graph(np.array([[0], [1]]), num_nodes=3)
+        looped = add_self_loops(g)
+        assert looped.num_edges == 4
+        dense = looped.adjacency_dense().array
+        assert np.all(np.diag(dense) == 1.0)
+
+    def test_keeps_existing_loops(self):
+        g = Graph(np.array([[0, 1], [0, 2]]), num_nodes=3)
+        looped = add_self_loops(g)
+        # node 0 already had a loop; only nodes 1 and 2 gain one.
+        assert looped.num_edges == 4
+
+    def test_preserves_weights(self):
+        g = Graph(np.array([[0], [1]]), edge_weight=np.array([3.0]), num_nodes=2)
+        looped = add_self_loops(g)
+        assert looped.edge_weight is not None
+        assert looped.edge_weight[0] == pytest.approx(3.0)
+        assert np.all(looped.edge_weight[1:] == 1.0)
+
+    def test_remove_then_add_is_total(self):
+        g = Graph(np.array([[0, 1, 1], [0, 1, 2]]), num_nodes=3)
+        stripped = remove_self_loops(g)
+        assert not stripped.has_self_loops()
+        assert stripped.num_edges == 1
+
+
+class TestCoalesce:
+    def test_merges_duplicates(self):
+        g = Graph(np.array([[0, 0, 1], [1, 1, 2]]), num_nodes=3)
+        merged = coalesce_edges(g)
+        assert merged.num_edges == 2
+        # Duplicate weight accumulates.
+        assert merged.edge_weight is not None
+        total = merged.edge_weight[
+            (merged.src == 0) & (merged.dst == 1)
+        ]
+        assert total[0] == pytest.approx(2.0)
+
+    def test_no_duplicates_stays_unweighted(self):
+        g = Graph(np.array([[0, 1], [1, 2]]), num_nodes=3)
+        merged = coalesce_edges(g)
+        assert merged.edge_weight is None
+        assert merged.num_edges == 2
+
+
+class TestUndirected:
+    def test_symmetric_result(self):
+        g = random_graph(0)
+        und = to_undirected(g)
+        dense = und.adjacency_dense().array
+        assert np.allclose(dense, dense.T)
+
+    def test_unweighted_stays_unweighted(self):
+        g = Graph(np.array([[0, 1], [1, 0]]), num_nodes=2)
+        und = to_undirected(g)
+        assert und.edge_weight is None
+        assert np.all(und.adjacency_dense().array <= 1.0)
+
+
+class TestNormalization:
+    def test_requires_square(self):
+        rect = COOMatrix([0], [1], shape=(2, 3)).to_csr()
+        with pytest.raises(GraphFormatError):
+            symmetric_normalization(rect)
+
+    def test_matches_dense_formula(self):
+        g = random_graph(1)
+        norm = normalized_adjacency(g)
+        dense_a = add_self_loops(coalesce_edges(g)).adjacency_dense().array
+        deg = dense_a.sum(axis=1)
+        inv = np.where(deg > 0, deg ** -0.5, 0.0)
+        expected = inv[:, None] * dense_a * inv[None, :]
+        assert np.allclose(norm.to_dense().array, expected, atol=1e-5)
+
+    def test_spectral_radius_bounded_for_undirected(self):
+        # For an undirected graph, eigenvalues of D^-1/2 (A+I) D^-1/2 lie
+        # in [-1, 1]; this is the stability property GCN relies on.
+        g = to_undirected(random_graph(2))
+        norm = normalized_adjacency(g)
+        eigvals = np.linalg.eigvalsh(norm.to_dense().array.astype(np.float64))
+        assert eigvals.max() <= 1.0 + 1e-5
+        assert eigvals.min() >= -1.0 - 1e-5
+
+    def test_zero_degree_rows_stay_zero(self):
+        g = Graph(np.array([[0], [1]]), num_nodes=5)
+        norm = symmetric_normalization(g.adjacency_csr())
+        dense = norm.to_dense().array
+        assert np.all(dense[3] == 0)
+        assert np.all(dense[:, 3] == 0)
+
+
+class TestGCNEdgeWeights:
+    def test_matches_spmm_normalisation(self):
+        """Per-edge 1/sqrt(du dv) weights assemble the same matrix as
+        D^-1/2 (A+I) D^-1/2 — the MP/SpMM equivalence at the heart of
+        the paper's two computational models (Eq. 1 vs Eq. 2)."""
+        g = coalesce_edges(random_graph(3))
+        edge_index, weights = gcn_edge_weights(g)
+        assembled = COOMatrix(edge_index[1], edge_index[0], weights,
+                              shape=(g.num_nodes, g.num_nodes)).to_dense().array
+        expected = normalized_adjacency(g).to_dense().array
+        assert np.allclose(assembled, expected, atol=1e-5)
+
+    def test_weight_count_matches_looped_edges(self):
+        g = Graph(np.array([[0], [1]]), num_nodes=3)
+        edge_index, weights = gcn_edge_weights(g)
+        assert edge_index.shape[1] == weights.shape[0] == 4
+
+
+class TestSubgraph:
+    def test_induced_edges_only(self):
+        g = Graph(np.array([[0, 1, 2], [1, 2, 0]]), num_nodes=3)
+        sub = subgraph(g, [0, 1])
+        assert sub.num_nodes == 2
+        assert sub.num_edges == 1  # only 0->1 survives
+
+    def test_features_sliced(self):
+        g = random_graph(4)
+        sub = subgraph(g, [3, 5, 7])
+        assert np.allclose(sub.features[0], g.features[3])
+        assert np.allclose(sub.features[2], g.features[7])
+
+    def test_out_of_range_rejected(self):
+        g = random_graph(5)
+        with pytest.raises(GraphFormatError):
+            subgraph(g, [0, 99])
+
+    def test_empty_selection(self):
+        g = random_graph(6)
+        sub = subgraph(g, [])
+        assert sub.num_nodes == 0
+        assert sub.num_edges == 0
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.integers(1, 25), st.integers(0, 80), st.integers(0, 2**31 - 1))
+def test_self_loops_then_validate(nodes, edges, seed):
+    """Property: self-loop insertion always yields a valid graph whose
+    diagonal is fully populated."""
+    rng = np.random.default_rng(seed)
+    g = Graph(rng.integers(0, nodes, size=(2, edges)), num_nodes=nodes)
+    looped = validate_graph(add_self_loops(g))
+    dense = looped.adjacency_dense().array
+    assert np.all(np.diag(dense) >= 1.0)
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.integers(1, 25), st.integers(0, 80), st.integers(0, 2**31 - 1))
+def test_undirected_is_idempotent(nodes, edges, seed):
+    """Property: to_undirected is a fixed point after one application."""
+    rng = np.random.default_rng(seed)
+    g = Graph(rng.integers(0, nodes, size=(2, edges)), num_nodes=nodes)
+    once = to_undirected(g)
+    twice = to_undirected(once)
+    assert np.allclose(once.adjacency_dense().array,
+                       twice.adjacency_dense().array)

@@ -1,0 +1,81 @@
+"""Tests for the gsuite command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_run_defaults(self):
+        args = build_parser().parse_args(["run"])
+        assert args.model == "gcn"
+        assert args.dataset == "cora"
+        assert args.compute_model == "MP"
+
+    def test_compute_model_choices(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "--compute-model", "TPU"])
+
+
+class TestCommands:
+    def test_run(self, capsys):
+        code = main(["run", "--dataset", "cora", "--scale", "0.1"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "output shape" in out
+
+    def test_time(self, capsys):
+        code = main(["time", "--dataset", "cora", "--scale", "0.1",
+                     "--repeats", "1"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "ms" in out
+
+    def test_record(self, capsys):
+        code = main(["record", "--dataset", "cora", "--scale", "0.1"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "indexSelect" in out and "scatter" in out
+
+    def test_simulate(self, capsys):
+        code = main(["simulate", "--dataset", "cora", "--scale", "0.1"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "Dominant Stall" in out
+
+    def test_profile(self, capsys):
+        code = main(["profile", "--dataset", "cora", "--scale", "0.1"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "L1 Hit" in out
+
+    def test_kernels(self, capsys):
+        assert main(["kernels"]) == 0
+        assert "indexSelect" in capsys.readouterr().out
+
+    def test_datasets(self, capsys):
+        assert main(["datasets"]) == 0
+        assert "livejournal" in capsys.readouterr().out
+
+    def test_framework_flag(self, capsys):
+        code = main(["run", "--dataset", "cora", "--scale", "0.1",
+                     "--framework", "pyg"])
+        assert code == 0
+
+    def test_config_file(self, tmp_path, capsys):
+        from repro.core.config import SuiteConfig
+        path = tmp_path / "cfg.json"
+        SuiteConfig(dataset="citeseer", scale=0.1).save(path)
+        code = main(["run", "--config", str(path), "--scale", "0.1",
+                     "--dataset", "citeseer"])
+        assert code == 0
+
+    def test_error_paths_return_2(self, capsys):
+        assert main(["run", "--dataset", "nope"]) == 2
+        assert "unknown dataset" in capsys.readouterr().err
+        assert main(["run", "--scale", "7"]) == 2
+        assert main(["run", "--model", "transformer"]) == 2

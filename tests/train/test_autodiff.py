@@ -1,0 +1,183 @@
+"""Tests for the reverse-mode autodiff engine, including numerical
+gradient checks against central differences."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ModelError
+from repro.graph.formats import COOMatrix
+from repro.train import autodiff as ad
+
+
+def numerical_gradient(f, x: np.ndarray, eps: float = 1e-3) -> np.ndarray:
+    """Central-difference gradient of scalar-valued ``f`` at ``x``."""
+    grad = np.zeros_like(x, dtype=np.float64)
+    flat = x.reshape(-1)
+    out = grad.reshape(-1)
+    for i in range(flat.size):
+        original = flat[i]
+        flat[i] = original + eps
+        up = float(f())
+        flat[i] = original - eps
+        down = float(f())
+        flat[i] = original
+        out[i] = (up - down) / (2 * eps)
+    return grad
+
+
+def check_grad(build_loss, param: ad.Tensor, atol=2e-2):
+    """Tape gradient of ``param`` matches the numerical gradient."""
+    param.zero_grad()
+    loss = build_loss()
+    loss.backward()
+    analytic = param.grad.copy()
+    numeric = numerical_gradient(lambda: build_loss().data, param.data)
+    assert np.allclose(analytic, numeric, atol=atol), \
+        f"max diff {np.abs(analytic - numeric).max()}"
+
+
+class TestTensorBasics:
+    def test_leaf_construction(self):
+        p = ad.parameter(np.ones((2, 2)))
+        assert p.requires_grad
+        assert p.grad is None
+        c = ad.constant(np.ones(2))
+        assert not c.requires_grad
+
+    def test_backward_default_seed(self):
+        p = ad.parameter(np.array([3.0], dtype=np.float32))
+        out = ad.scale(p, 2.0)
+        out.backward()
+        assert p.grad[0] == pytest.approx(2.0)
+
+    def test_gradient_accumulates_on_reuse(self):
+        p = ad.parameter(np.array([1.0], dtype=np.float32))
+        out = ad.add(ad.scale(p, 1.0), ad.scale(p, 1.0))  # p used twice
+        out.backward()
+        assert p.grad[0] == pytest.approx(2.0)
+
+    def test_zero_grad(self):
+        p = ad.parameter(np.array([1.0], dtype=np.float32))
+        ad.scale(p, 1.0).backward()
+        p.zero_grad()
+        assert p.grad is None
+
+    def test_shape_mismatch_rejected(self):
+        p = ad.parameter(np.ones((2, 2)))
+        with pytest.raises(ModelError):
+            p._accumulate(np.ones(3))
+
+    def test_constant_graph_produces_no_tape(self):
+        a = ad.constant(np.ones((2, 2)))
+        b = ad.constant(np.ones((2, 2)))
+        out = ad.matmul(a, b)
+        assert out._backward is None
+
+
+class TestOpGradients:
+    def test_matmul_gradients(self):
+        rng = np.random.default_rng(0)
+        a = ad.parameter(rng.standard_normal((4, 3)).astype(np.float32))
+        b = ad.parameter(rng.standard_normal((3, 2)).astype(np.float32))
+        check_grad(lambda: ad.mean_rows(ad.matmul(a, b)), a)
+        check_grad(lambda: ad.mean_rows(ad.matmul(a, b)), b)
+
+    def test_gather_gradient(self):
+        rng = np.random.default_rng(1)
+        x = ad.parameter(rng.standard_normal((5, 3)).astype(np.float32))
+        idx = np.array([0, 2, 2, 4])
+        check_grad(lambda: ad.mean_rows(ad.gather(x, idx)), x)
+
+    def test_scatter_gradient(self):
+        rng = np.random.default_rng(2)
+        x = ad.parameter(rng.standard_normal((6, 2)).astype(np.float32))
+        idx = np.array([0, 1, 1, 3, 3, 3])
+        check_grad(lambda: ad.mean_rows(ad.scatter_sum(x, idx, 4)), x)
+
+    def test_spmm_gradient(self):
+        rng = np.random.default_rng(3)
+        adj = COOMatrix(rng.integers(0, 5, 12), rng.integers(0, 5, 12),
+                        rng.standard_normal(12).astype(np.float32),
+                        shape=(5, 5)).to_csr()
+        x = ad.parameter(rng.standard_normal((5, 3)).astype(np.float32))
+        check_grad(lambda: ad.mean_rows(ad.spmm_op(adj, x)), x)
+
+    def test_relu_gradient(self):
+        x = ad.parameter(np.array([[-1.0, 0.5], [2.0, -0.1]],
+                                  dtype=np.float32))
+        check_grad(lambda: ad.mean_rows(ad.relu(x)), x)
+
+    def test_bias_gradient(self):
+        rng = np.random.default_rng(4)
+        x = ad.parameter(rng.standard_normal((4, 3)).astype(np.float32))
+        b = ad.parameter(rng.standard_normal(3).astype(np.float32))
+        check_grad(lambda: ad.mean_rows(ad.add_bias(x, b)), b)
+
+    def test_add_and_scale_gradients(self):
+        rng = np.random.default_rng(5)
+        a = ad.parameter(rng.standard_normal((3, 2)).astype(np.float32))
+        b = ad.parameter(rng.standard_normal((3, 2)).astype(np.float32))
+        check_grad(lambda: ad.mean_rows(ad.add(ad.scale(a, 1.5), b)), a)
+
+    def test_add_shape_mismatch(self):
+        with pytest.raises(ModelError):
+            ad.add(ad.constant(np.ones((2, 2))), ad.constant(np.ones((3, 2))))
+
+    def test_bias_shape_mismatch(self):
+        with pytest.raises(ModelError):
+            ad.add_bias(ad.constant(np.ones((2, 2))),
+                        ad.constant(np.ones(3)))
+
+
+class TestCrossEntropy:
+    def test_loss_value(self):
+        # Uniform logits -> loss = log(num_classes).
+        logits = ad.parameter(np.zeros((4, 3), dtype=np.float32))
+        loss = ad.softmax_cross_entropy(logits, np.array([0, 1, 2, 0]))
+        assert float(loss.data) == pytest.approx(np.log(3), rel=1e-4)
+
+    def test_gradient_matches_numerical(self):
+        rng = np.random.default_rng(6)
+        logits = ad.parameter(rng.standard_normal((5, 4)).astype(np.float32))
+        labels = np.array([0, 1, 2, 3, 1])
+        check_grad(lambda: ad.softmax_cross_entropy(logits, labels), logits)
+
+    def test_mask_restricts_loss_and_gradient(self):
+        logits = ad.parameter(np.zeros((3, 2), dtype=np.float32))
+        mask = np.array([True, False, True])
+        loss = ad.softmax_cross_entropy(logits, np.array([0, 0, 1]), mask)
+        loss.backward()
+        assert np.allclose(logits.grad[1], 0.0)
+
+    def test_bad_labels_rejected(self):
+        logits = ad.parameter(np.zeros((2, 2), dtype=np.float32))
+        with pytest.raises(ModelError):
+            ad.softmax_cross_entropy(logits, np.array([0, 5]))
+        with pytest.raises(ModelError):
+            ad.softmax_cross_entropy(logits, np.array([0]))
+
+    def test_empty_mask_rejected(self):
+        logits = ad.parameter(np.zeros((2, 2), dtype=np.float32))
+        with pytest.raises(ModelError):
+            ad.softmax_cross_entropy(logits, np.array([0, 1]),
+                                     np.array([False, False]))
+
+
+@settings(max_examples=20, deadline=None)
+@given(st.integers(2, 8), st.integers(1, 5), st.integers(0, 30),
+       st.integers(0, 2**31 - 1))
+def test_gather_scatter_adjoint_property(n, f, e, seed):
+    """Property: gather and scatter_sum are adjoint linear maps —
+    <scatter(x), y> == <x, gather(y)> for any index vector."""
+    rng = np.random.default_rng(seed)
+    idx = rng.integers(0, n, e)
+    x = rng.standard_normal((e, f)).astype(np.float32)
+    y = rng.standard_normal((n, f)).astype(np.float32)
+    xs = ad.constant(x)
+    scattered = ad.scatter_sum(xs, idx, n).data
+    gathered = ad.gather(ad.constant(y), idx).data
+    lhs = float((scattered * y).sum())
+    rhs = float((x * gathered).sum())
+    assert lhs == pytest.approx(rhs, rel=1e-3, abs=1e-3)
