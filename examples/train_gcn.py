@@ -12,7 +12,6 @@ kernels are the same Table II primitives).
 Run:  python examples/train_gcn.py
 """
 
-import numpy as np
 
 from repro.core.kernels import record_launches
 from repro.core.models import build_model

@@ -1,4 +1,8 @@
-"""``python -m repro.bench`` — regenerate every paper artifact."""
+"""``python -m repro.bench`` — regenerate every paper artifact.
+
+Accepts the harness flags: ``--jobs N``, ``--profile NAME``,
+``--no-cache``, ``--clear-cache``.
+"""
 
 from repro.bench.harness import main
 

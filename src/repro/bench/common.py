@@ -2,16 +2,27 @@
 
 Figures 4-9 all consume the same kernel recordings (one instrumented
 inference per model/dataset/computational-model combination) and the
-same per-launch simulation/profiling results, so both are memoised here
-keyed by the benchmark profile.  Running the whole benchmark suite then
-records and simulates each pipeline exactly once.
+same per-launch simulation/profiling results.  Both are memoised here
+keyed by the benchmark profile, *and* persisted through the
+content-addressed :mod:`repro.cache` so results survive across
+processes and runs: a warm benchmark run loads every trace, simulation
+and timing from ``results/.cache`` instead of recomputing it.
+
+The expensive unit of work is a :class:`WorkCell` — one (kind, model,
+dataset, computational model, framework) combination.  Experiment
+drivers declare the cells they need via their ``cells(profile)`` hook;
+the parallel engine (:mod:`repro.bench.engine`) computes cells on a
+worker pool and seeds the results back into this module's memo tables
+with :func:`seed_cell`.
 """
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from typing import Dict, List, Tuple
 
 from repro.bench.profiles import BenchProfile
+from repro.cache import compute_key, get_cache
 from repro.core.config import SuiteConfig
 from repro.core.kernels import KernelLaunch
 from repro.core.pipeline import GNNPipeline
@@ -25,10 +36,14 @@ __all__ = [
     "MP_MODELS",
     "SPMM_MODELS",
     "DATASET_ORDER",
+    "WorkCell",
     "pipeline_for",
     "recorded_launches",
     "sim_results",
     "profile_results",
+    "measured_times",
+    "compute_cell",
+    "seed_cell",
     "merge_sim_by_kernel",
     "clear_bench_cache",
 ]
@@ -46,13 +61,40 @@ _Key = Tuple[str, str, str, str, str]
 _LAUNCHES: Dict[_Key, List[KernelLaunch]] = {}
 _SIMS: Dict[_Key, List[SimResult]] = {}
 _PROFS: Dict[_Key, List[ProfileResult]] = {}
+_TIMES: Dict[_Key, List[float]] = {}
+
+
+@dataclass(frozen=True)
+class WorkCell:
+    """One schedulable unit of benchmark work.
+
+    ``kind`` selects the artifact: ``record`` (kernel-launch trace),
+    ``sim`` (cycle simulation), ``profile`` (analytic profiler) or
+    ``timing`` (Fig. 3 wall-clock measurement).
+    """
+
+    kind: str
+    model: str
+    dataset: str
+    compute_model: str
+    framework: str = "gsuite"
+
+    def label(self) -> str:
+        """Compact display form for progress/timing output."""
+        return (f"{self.kind}:{self.model}/{self.dataset}"
+                f"/{self.compute_model}/{self.framework}")
 
 
 def clear_bench_cache() -> None:
-    """Drop all memoised recordings and simulation results."""
+    """Drop all memoised recordings, simulations, profiles and timings.
+
+    Only the in-process memo tables are cleared; the persistent
+    :mod:`repro.cache` store is managed separately (``gsuite cache``).
+    """
     _LAUNCHES.clear()
     _SIMS.clear()
     _PROFS.clear()
+    _TIMES.clear()
 
 
 def pipeline_for(model: str, dataset: str, compute_model: str,
@@ -76,25 +118,66 @@ def _key(model: str, dataset: str, compute_model: str, profile: BenchProfile,
     return (model, dataset, compute_model, profile.name, framework)
 
 
+def _cache_payload(model: str, dataset: str, compute_model: str,
+                   profile: BenchProfile, framework: str) -> dict:
+    """Everything that determines one cell's value, for key hashing.
+
+    The suite config carries dataset/scale/seed/model/framework; the
+    profile contributes the simulation budgets.  ("sim" results are
+    not keyed here — they persist per launch inside
+    :class:`GpuSimulator`, with the GPU model in the key.)
+    """
+    config = pipeline_for(model, dataset, compute_model, profile,
+                          framework).config
+    return {
+        "config": config.to_dict(),
+        "profile": {
+            "name": profile.name,
+            "dataset_scales": profile.dataset_scales,
+            "sample_cap": profile.sample_cap,
+            "max_cycles": profile.max_cycles,
+            "repeats": profile.repeats,
+        },
+    }
+
+
+def _cell_meta(cell: WorkCell, profile: BenchProfile) -> dict:
+    return {"cell": cell.label(), "profile": profile.name}
+
+
 def recorded_launches(model: str, dataset: str, compute_model: str,
                       profile: BenchProfile,
                       framework: str = "gsuite") -> List[KernelLaunch]:
-    """Kernel launch records of one pipeline (memoised)."""
+    """Kernel launch records of one pipeline (memoised + disk-cached)."""
     key = _key(model, dataset, compute_model, profile, framework)
     if key not in _LAUNCHES:
-        pipeline = pipeline_for(model, dataset, compute_model, profile,
-                                framework)
-        _LAUNCHES[key] = pipeline.record().launches
+        cache = get_cache()
+        cache_key = compute_key("record", _cache_payload(
+            model, dataset, compute_model, profile, framework))
+        launches = cache.get("record", cache_key)
+        if launches is None:
+            pipeline = pipeline_for(model, dataset, compute_model, profile,
+                                    framework)
+            launches = pipeline.record().launches
+            cache.put("record", cache_key, launches, meta=_cell_meta(
+                WorkCell("record", model, dataset, compute_model, framework),
+                profile))
+        _LAUNCHES[key] = launches
     return _LAUNCHES[key]
 
 
 def sim_results(model: str, dataset: str, compute_model: str,
                 profile: BenchProfile,
                 framework: str = "gsuite") -> List[SimResult]:
-    """GPGPU-Sim-substitute results for one pipeline (memoised)."""
+    """GPGPU-Sim-substitute results for one pipeline (memoised).
+
+    Persistence happens per launch inside :class:`GpuSimulator`, keyed
+    by each trace's fingerprint — see ``KernelLaunch.fingerprint``.
+    """
     key = _key(model, dataset, compute_model, profile, framework)
     if key not in _SIMS:
-        simulator = GpuSimulator(v100_config(max_cycles=profile.max_cycles))
+        simulator = GpuSimulator(v100_config(max_cycles=profile.max_cycles),
+                                 cache=get_cache())
         _SIMS[key] = simulator.simulate_all(
             recorded_launches(model, dataset, compute_model, profile,
                               framework))
@@ -104,14 +187,90 @@ def sim_results(model: str, dataset: str, compute_model: str,
 def profile_results(model: str, dataset: str, compute_model: str,
                     profile: BenchProfile,
                     framework: str = "gsuite") -> List[ProfileResult]:
-    """nvprof-substitute results for one pipeline (memoised)."""
+    """nvprof-substitute results for one pipeline (memoised + disk-cached)."""
     key = _key(model, dataset, compute_model, profile, framework)
     if key not in _PROFS:
-        profiler = NvprofProfiler()
-        _PROFS[key] = profiler.profile_all(
-            recorded_launches(model, dataset, compute_model, profile,
-                              framework))
+        cache = get_cache()
+        cache_key = compute_key("profile", _cache_payload(
+            model, dataset, compute_model, profile, framework))
+        results = cache.get("profile", cache_key)
+        if results is None:
+            profiler = NvprofProfiler()
+            results = profiler.profile_all(
+                recorded_launches(model, dataset, compute_model, profile,
+                                  framework))
+            cache.put("profile", cache_key, results, meta=_cell_meta(
+                WorkCell("profile", model, dataset, compute_model, framework),
+                profile))
+        _PROFS[key] = results
     return _PROFS[key]
+
+
+def measured_times(model: str, dataset: str, compute_model: str,
+                   profile: BenchProfile,
+                   framework: str = "gsuite") -> List[float]:
+    """Fig. 3 wall-clock repeats for one grid point (memoised + cached).
+
+    Caching a *timing* keeps warm benchmark runs byte-identical to the
+    run that produced them; pass ``--no-cache`` (or clear the cache) to
+    re-measure on the current machine.
+    """
+    key = _key(model, dataset, compute_model, profile, framework)
+    if key not in _TIMES:
+        cache = get_cache()
+        cache_key = compute_key("timing", _cache_payload(
+            model, dataset, compute_model, profile, framework))
+        times = cache.get("timing", cache_key)
+        if times is None:
+            pipeline = pipeline_for(model, dataset, compute_model, profile,
+                                    framework)
+            # One untimed warm-up run removes allocator/BLAS first-touch
+            # noise from all variants equally; the measured repeats still
+            # include each framework's full pipeline-construction cost.
+            pipeline.build().run()
+            times = pipeline.measure(profile.repeats)
+            cache.put("timing", cache_key, times, meta=_cell_meta(
+                WorkCell("timing", model, dataset, compute_model, framework),
+                profile))
+        _TIMES[key] = times
+    return _TIMES[key]
+
+
+# ---------------------------------------------------------------------------
+# WorkCell execution — the engine's worker-side and merge-side interface
+# ---------------------------------------------------------------------------
+
+_CELL_FUNCS = {
+    "record": recorded_launches,
+    "sim": sim_results,
+    "profile": profile_results,
+    "timing": measured_times,
+}
+
+_CELL_MEMOS = {
+    "record": _LAUNCHES,
+    "sim": _SIMS,
+    "profile": _PROFS,
+    "timing": _TIMES,
+}
+
+
+def compute_cell(cell: WorkCell, profile: BenchProfile):
+    """Compute (or load) one cell's value in the current process."""
+    try:
+        func = _CELL_FUNCS[cell.kind]
+    except KeyError:
+        raise ValueError(f"unknown work-cell kind {cell.kind!r}; "
+                         f"known: {sorted(_CELL_FUNCS)}") from None
+    return func(cell.model, cell.dataset, cell.compute_model, profile,
+                framework=cell.framework)
+
+
+def seed_cell(cell: WorkCell, profile: BenchProfile, value) -> None:
+    """Install a worker-computed cell value into this process's memos."""
+    memo = _CELL_MEMOS[cell.kind]
+    memo[_key(cell.model, cell.dataset, cell.compute_model, profile,
+              cell.framework)] = value
 
 
 def merge_sim_by_kernel(results: List[SimResult]) -> Dict[str, dict]:

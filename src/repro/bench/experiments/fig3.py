@@ -15,11 +15,16 @@ from __future__ import annotations
 import statistics
 from typing import Dict, List, Optional, Tuple
 
-from repro.bench.common import DATASET_ORDER, MP_MODELS, pipeline_for
+from repro.bench.common import (
+    DATASET_ORDER,
+    MP_MODELS,
+    WorkCell,
+    measured_times,
+)
 from repro.bench.profiles import BenchProfile, active_profile
 from repro.bench.tables import format_table
 
-__all__ = ["HEADERS", "VARIANTS", "rows", "render", "checks"]
+__all__ = ["HEADERS", "VARIANTS", "cells", "rows", "render", "checks"]
 
 HEADERS = ("Framework", "Model", "Dataset", "Mean Seconds",
            "Median Seconds", "Repeats")
@@ -42,17 +47,19 @@ def _grid(profile: BenchProfile):
                 yield label, framework, compute_model, model, dataset, short
 
 
+def cells(profile: BenchProfile) -> List[WorkCell]:
+    """The wall-clock measurement cells this figure consumes."""
+    return [WorkCell("timing", model, dataset, compute_model, framework)
+            for _, framework, compute_model, model, dataset, _
+            in _grid(profile)]
+
+
 def rows(profile: Optional[BenchProfile] = None) -> List[Tuple]:
     profile = profile or active_profile()
     out = []
     for label, framework, compute_model, model, dataset, short in _grid(profile):
-        pipeline = pipeline_for(model, dataset, compute_model, profile,
-                                framework=framework)
-        # One untimed warm-up run removes allocator/BLAS first-touch noise
-        # from all variants equally; the measured repeats still include
-        # each framework's full pipeline-construction cost.
-        pipeline.build().run()
-        times = pipeline.measure(profile.repeats)
+        times = measured_times(model, dataset, compute_model, profile,
+                               framework=framework)
         out.append((label, model.upper(), short,
                     statistics.mean(times), statistics.median(times),
                     profile.repeats))

@@ -17,12 +17,13 @@ from repro.bench.common import (
     DATASET_ORDER,
     MP_MODELS,
     SPMM_MODELS,
+    WorkCell,
     recorded_launches,
 )
 from repro.bench.profiles import BenchProfile, active_profile
 from repro.bench.tables import format_table
 
-__all__ = ["HEADERS", "VARIANTS", "rows", "render", "checks"]
+__all__ = ["HEADERS", "VARIANTS", "cells", "rows", "render", "checks"]
 
 HEADERS = ("Framework", "Model", "Dataset", "sgemm", "scatter",
            "indexSelect", "SpMM")
@@ -48,6 +49,14 @@ def _time_shares(launches) -> Dict[str, float]:
     if overall <= 0:
         return {k: 0.0 for k in _KERNEL_COLUMNS}
     return {k: totals.get(k, 0.0) / overall for k in _KERNEL_COLUMNS}
+
+
+def cells(profile: BenchProfile) -> List[WorkCell]:
+    """The trace recordings this figure consumes."""
+    return [WorkCell("record", model, dataset, compute_model, framework)
+            for _, framework, compute_model, models in VARIANTS
+            for model in models
+            for dataset, _ in DATASET_ORDER]
 
 
 def rows(profile: Optional[BenchProfile] = None) -> List[Tuple]:

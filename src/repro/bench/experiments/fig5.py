@@ -13,12 +13,12 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional, Tuple
 
-from repro.bench.common import profile_results
+from repro.bench.common import WorkCell, profile_results
 from repro.bench.profiles import BenchProfile, active_profile
 from repro.bench.tables import format_table
 from repro.gpu.profiler import aggregate_instruction_fractions
 
-__all__ = ["HEADERS", "COMBOS", "rows", "render", "checks"]
+__all__ = ["HEADERS", "COMBOS", "cells", "rows", "render", "checks"]
 
 HEADERS = ("Variant", "Workload", "Kernel", "FP32", "INT", "Load/Store",
            "Control", "other")
@@ -30,6 +30,12 @@ COMBOS = (
     ("gSuite-SpMM", "SpMM", "gcn", "cora"),
     ("gSuite-SpMM", "SpMM", "gin", "livejournal"),
 )
+
+
+def cells(profile: BenchProfile) -> List[WorkCell]:
+    """The profiler runs this figure consumes."""
+    return [WorkCell("profile", model, dataset, compute_model)
+            for _, compute_model, model, dataset in COMBOS]
 
 
 def rows(profile: Optional[BenchProfile] = None) -> List[Tuple]:

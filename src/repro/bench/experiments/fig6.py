@@ -16,6 +16,7 @@ from repro.bench.common import (
     DATASET_ORDER,
     MP_MODELS,
     SPMM_MODELS,
+    WorkCell,
     merge_sim_by_kernel,
     sim_results,
 )
@@ -23,7 +24,16 @@ from repro.bench.profiles import BenchProfile, active_profile
 from repro.bench.tables import format_table
 from repro.gpu.metrics import STALL_REASONS
 
-__all__ = ["HEADERS", "rows", "render", "checks"]
+__all__ = ["HEADERS", "cells", "rows", "render", "checks"]
+
+
+def cells(profile: BenchProfile) -> List[WorkCell]:
+    """The simulation runs this figure consumes."""
+    return [WorkCell("sim", model, dataset, compute_model)
+            for compute_model, models in (("MP", MP_MODELS),
+                                          ("SpMM", SPMM_MODELS))
+            for model in models
+            for dataset, _ in DATASET_ORDER]
 
 HEADERS = ("Variant", "Model", "Dataset", "Kernel") + STALL_REASONS
 

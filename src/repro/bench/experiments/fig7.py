@@ -17,6 +17,7 @@ from typing import Dict, List, Optional, Tuple
 from repro.bench.common import (
     DATASET_ORDER,
     MP_MODELS,
+    WorkCell,
     merge_sim_by_kernel,
     sim_results,
 )
@@ -24,7 +25,14 @@ from repro.bench.profiles import BenchProfile, active_profile
 from repro.bench.tables import format_table
 from repro.gpu.metrics import OCCUPANCY_STATES
 
-__all__ = ["HEADERS", "rows", "render", "checks"]
+__all__ = ["HEADERS", "cells", "rows", "render", "checks"]
+
+
+def cells(profile: BenchProfile) -> List[WorkCell]:
+    """The simulation runs this figure consumes."""
+    return [WorkCell("sim", model, dataset, "MP")
+            for model in MP_MODELS
+            for dataset, _ in DATASET_ORDER]
 
 HEADERS = ("Model", "Dataset", "Kernel") + OCCUPANCY_STATES
 

@@ -15,6 +15,7 @@ from typing import Dict, List, Optional, Tuple
 from repro.bench.common import (
     DATASET_ORDER,
     MP_MODELS,
+    WorkCell,
     merge_sim_by_kernel,
     profile_results,
     sim_results,
@@ -22,7 +23,15 @@ from repro.bench.common import (
 from repro.bench.profiles import BenchProfile, active_profile
 from repro.bench.tables import format_table
 
-__all__ = ["HEADERS", "rows", "render", "checks"]
+__all__ = ["HEADERS", "cells", "rows", "render", "checks"]
+
+
+def cells(profile: BenchProfile) -> List[WorkCell]:
+    """Simulator and profiler runs this comparison figure consumes."""
+    return [WorkCell(kind, model, dataset, "MP")
+            for kind in ("sim", "profile")
+            for model in MP_MODELS
+            for dataset, _ in DATASET_ORDER]
 
 HEADERS = ("Model", "Dataset", "Kernel", "L1 NVProf", "L2 NVProf",
            "L1 Sim", "L2 Sim")

@@ -13,11 +13,23 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional, Tuple
 
-from repro.bench.common import DATASET_ORDER, MP_MODELS, profile_results
+from repro.bench.common import (
+    DATASET_ORDER,
+    MP_MODELS,
+    WorkCell,
+    profile_results,
+)
 from repro.bench.profiles import BenchProfile, active_profile
 from repro.bench.tables import format_table
 
-__all__ = ["HEADERS", "rows", "render", "checks"]
+__all__ = ["HEADERS", "cells", "rows", "render", "checks"]
+
+
+def cells(profile: BenchProfile) -> List[WorkCell]:
+    """The profiler runs this figure consumes."""
+    return [WorkCell("profile", model, dataset, "MP")
+            for model in MP_MODELS
+            for dataset, _ in DATASET_ORDER]
 
 HEADERS = ("Model", "Dataset", "Kernel", "Compute Util", "Memory Util")
 

@@ -4,13 +4,19 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional, Tuple
 
+from repro.bench.common import WorkCell
 from repro.bench.profiles import BenchProfile
 from repro.bench.tables import format_table
 from repro.core.kernels import kernel_table
 
-__all__ = ["HEADERS", "rows", "render", "checks"]
+__all__ = ["HEADERS", "cells", "rows", "render", "checks"]
 
 HEADERS = ("Kernel Name", "Computational Model", "Short Form", "Description")
+
+
+def cells(profile: BenchProfile) -> List[WorkCell]:
+    """Registry dump — nothing expensive to schedule."""
+    return []
 
 
 def rows(profile: Optional[BenchProfile] = None) -> List[Tuple]:

@@ -4,14 +4,20 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional, Tuple
 
+from repro.bench.common import WorkCell
 from repro.bench.profiles import BenchProfile, active_profile
 from repro.bench.tables import format_table
 from repro.datasets import DATASET_NAMES, dataset_statistics, get_spec
 
-__all__ = ["HEADERS", "rows", "render", "checks"]
+__all__ = ["HEADERS", "cells", "rows", "render", "checks"]
 
 HEADERS = ("Dataset", "Short", "Spec Nodes", "Spec Feat", "Spec Edges",
            "Scale", "Gen Nodes", "Gen Feat", "Gen Edges", "Match")
+
+
+def cells(profile: BenchProfile) -> List[WorkCell]:
+    """Dataset statistics are cheap — nothing to schedule."""
+    return []
 
 
 def rows(profile: Optional[BenchProfile] = None) -> List[Tuple]:

@@ -2,73 +2,104 @@
 
 ``python -m repro.bench`` regenerates all nine paper artifacts under
 ``results/`` and prints a pass/fail summary of the qualitative checks.
+Heavy lifting is delegated to :mod:`repro.bench.engine`, which fans the
+expensive recording/simulation cells across a worker pool (``--jobs``)
+and keeps a persistent trace cache warm between runs (``--no-cache`` /
+``--clear-cache`` to opt out / reset).
 """
 
 from __future__ import annotations
 
+import argparse
 import sys
-import time
-from typing import Dict, Optional
+from typing import Dict, List, Optional
 
-from repro.bench import experiments
-from repro.bench.profiles import BenchProfile, active_profile
-from repro.bench.tables import write_result
+from repro.bench.engine import EXPERIMENTS, run_suite
+from repro.bench.profiles import BenchProfile, PROFILES, active_profile
+from repro.cache import get_cache
+from repro.errors import GSuiteError
 
-__all__ = ["EXPERIMENTS", "run_all", "main"]
+__all__ = ["EXPERIMENTS", "run_all", "run_bench", "add_bench_arguments",
+           "main"]
 
-#: Experiment id -> driver module, in paper order.
-EXPERIMENTS = {
-    "table2": experiments.table2,
-    "table4": experiments.table4,
-    "fig3": experiments.fig3,
-    "fig4": experiments.fig4,
-    "fig5": experiments.fig5,
-    "fig6": experiments.fig6,
-    "fig7": experiments.fig7,
-    "fig8": experiments.fig8,
-    "fig9": experiments.fig9,
-}
+
+def add_bench_arguments(parser: argparse.ArgumentParser) -> None:
+    """Install the benchmark flags on ``parser``.
+
+    Shared by ``python -m repro.bench`` and the ``gsuite bench``
+    subcommand so the two entry points cannot drift.
+    """
+    parser.add_argument("--jobs", "-j", type=int, default=1,
+                        help="worker processes for the benchmark engine "
+                             "(default 1 = serial)")
+    parser.add_argument("--profile", default=None, choices=sorted(PROFILES),
+                        help="benchmark sizing profile (default: "
+                             "GSUITE_PROFILE env var, then 'ci')")
+    parser.add_argument("--no-cache", action="store_true",
+                        help="bypass the persistent trace cache entirely")
+    parser.add_argument("--clear-cache", action="store_true",
+                        help="delete all cached traces/results, then run")
 
 
 def run_all(profile: Optional[BenchProfile] = None,
-            stream=None) -> Dict[str, Dict[str, bool]]:
+            stream=None, jobs: int = 1,
+            use_cache: bool = True) -> Dict[str, Dict[str, bool]]:
     """Run every experiment; returns ``{experiment: {check: ok}}``.
 
     Tables are written to ``results/<experiment>.txt`` and echoed to
-    ``stream`` (default stdout).
+    ``stream`` (default stdout).  ``jobs > 1`` fans the expensive cells
+    across a worker pool; the tables are identical either way.
     """
-    profile = profile or active_profile()
+    report = run_suite(profile=profile, jobs=jobs, use_cache=use_cache,
+                       stream=stream)
+    return report.checks
+
+
+def run_bench(profile_name: Optional[str] = None, jobs: int = 1,
+              use_cache: bool = True, clear_cache: bool = False,
+              stream=None) -> int:
+    """Full benchmark campaign; exit code 1 if any qualitative check failed."""
     stream = stream or sys.stdout
-    all_checks: Dict[str, Dict[str, bool]] = {}
-    for name, module in EXPERIMENTS.items():
-        start = time.perf_counter()
-        result_rows = module.rows(profile)
-        table = module.render(profile)
-        checks = module.checks(result_rows)
-        path = write_result(name, table)
-        all_checks[name] = checks
-        elapsed = time.perf_counter() - start
-        print(table, file=stream)
-        print(f"[{name}] wrote {path} in {elapsed:.1f}s; checks:", file=stream)
-        for check, ok in checks.items():
-            print(f"  {'PASS' if ok else 'FAIL'}  {check}", file=stream)
-        print(file=stream)
-    return all_checks
-
-
-def main() -> int:
-    """CLI entry point; exit code 1 if any qualitative check failed."""
-    profile = active_profile()
-    print(f"Running all experiments under profile {profile.name!r}\n")
-    all_checks = run_all(profile)
+    if clear_cache:
+        removed = get_cache().clear()
+        print(f"cleared {removed} cache entries under {get_cache().root}",
+              file=stream)
+    profile = active_profile(profile_name)
+    print(f"Running all experiments under profile {profile.name!r} "
+          f"with {jobs} job(s)"
+          f"{'' if use_cache else ' (cache disabled)'}\n", file=stream)
+    report = run_suite(profile=profile, jobs=jobs, use_cache=use_cache,
+                       stream=stream)
     failed = [f"{exp}:{check}"
-              for exp, checks in all_checks.items()
+              for exp, checks in report.checks.items()
               for check, ok in checks.items() if not ok]
     if failed:
-        print("FAILED checks:", ", ".join(failed))
+        print("FAILED checks:", ", ".join(failed), file=stream)
         return 1
-    print("All qualitative checks passed.")
+    print("All qualitative checks passed.", file=stream)
     return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The ``python -m repro.bench`` argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro.bench",
+        description="Regenerate every paper table/figure.",
+    )
+    add_bench_arguments(parser)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; exit code 1 if any qualitative check failed."""
+    args = build_parser().parse_args(argv)
+    try:
+        return run_bench(profile_name=args.profile, jobs=args.jobs,
+                         use_cache=not args.no_cache,
+                         clear_cache=args.clear_cache)
+    except GSuiteError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -17,8 +17,8 @@ full-size ones.
 from __future__ import annotations
 
 import os
-from dataclasses import dataclass, field
-from typing import Dict
+from dataclasses import dataclass
+from typing import Dict, Optional
 
 from repro.errors import ConfigError
 
@@ -64,11 +64,20 @@ PROFILES: Dict[str, BenchProfile] = {
 }
 
 
-def active_profile() -> BenchProfile:
-    """The profile selected by ``GSUITE_PROFILE`` (default ``ci``)."""
-    name = os.environ.get("GSUITE_PROFILE", "ci").strip().lower()
+def active_profile(name: Optional[str] = None) -> BenchProfile:
+    """The benchmark profile to use.
+
+    An explicit ``name`` (e.g. from ``bench --profile full``) wins;
+    otherwise the ``GSUITE_PROFILE`` environment variable applies, and
+    ``ci`` is the fallback default.
+    """
+    source = "profile name"
+    if name is None:
+        name = os.environ.get("GSUITE_PROFILE", "ci")
+        source = "GSUITE_PROFILE"
+    name = name.strip().lower()
     if name not in PROFILES:
         raise ConfigError(
-            f"unknown GSUITE_PROFILE {name!r}; known: {sorted(PROFILES)}"
+            f"unknown {source} {name!r}; known: {sorted(PROFILES)}"
         )
     return PROFILES[name]

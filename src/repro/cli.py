@@ -9,7 +9,8 @@ Build and exercise a GNN pipeline by passing a few parameters::
     gsuite profile  --model gcn --dataset reddit --scale 0.01
     gsuite datasets
     gsuite kernels
-    gsuite bench            # regenerate every paper table/figure
+    gsuite bench --jobs 4   # regenerate every paper table/figure
+    gsuite cache info       # inspect the persistent trace cache
 
 (Also available as ``python -m repro``.)
 """
@@ -21,6 +22,7 @@ import statistics
 import sys
 from typing import List, Optional
 
+from repro.bench.harness import add_bench_arguments
 from repro.bench.tables import format_table
 from repro.core.config import SuiteConfig
 from repro.core.pipeline import GNNPipeline
@@ -72,7 +74,16 @@ def build_parser() -> argparse.ArgumentParser:
 
     sub.add_parser("datasets", help="show the Table IV dataset registry")
     sub.add_parser("kernels", help="show the Table II kernel registry")
-    sub.add_parser("bench", help="regenerate every paper table/figure")
+
+    bench = sub.add_parser("bench", help="regenerate every paper table/figure")
+    add_bench_arguments(bench)
+
+    cache = sub.add_parser("cache",
+                           help="inspect or clear the persistent trace cache")
+    cache.add_argument("action", nargs="?", default="info",
+                       choices=["info", "clear"],
+                       help="'info' (default) lists contents; 'clear' "
+                            "deletes every entry")
     return parser
 
 
@@ -169,8 +180,30 @@ def _cmd_kernels(args) -> int:
 
 
 def _cmd_bench(args) -> int:
-    from repro.bench.harness import main as bench_main
-    return bench_main()
+    from repro.bench.harness import run_bench
+    return run_bench(profile_name=args.profile, jobs=args.jobs,
+                     use_cache=not args.no_cache,
+                     clear_cache=args.clear_cache)
+
+
+def _cmd_cache(args) -> int:
+    from repro.cache import get_cache
+    cache = get_cache()
+    if args.action == "clear":
+        removed = cache.clear()
+        print(f"cleared {removed} cache entries under {cache.root}")
+        return 0
+    info = cache.describe()
+    print(f"cache root: {info['root']}")
+    print(f"enabled: {info['enabled']}")
+    print(f"entries: {info['entries']} "
+          f"({info['bytes'] / 1e6:.1f} MB)")
+    if info["by_kind"]:
+        rows = [(kind, bucket["entries"], f"{bucket['bytes'] / 1e6:.1f}")
+                for kind, bucket in sorted(info["by_kind"].items())]
+        print(format_table(("Kind", "Entries", "MB"), rows,
+                           title="Cached artifacts"))
+    return 0
 
 
 _COMMANDS = {
@@ -182,6 +215,7 @@ _COMMANDS = {
     "datasets": _cmd_datasets,
     "kernels": _cmd_kernels,
     "bench": _cmd_bench,
+    "cache": _cmd_cache,
 }
 
 

@@ -22,10 +22,10 @@ fraction is stored on the record so consumers can rescale counts.
 
 from __future__ import annotations
 
+import hashlib
 import math
-import time
 from contextlib import contextmanager
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, Iterator, List, Optional
 
 import numpy as np
@@ -143,6 +143,29 @@ class KernelLaunch:
     def trace_accesses(self) -> int:
         """Number of recorded (sampled) trace accesses."""
         return int(self.loads.shape[0] + self.stores.shape[0])
+
+    def fingerprint(self) -> str:
+        """Content hash of everything a simulator/profiler consumes.
+
+        Two launches with the same fingerprint produce identical
+        simulation results under the same GPU model, so persistent
+        caches key per-launch results by it.  ``duration_s`` is
+        deliberately excluded: wall-clock noise does not influence the
+        simulated outcome.
+        """
+        digest = hashlib.sha256()
+        mix = self.mix
+        head = (self.kernel, self.short_form, self.model, self.threads,
+                mix.fp32, mix.int_ops, mix.ldst, mix.control, mix.other,
+                self.flops, self.bytes_read, self.bytes_written,
+                self.sample_fraction, self.atomic, self.active_lanes,
+                self.tag)
+        digest.update(repr(head).encode())
+        digest.update(np.ascontiguousarray(self.loads,
+                                           dtype=np.int64).tobytes())
+        digest.update(np.ascontiguousarray(self.stores,
+                                           dtype=np.int64).tobytes())
+        return digest.hexdigest()
 
 
 class LaunchRecorder:

@@ -10,7 +10,7 @@ not pay generation cost twice.
 
 from __future__ import annotations
 
-from typing import Dict, Optional, Tuple
+from typing import Dict, Tuple
 
 from repro.datasets.specs import DatasetSpec, get_spec, scaled_spec
 from repro.datasets.synthetic import generate_graph

@@ -14,7 +14,7 @@ SpMM (DGL-like), or the minimal direct path (native gSuite).
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import List, Optional
 
 import numpy as np

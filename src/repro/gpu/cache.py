@@ -10,7 +10,7 @@ misses (in program order) feeds one shared, capacity-scaled L2.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import List, Optional, Tuple
 
 import numpy as np

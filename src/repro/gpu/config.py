@@ -16,7 +16,7 @@ GPGPU-Sim's memory model is needed.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, replace
 
 from repro.errors import SimulationError
 

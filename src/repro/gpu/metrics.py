@@ -8,7 +8,7 @@ The taxonomies are exactly the legends of the paper's figures:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, Iterable, List
 
 __all__ = [

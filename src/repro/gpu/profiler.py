@@ -22,7 +22,7 @@ from typing import Dict, Iterable, List, Optional
 
 import numpy as np
 
-from repro.core.kernels.launch import KernelLaunch, LINE_BYTES
+from repro.core.kernels.launch import KernelLaunch
 from repro.gpu.cache import simulate_hierarchy
 from repro.gpu.config import GPUConfig, nvprof_config
 from repro.gpu.metrics import ProfileResult
@@ -39,7 +39,7 @@ _MLP_PER_WARP = 4.0
 
 def _l2_read_hit_rate(hierarchy) -> float:
     """L2 hit rate over read accesses that reached L2 (nvprof semantics)."""
-    from repro.gpu.cache import LEVEL_DRAM, LEVEL_L2
+    from repro.gpu.cache import LEVEL_L2
 
     reached_l2 = hierarchy.levels >= LEVEL_L2
     reads = reached_l2 & ~hierarchy.is_store

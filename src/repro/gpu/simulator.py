@@ -46,13 +46,42 @@ class GpuSimulator:
     ----------
     config:
         GPU model; defaults to the V100-like GPGPU-Sim configuration.
+    cache:
+        Optional :class:`repro.cache.TraceCache`.  When given, each
+        launch's result is keyed by its trace fingerprint plus the GPU
+        model, so re-simulating a known trace is a disk read.
     """
 
-    def __init__(self, config: Optional[GPUConfig] = None):
+    def __init__(self, config: Optional[GPUConfig] = None, cache=None):
         self.config = config or v100_config()
+        self.cache = cache
+
+    def _cache_key(self, launch: KernelLaunch) -> str:
+        from dataclasses import asdict
+
+        from repro.cache import compute_key
+
+        return compute_key("sim", {
+            "launch": launch.fingerprint(),
+            "gpu": asdict(self.config),
+        })
 
     def simulate(self, launch: KernelLaunch) -> SimResult:
-        """Simulate one kernel launch end to end."""
+        """Simulate one kernel launch end to end (cache-aware)."""
+        if self.cache is not None:
+            key = self._cache_key(launch)
+            hit = self.cache.get("sim", key)
+            if hit is not None:
+                return hit
+            result = self._simulate(launch)
+            self.cache.put("sim", key, result,
+                           meta={"kernel": launch.kernel, "tag": launch.tag,
+                                 "gpu": self.config.name})
+            return result
+        return self._simulate(launch)
+
+    def _simulate(self, launch: KernelLaunch) -> SimResult:
+        """The actual cycle simulation of one launch."""
         cfg = self.config
         hierarchy = simulate_hierarchy(launch.loads, launch.stores, cfg,
                                        atomic=launch.atomic)

@@ -14,7 +14,7 @@ import numpy as np
 
 from repro.core.models import build_model
 from repro.errors import ModelError
-from repro.graph import Graph, add_self_loops, gcn_edge_weights
+from repro.graph import Graph
 from repro.train import autodiff as ad
 
 __all__ = ["TrainableGNN", "build_trainable"]

@@ -1,0 +1,166 @@
+"""Tests for the parallel benchmark engine and the harness CLI wiring."""
+
+import io
+
+import pytest
+
+from repro.bench import engine
+from repro.bench.common import WorkCell, clear_bench_cache
+from repro.bench.harness import build_parser, run_all
+from repro.bench.profiles import PROFILES, BenchProfile, active_profile
+from repro.cli import build_parser as cli_parser
+from repro.errors import ConfigError
+
+# Small enough for CI, large enough that every experiment has real work.
+TINY = BenchProfile(
+    name="tiny",
+    dataset_scales={
+        "cora": 0.05,
+        "citeseer": 0.05,
+        "pubmed": 0.01,
+        "reddit": 0.0005,
+        "livejournal": 0.0001,
+    },
+    sample_cap=5_000,
+    max_cycles=2_000,
+    repeats=1,
+)
+
+
+@pytest.fixture(autouse=True)
+def fresh_memos():
+    clear_bench_cache()
+    yield
+    clear_bench_cache()
+
+
+class TestCollectCells:
+    def test_all_kinds_present_and_deduplicated(self):
+        cells = engine.collect_cells(TINY)
+        assert len(cells) == len(set(cells))
+        kinds = {c.kind for c in cells}
+        assert kinds == {"record", "sim", "profile", "timing"}
+
+    def test_shared_cells_collected_once(self):
+        """fig6/fig7/fig8 all need the MP sims; they must appear once."""
+        cells = engine.collect_cells(TINY)
+        mp_sims = [c for c in cells
+                   if c.kind == "sim" and c.compute_model == "MP"]
+        assert len(mp_sims) == len(set(mp_sims))
+        assert WorkCell("sim", "gcn", "cora", "MP") in mp_sims
+
+    def test_rejects_bad_jobs(self):
+        with pytest.raises(ConfigError):
+            engine.run_suite(TINY, jobs=0, stream=io.StringIO())
+
+
+def _table_files(base):
+    return sorted(p.name for p in base.glob("*.txt"))
+
+
+class TestParallelParity:
+    """A parallel warm run reproduces the serial run byte for byte."""
+
+    def test_parallel_tables_identical_to_serial(self, tmp_path):
+        serial_dir = tmp_path / "serial"
+        parallel_dir = tmp_path / "parallel"
+
+        report = engine.run_suite(TINY, jobs=1, stream=io.StringIO(),
+                                  results_base=str(serial_dir))
+        assert report.cache_stats.stores > 0
+        assert len(report.cell_timings) == len(engine.collect_cells(TINY))
+
+        clear_bench_cache()
+        warm = engine.run_suite(TINY, jobs=2, stream=io.StringIO(),
+                                results_base=str(parallel_dir))
+        assert warm.jobs == 2
+        assert warm.cache_stats.hits > 0
+        assert warm.cache_stats.misses == 0
+
+        names = _table_files(serial_dir)
+        assert names == _table_files(parallel_dir)
+        assert set(names) == {f"{name}.txt" for name in engine.EXPERIMENTS}
+        for name in names:
+            assert (serial_dir / name).read_bytes() == \
+                (parallel_dir / name).read_bytes(), name
+
+    def test_warm_run_faster_than_cold(self, tmp_path):
+        from repro.cache import get_cache
+        cache = get_cache()
+        stats_before, enabled_before = cache.stats, cache.enabled
+        cold = engine.run_suite(TINY, jobs=1, stream=io.StringIO(),
+                                results_base=str(tmp_path / "a"))
+        clear_bench_cache()
+        warm = engine.run_suite(TINY, jobs=1, stream=io.StringIO(),
+                                results_base=str(tmp_path / "b"))
+        assert warm.total_seconds < cold.total_seconds
+        assert all(t.cached for t in warm.cell_timings)
+        # run_suite restores the shared cache's state for embedders.
+        assert cache.stats is stats_before
+        assert cache.enabled is enabled_before
+
+    def test_run_all_returns_checks(self, tmp_path):
+        checks = run_all(TINY, stream=io.StringIO(), jobs=2)
+        assert set(checks) == set(engine.EXPERIMENTS)
+        for per_experiment in checks.values():
+            assert per_experiment  # every experiment asserts something
+
+
+class TestEnvKillSwitch:
+    def test_gsuite_cache_0_beats_programmatic_opt_in(self, monkeypatch):
+        """GSUITE_CACHE=0 must disable caching even when the engine asks
+        for use_cache=True (the env var is the documented kill switch)."""
+        from repro import cache as trace_cache
+        monkeypatch.setenv("GSUITE_CACHE", "0")
+        trace_cache.reset_cache()
+        cell = WorkCell("record", "gcn", "cora", "MP")
+        _, value, _, delta = engine._execute_cell((cell, TINY, True))
+        assert value  # the work still happened
+        assert delta.to_dict() == {"hits": 0, "misses": 0, "stores": 0}
+        root = trace_cache.get_cache().root
+        assert not root.exists() or not any(root.rglob("*.pkl"))
+
+
+class TestProfileSelection:
+    def test_explicit_name_overrides_env(self, monkeypatch):
+        monkeypatch.setenv("GSUITE_PROFILE", "ci")
+        assert active_profile("full").name == "full"
+
+    def test_env_still_default(self, monkeypatch):
+        monkeypatch.setenv("GSUITE_PROFILE", "full")
+        assert active_profile().name == "full"
+        assert active_profile(None).name == "full"
+
+    def test_unknown_explicit_name_rejected(self):
+        with pytest.raises(ConfigError):
+            active_profile("huge")
+
+
+class TestCliWiring:
+    def test_bench_flags(self):
+        args = build_parser().parse_args(
+            ["--jobs", "4", "--profile", "full", "--no-cache"])
+        assert args.jobs == 4
+        assert args.profile == "full"
+        assert args.no_cache and not args.clear_cache
+
+    def test_gsuite_bench_flags(self):
+        args = cli_parser().parse_args(["bench", "-j", "2", "--clear-cache"])
+        assert args.command == "bench"
+        assert args.jobs == 2 and args.clear_cache
+
+    def test_gsuite_cache_subcommand(self):
+        assert cli_parser().parse_args(["cache"]).action == "info"
+        assert cli_parser().parse_args(["cache", "clear"]).action == "clear"
+
+    def test_bench_profile_choices_match_registry(self):
+        with pytest.raises(SystemExit):
+            cli_parser().parse_args(["bench", "--profile", "huge"])
+        assert set(PROFILES) >= {"ci", "full"}
+
+    def test_cache_info_command(self, capsys):
+        from repro.cli import main
+        assert main(["cache"]) == 0
+        out = capsys.readouterr().out
+        assert "cache root" in out
+        assert main(["cache", "clear"]) == 0

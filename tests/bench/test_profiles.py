@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.bench.profiles import PROFILES, BenchProfile, active_profile
+from repro.bench.profiles import PROFILES, active_profile
 from repro.errors import ConfigError
 
 

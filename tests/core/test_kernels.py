@@ -11,7 +11,6 @@ from repro.core.kernels import (
     get_kernel,
     index_select,
     kernel_table,
-    record_launches,
     scatter,
     sgemm,
     spgemm,

@@ -5,7 +5,7 @@ import pytest
 
 from repro.core import GNNPipeline, SuiteConfig
 from repro.errors import ConfigError
-from repro.gpu import GpuSimulator, NvprofProfiler, v100_config
+from repro.gpu import GpuSimulator, v100_config
 
 
 @pytest.fixture(scope="module")

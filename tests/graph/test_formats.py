@@ -8,7 +8,6 @@ from hypothesis import strategies as st
 from repro.errors import GraphFormatError
 from repro.graph.formats import (
     COOMatrix,
-    CSCMatrix,
     CSRMatrix,
     DenseMatrix,
     _ragged_arange,
