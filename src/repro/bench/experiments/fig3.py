@@ -29,12 +29,17 @@ __all__ = ["HEADERS", "VARIANTS", "cells", "rows", "render", "checks"]
 HEADERS = ("Framework", "Model", "Dataset", "Mean Seconds",
            "Median Seconds", "Repeats")
 
-#: (figure label, backend name, compute model) in figure order.
+#: (figure label, backend name, compute model) in figure order.  The
+#: adaptive variant is this reproduction's extension column: the
+#: planner picks gather/scatter or fused SpMM per layer from the graph
+#: statistics, so its row should track the winning fixed variant on
+#: every dataset.
 VARIANTS = (
     ("PyG", "pyg", "MP"),
     ("DGL", "dgl", "SpMM"),
     ("gSuite-MP", "gsuite", "MP"),
     ("gSuite-SpMM", "gsuite", "SpMM"),
+    ("gSuite-Adaptive", "gsuite-adaptive", "MP"),
 )
 
 
@@ -106,4 +111,7 @@ def checks(result_rows: List[Tuple]) -> Dict[str, bool]:
         "gsuite_mp_not_slower_than_pyg": gsuite_beats_pyg,
         "pyg_slowest_overall": total("PyG") >= total("gSuite-MP"),
         "time_grows_with_dataset_size": grows_with_size,
+        # The planner-driven path must not regress to PyG-like overhead.
+        "adaptive_not_slower_than_pyg":
+            total("gSuite-Adaptive") <= total("PyG") * 1.10,
     }

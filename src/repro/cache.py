@@ -37,6 +37,7 @@ __all__ = [
     "CacheStats",
     "CacheEntryInfo",
     "TraceCache",
+    "cached_launch_result",
     "compute_key",
     "code_version",
     "env_enabled",
@@ -45,8 +46,10 @@ __all__ = [
     "reset_cache",
 ]
 
-#: Artifact kinds the benchmark layers store.
-KINDS = ("record", "sim", "profile", "timing")
+#: Artifact kinds the benchmark layers store.  "plan" holds lowered
+#: :class:`~repro.plan.ir.ExecutionPlan` objects so repeated sweeps
+#: skip the lowering step.
+KINDS = ("record", "sim", "profile", "timing", "plan")
 
 #: Bump to invalidate every existing cache entry (format changes).
 _SCHEMA_VERSION = 1
@@ -58,7 +61,8 @@ _SCHEMA_VERSION = 1
 #: table-layout tweaks keep the cache warm.  ``bench/common.py`` *is*
 #: hashed: it defines the measurement methodology (what gets recorded,
 #: how timings warm up).
-_HASHED_SUBTREES = ("core", "gpu", "graph", "datasets", "frameworks", "train")
+_HASHED_SUBTREES = ("core", "gpu", "graph", "datasets", "frameworks",
+                    "plan", "train")
 _HASHED_FILES = ("bench/common.py",)
 
 _CODE_VERSION: Optional[str] = None
@@ -99,6 +103,31 @@ def compute_key(kind: str, payload: Dict[str, Any]) -> str:
         sort_keys=True, default=str,
     )
     return hashlib.sha256(canonical.encode()).hexdigest()
+
+
+def cached_launch_result(cache: Optional["TraceCache"], kind: str, launch,
+                         gpu_config, compute, config_name: str):
+    """Per-launch memoisation shared by the simulator and the profiler.
+
+    Keys on the launch's trace fingerprint plus the full GPU model, so
+    the two consumers cannot drift apart in what invalidates an entry.
+    ``compute`` is the zero-argument fallback producing the result.
+    """
+    from dataclasses import asdict as _asdict
+    if cache is None:
+        return compute()
+    key = compute_key(kind, {
+        "launch": launch.fingerprint(),
+        "gpu": _asdict(gpu_config),
+    })
+    hit = cache.get(kind, key)
+    if hit is not None:
+        return hit
+    result = compute()
+    cache.put(kind, key, result,
+              meta={"kernel": launch.kernel, "tag": launch.tag,
+                    "gpu": config_name})
+    return result
 
 
 @dataclass

@@ -48,8 +48,8 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--compute-model", default="MP", choices=["MP", "SpMM"],
                        help="computational model (default MP)")
         p.add_argument("--framework", default="gsuite",
-                       help="execution backend: gsuite, pyg, dgl "
-                            "(default gsuite)")
+                       help="execution backend: gsuite, pyg, dgl, "
+                            "gsuite-adaptive (default gsuite)")
         p.add_argument("--layers", type=int, default=2,
                        help="number of GNN layers (default 2)")
         p.add_argument("--hidden", type=int, default=16,
@@ -68,7 +68,9 @@ def build_parser() -> argparse.ArgumentParser:
             ("time", "measure end-to-end execution time (Fig. 3)"),
             ("record", "list the kernel launches of one inference"),
             ("simulate", "cycle-level GPU simulation per kernel (Figs. 6-8)"),
-            ("profile", "analytic profiler metrics per kernel (Figs. 5, 8, 9)")):
+            ("profile", "analytic profiler metrics per kernel (Figs. 5, 8, 9)"),
+            ("plan", "show the lowered execution plan and, for "
+                     "gsuite-adaptive, the planner's format choices")):
         p = sub.add_parser(name, help=help_text)
         add_pipeline_args(p)
 
@@ -167,6 +169,27 @@ def _cmd_profile(args) -> int:
     return 0
 
 
+def _cmd_plan(args) -> int:
+    pipeline = _pipeline_from_args(args)
+    built = pipeline.build()
+    plan = getattr(built, "plan", None)
+    if plan is None:
+        print(f"backend {args.framework!r} exposes no execution plan")
+        return 1
+    formats = ", ".join(plan.layer_formats) or "n/a"
+    print(f"{pipeline.figure_label()} {args.model} on {args.dataset}: "
+          f"{len(plan.ops)} ops, layer formats [{formats}]")
+    print(f"fingerprint: {plan.fingerprint()[:16]}")
+    if getattr(built, "formats", None) is not None and plan.meta.get("dims"):
+        from repro.plan import GraphStats, explain_choice
+        print(explain_choice(plan.meta["dims"],
+                             GraphStats.from_graph(pipeline.graph),
+                             chosen=built.formats))
+    print(format_table(("Step", "Op", "Operands", "Result"),
+                       plan.describe(), title="Execution plan"))
+    return 0
+
+
 def _cmd_datasets(args) -> int:
     from repro.bench.experiments import table4
     print(table4.render())
@@ -212,6 +235,7 @@ _COMMANDS = {
     "record": _cmd_record,
     "simulate": _cmd_simulate,
     "profile": _cmd_profile,
+    "plan": _cmd_plan,
     "datasets": _cmd_datasets,
     "kernels": _cmd_kernels,
     "bench": _cmd_bench,

@@ -72,6 +72,13 @@ class GNNModel:
     name: str = "base"
     supported_compute_models: Sequence[str] = ("MP",)
 
+    #: Formats the model can *lower to* in the plan IR.  Usually equal
+    #: to ``supported_compute_models``, but a model may provide an SpMM
+    #: lowering for the adaptive planner even when the paper's direct
+    #: path is MP-only (SAGE's mean aggregation is one row-normalised
+    #: SpMM).  ``None`` means "same as supported_compute_models".
+    lowerable_formats: Optional[Sequence[str]] = None
+
     def __init__(self, in_features: int, hidden: int, out_features: int,
                  num_layers: int = 2, compute_model: str = "MP",
                  activation: str = "relu", seed: int = 0):
@@ -127,12 +134,9 @@ class GNNModel:
         """Run one layer; subclasses implement with core kernels."""
         raise NotImplementedError
 
-    def forward(self, graph: Graph,
-                features: Optional[np.ndarray] = None) -> np.ndarray:
-        """Full-graph inference: returns ``[num_nodes, out_features]``.
-
-        ``features`` overrides the graph's stored feature matrix.
-        """
+    def coerce_features(self, graph: Graph,
+                        features: Optional[np.ndarray]) -> np.ndarray:
+        """Resolve and validate the input feature matrix."""
         x = features if features is not None else graph.features
         if x is None:
             raise ModelError(
@@ -144,6 +148,18 @@ class GNNModel:
                 f"features must have shape ({graph.num_nodes}, "
                 f"{self.dims[0][0]}), got {x.shape}"
             )
+        return x
+
+    def forward(self, graph: Graph,
+                features: Optional[np.ndarray] = None) -> np.ndarray:
+        """Full-graph inference: returns ``[num_nodes, out_features]``.
+
+        ``features`` overrides the graph's stored feature matrix.  This
+        is the *direct* kernel-call path; the framework backends execute
+        the equivalent lowered plan (see :meth:`lower`), and the parity
+        suite pins the two bit-for-bit against each other.
+        """
+        x = self.coerce_features(graph, features)
         state = self.prepare(graph)
         for layer in range(self.num_layers):
             x = self.layer_forward(layer, x, graph, state)
@@ -154,6 +170,72 @@ class GNNModel:
     def __call__(self, graph: Graph,
                  features: Optional[np.ndarray] = None) -> np.ndarray:
         return self.forward(graph, features)
+
+    # -- plan lowering ------------------------------------------------------
+    def supported_lowerings(self) -> Sequence[str]:
+        """Execution formats :meth:`lower` accepts per layer."""
+        if self.lowerable_formats is not None:
+            return tuple(self.lowerable_formats)
+        return tuple(self.supported_compute_models)
+
+    def lower(self, formats: Optional[Sequence[str]] = None,
+              flavor: str = "native"):
+        """Lower this model to an :class:`~repro.plan.ir.ExecutionPlan`.
+
+        ``formats`` selects the execution format *per layer* (default:
+        the model's configured compute model everywhere).  Structure
+        preparation is emitted once per distinct format, mirroring the
+        direct path's per-forward :meth:`prepare`.
+        """
+        from repro.plan.ir import PlanBuilder
+        if formats is None:
+            formats = [self.compute_model] * self.num_layers
+        formats = [str(fmt) for fmt in formats]
+        if len(formats) != self.num_layers:
+            raise ModelError(
+                f"{self.name}: {len(formats)} layer formats for "
+                f"{self.num_layers} layers"
+            )
+        allowed = set(self.supported_lowerings())
+        unsupported = sorted(set(formats) - allowed)
+        if unsupported:
+            raise ModelError(
+                f"{self.name} cannot lower to {unsupported} "
+                f"(lowerable: {sorted(allowed)})"
+            )
+        builder = PlanBuilder(model=self.name, flavor=flavor)
+        x = builder.input("X", fmt="dense")
+        state = {}
+        for fmt in formats:
+            if fmt not in state:
+                state[fmt] = self.lower_prepare(builder, fmt)
+        for layer in range(self.num_layers):
+            fmt = formats[layer]
+            x = self.lower_layer(layer, x, builder, state[fmt], fmt)
+            if layer < self.num_layers - 1:
+                x = builder.activation(x, self.activation_name)
+        return builder.build(x, layer_formats=tuple(formats),
+                             meta={"seed": self.seed, "dims": list(self.dims)})
+
+    def lower_prepare(self, builder, fmt: str) -> dict:
+        """Emit the structure-preparation ops for one execution format.
+
+        The plan-IR counterpart of :meth:`prepare`; returns the state
+        dict of value refs :meth:`lower_layer` consumes.  Default: no
+        preparation.
+        """
+        return {}
+
+    def lower_layer(self, layer: int, x, builder, state: dict, fmt: str):
+        """Emit one layer's ops; the counterpart of :meth:`layer_forward`.
+
+        Optional for user-registered extension models: a model that only
+        implements :meth:`layer_forward` raises here, and the backends
+        fall back to the direct :meth:`forward` path for it.
+        """
+        raise NotImplementedError(
+            f"{type(self).__name__} provides no plan lowering"
+        )
 
     @property
     def out_features(self) -> int:

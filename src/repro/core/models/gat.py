@@ -24,7 +24,7 @@ from repro.core.kernels import index_select, scatter, sgemm
 from repro.core.models.base import GNNModel
 from repro.graph import Graph, add_self_loops
 
-__all__ = ["GAT"]
+__all__ = ["GAT", "attention_coefficients"]
 
 #: LeakyReLU negative slope used by the reference implementation.
 _SLOPE = 0.2
@@ -32,6 +32,31 @@ _SLOPE = 0.2
 
 def _leaky_relu(x: np.ndarray) -> np.ndarray:
     return np.where(x > 0, x, _SLOPE * x)
+
+
+def attention_coefficients(h: np.ndarray, src: np.ndarray, dst: np.ndarray,
+                           a_src: np.ndarray, a_dst: np.ndarray,
+                           num_nodes: int, tag: str) -> np.ndarray:
+    """Edge-softmax attention weights, composed from Table II kernels.
+
+    Shared by the direct path and the plan executor's ``gat_attention``
+    Normalize kind, so both emit the identical kernel-launch sequence.
+    """
+    score_src = h @ a_src
+    score_dst = h @ a_dst
+    logits = _leaky_relu(
+        index_select(score_src[:, None], src, tag=tag)[:, 0]
+        + index_select(score_dst[:, None], dst, tag=tag)[:, 0]
+    )
+    # Numerically stable edge softmax over each destination's in-edges.
+    max_per_dst = scatter(logits[:, None], dst, dim_size=num_nodes,
+                          reduce="max", tag=tag)[:, 0]
+    shifted = logits - index_select(max_per_dst[:, None], dst, tag=tag)[:, 0]
+    unnormalised = np.exp(shifted).astype(np.float32)
+    denom = scatter(unnormalised[:, None], dst, dim_size=num_nodes,
+                    reduce="sum", tag=tag)[:, 0]
+    denom_per_edge = index_select(denom[:, None], dst, tag=tag)[:, 0]
+    return unnormalised / np.maximum(denom_per_edge, 1e-12)
 
 
 class GAT(GNNModel):
@@ -60,24 +85,31 @@ class GAT(GNNModel):
         tag = f"gat-l{layer}"
 
         h = sgemm(x, params["W"], tag=tag)
-        # Per-node attention halves, gathered onto edges.
-        score_src = h @ params["a_src"]
-        score_dst = h @ params["a_dst"]
-        logits = _leaky_relu(
-            index_select(score_src[:, None], src, tag=tag)[:, 0]
-            + index_select(score_dst[:, None], dst, tag=tag)[:, 0]
-        )
-        # Numerically stable edge softmax over each destination's in-edges.
-        max_per_dst = scatter(logits[:, None], dst, dim_size=n,
-                              reduce="max", tag=tag)[:, 0]
-        shifted = logits - index_select(max_per_dst[:, None], dst,
-                                        tag=tag)[:, 0]
-        unnormalised = np.exp(shifted).astype(np.float32)
-        denom = scatter(unnormalised[:, None], dst, dim_size=n,
-                        reduce="sum", tag=tag)[:, 0]
-        denom_per_edge = index_select(denom[:, None], dst, tag=tag)[:, 0]
-        alpha = unnormalised / np.maximum(denom_per_edge, 1e-12)
-
+        alpha = attention_coefficients(h, src, dst, params["a_src"],
+                                       params["a_dst"], n, tag)
         messages = index_select(h, src, tag=tag) * alpha[:, None]
         out = scatter(messages, dst, dim_size=n, reduce="sum", tag=tag)
         return out + params["b"]
+
+    # -- plan lowering ------------------------------------------------------
+    def lower_prepare(self, builder, fmt: str) -> dict:
+        src, dst = builder.normalize(
+            "self_loop_endpoints", outputs=(("src", "edge"), ("dst", "edge")))
+        return {"src": src, "dst": dst}
+
+    def lower_layer(self, layer: int, x, builder, state: dict, fmt: str):
+        params = self.weights[layer]
+        tag = f"gat-l{layer}"
+        weight = builder.constant(params["W"], name=f"l{layer}.W")
+        a_src = builder.constant(params["a_src"], name=f"l{layer}.a_src")
+        a_dst = builder.constant(params["a_dst"], name=f"l{layer}.a_dst")
+        bias = builder.constant(params["b"], name=f"l{layer}.b")
+
+        h = builder.sgemm(x, weight, tag=tag)
+        alpha, = builder.normalize(
+            "gat_attention", outputs=(("alpha", "vec"),),
+            inputs=(h, state["src"], state["dst"], a_src, a_dst), tag=tag)
+        messages = builder.gather(h, state["src"], scale=alpha, tag=tag)
+        out = builder.scatter_reduce(messages, state["dst"], reduce="sum",
+                                     tag=tag)
+        return builder.elementwise("add_bias", out, bias)

@@ -26,7 +26,7 @@ from repro.core.models.base import GNNModel
 from repro.graph import Graph, add_self_loops, gcn_edge_weights
 from repro.graph.formats import CSRMatrix
 
-__all__ = ["GCN"]
+__all__ = ["GCN", "gcn_propagation_matrix"]
 
 
 def _degree_half_inverse_csr(graph: Graph) -> CSRMatrix:
@@ -40,6 +40,19 @@ def _degree_half_inverse_csr(graph: Graph) -> CSRMatrix:
     idx = np.arange(n, dtype=np.int64)
     return CSRMatrix(np.arange(n + 1, dtype=np.int64), idx,
                      inv_sqrt.astype(np.float32), shape=(n, n))
+
+
+def gcn_propagation_matrix(graph: Graph, tag: str = "gcn-normalize") -> CSRMatrix:
+    """Assemble ``D^-1/2 (A + I) D^-1/2`` with two traced SpGEMM launches.
+
+    The Fig. 2 normalisation chain, shared by the direct SpMM path and
+    the plan executor's ``gcn_propagation`` Normalize kind so both emit
+    identical kernel launches.
+    """
+    d_half = _degree_half_inverse_csr(graph)
+    a_hat = add_self_loops(graph).adjacency_csr()
+    left = spgemm(d_half, a_hat, tag=tag)
+    return spgemm(left, d_half, tag=tag)
 
 
 class GCN(GNNModel):
@@ -58,11 +71,7 @@ class GCN(GNNModel):
         if self.compute_model == "MP":
             edge_index, edge_weight = gcn_edge_weights(graph)
             return {"edge_index": edge_index, "edge_weight": edge_weight}
-        d_half = _degree_half_inverse_csr(graph)
-        a_hat = add_self_loops(graph).adjacency_csr()
-        left = spgemm(d_half, a_hat, tag="gcn-normalize")
-        propagation = spgemm(left, d_half, tag="gcn-normalize")
-        return {"propagation": propagation}
+        return {"propagation": gcn_propagation_matrix(graph)}
 
     def layer_forward(self, layer: int, x: np.ndarray, graph: Graph,
                       state: dict) -> np.ndarray:
@@ -82,3 +91,30 @@ class GCN(GNNModel):
         propagated = spmm(state["propagation"], x, tag=f"gcn-l{layer}")
         return sgemm(propagated, params["W"], bias=params["b"],
                      tag=f"gcn-l{layer}")
+
+    # -- plan lowering ------------------------------------------------------
+    def lower_prepare(self, builder, fmt: str) -> dict:
+        if fmt == "MP":
+            src, dst, weight = builder.normalize(
+                "gcn_edge_weights",
+                outputs=(("src", "edge"), ("dst", "edge"), ("weight", "vec")))
+            return {"src": src, "dst": dst, "weight": weight}
+        propagation, = builder.normalize(
+            "gcn_propagation", outputs=(("propagation", "csr"),),
+            tag="gcn-normalize")
+        return {"propagation": propagation}
+
+    def lower_layer(self, layer: int, x, builder, state: dict, fmt: str):
+        params = self.weights[layer]
+        tag = f"gcn-l{layer}"
+        weight = builder.constant(params["W"], name=f"l{layer}.W")
+        bias = builder.constant(params["b"], name=f"l{layer}.b")
+        if fmt == "MP":
+            h = builder.sgemm(x, weight, tag=tag)
+            messages = builder.gather(h, state["src"], scale=state["weight"],
+                                      tag=tag)
+            aggregated = builder.scatter_reduce(messages, state["dst"],
+                                                reduce="sum", tag=tag)
+            return builder.elementwise("add_bias", aggregated, bias)
+        propagated = builder.spmm(state["propagation"], x, tag=tag)
+        return builder.sgemm(propagated, weight, bias=bias, tag=tag)

@@ -23,9 +23,26 @@ from repro.core.kernels import index_select, scatter, sgemm, spmm
 from repro.core.models.activations import relu
 from repro.core.models.base import GNNModel
 from repro.graph import Graph
-from repro.graph.formats import COOMatrix
+from repro.graph.formats import COOMatrix, CSRMatrix
 
-__all__ = ["GIN"]
+__all__ = ["GIN", "gin_aggregate_matrix"]
+
+
+def gin_aggregate_matrix(graph: Graph, epsilon: float) -> CSRMatrix:
+    """The SpMM aggregation matrix ``A + (1 + eps) I`` in CSR form.
+
+    Shared by the direct SpMM path and the plan executor's
+    ``gin_aggregate`` Normalize kind.
+    """
+    n = graph.num_nodes
+    diag = np.arange(n, dtype=np.int64)
+    rows = np.concatenate([graph.dst, diag])
+    cols = np.concatenate([graph.src, diag])
+    vals = np.concatenate([
+        graph.edge_values(),
+        np.full(n, 1.0 + epsilon, dtype=np.float32),
+    ])
+    return COOMatrix(rows, cols, vals, shape=(n, n)).coalesce().to_csr()
 
 
 class GIN(GNNModel):
@@ -52,16 +69,7 @@ class GIN(GNNModel):
         """SpMM needs ``A + (1+eps) I`` once; MP needs nothing."""
         if self.compute_model == "MP":
             return {}
-        n = graph.num_nodes
-        diag = np.arange(n, dtype=np.int64)
-        rows = np.concatenate([graph.dst, diag])
-        cols = np.concatenate([graph.src, diag])
-        vals = np.concatenate([
-            graph.edge_values(),
-            np.full(n, 1.0 + self.epsilon, dtype=np.float32),
-        ])
-        matrix = COOMatrix(rows, cols, vals, shape=(n, n)).coalesce().to_csr()
-        return {"aggregate": matrix}
+        return {"aggregate": gin_aggregate_matrix(graph, self.epsilon)}
 
     def layer_forward(self, layer: int, x: np.ndarray, graph: Graph,
                       state: dict) -> np.ndarray:
@@ -78,3 +86,33 @@ class GIN(GNNModel):
                             tag=f"gin-l{layer}"))
         return sgemm(hidden, params["W2"], bias=params["b2"],
                      tag=f"gin-l{layer}")
+
+    # -- plan lowering ------------------------------------------------------
+    def lower_prepare(self, builder, fmt: str) -> dict:
+        if fmt == "MP":
+            src, dst = builder.normalize(
+                "edge_endpoints", outputs=(("src", "edge"), ("dst", "edge")))
+            return {"src": src, "dst": dst}
+        aggregate, = builder.normalize(
+            "gin_aggregate", outputs=(("aggregate", "csr"),),
+            params={"epsilon": self.epsilon})
+        return {"aggregate": aggregate}
+
+    def lower_layer(self, layer: int, x, builder, state: dict, fmt: str):
+        params = self.weights[layer]
+        tag = f"gin-l{layer}"
+        w1 = builder.constant(params["W1"], name=f"l{layer}.W1")
+        b1 = builder.constant(params["b1"], name=f"l{layer}.b1")
+        w2 = builder.constant(params["W2"], name=f"l{layer}.W2")
+        b2 = builder.constant(params["b2"], name=f"l{layer}.b2")
+        if fmt == "MP":
+            messages = builder.gather(x, state["src"], tag=tag)
+            neighbour_sum = builder.scatter_reduce(messages, state["dst"],
+                                                   reduce="sum", tag=tag)
+            combined = builder.elementwise("combine", x, neighbour_sum,
+                                           alpha=self.epsilon)
+        else:
+            combined = builder.spmm(state["aggregate"], x, tag=tag)
+        hidden = builder.activation(
+            builder.sgemm(combined, w1, bias=b1, tag=tag), "relu")
+        return builder.sgemm(hidden, w2, bias=b2, tag=tag)

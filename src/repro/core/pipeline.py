@@ -86,14 +86,24 @@ class GNNPipeline:
 
     def figure_label(self) -> str:
         """This pipeline's label in the paper's figures."""
-        if self._backend.name == "gsuite":
-            return f"gSuite-{self.config.compute_model}"
+        label = getattr(self._backend, "figure_label", None)
+        if callable(label):
+            return label(self.spec)
         return self._backend.name
 
     # -- execution ------------------------------------------------------------
     def build(self):
         """Construct the backend pipeline (framework init included)."""
         return self._backend.build(self.spec, self.graph)
+
+    def plan(self):
+        """The lowered :class:`~repro.plan.ir.ExecutionPlan`.
+
+        Every backend lowers onto the shared IR; this builds the
+        pipeline and returns its plan (``None`` for a hypothetical
+        backend that bypasses the plan layer).
+        """
+        return getattr(self.build(), "plan", None)
 
     def run(self, features: Optional[np.ndarray] = None) -> np.ndarray:
         """Build and execute one inference pass."""
@@ -120,21 +130,40 @@ class GNNPipeline:
             pipeline.run(features)
         return recorder
 
-    def simulate(self, simulator=None) -> list:
+    def simulate(self, simulator=None, cache=None) -> list:
         """Record one pass and simulate every launch on the GPU model.
 
-        ``simulator`` defaults to a fresh
-        :class:`~repro.gpu.simulator.GpuSimulator`.
+        ``simulator`` defaults to a :class:`~repro.gpu.simulator.GpuSimulator`
+        wired to the persistent trace cache (``cache`` overrides which
+        one; the bench engine's behaviour) — so API users hit
+        ``results/.cache`` exactly like warm benchmark runs.  An
+        explicit ``simulator`` is used as configured; passing ``cache``
+        alongside one attaches it only if the simulator has none.
         """
+        from repro.cache import get_cache
         from repro.gpu.simulator import GpuSimulator
-        sim = simulator or GpuSimulator()
-        return sim.simulate_all(self.record().launches)
+        if simulator is None:
+            simulator = GpuSimulator(
+                cache=cache if cache is not None else get_cache())
+        elif cache is not None and simulator.cache is None:
+            simulator.cache = cache
+        return simulator.simulate_all(self.record().launches)
 
-    def profile(self, profiler=None) -> list:
-        """Record one pass and profile every launch (nvprof substitute)."""
+    def profile(self, profiler=None, cache=None) -> list:
+        """Record one pass and profile every launch (nvprof substitute).
+
+        Like :meth:`simulate`, the default profiler is wired to the
+        persistent trace cache so repeated profiles of an unchanged
+        pipeline are disk reads.
+        """
+        from repro.cache import get_cache
         from repro.gpu.profiler import NvprofProfiler
-        prof = profiler or NvprofProfiler()
-        return prof.profile_all(self.record().launches)
+        if profiler is None:
+            profiler = NvprofProfiler(
+                cache=cache if cache is not None else get_cache())
+        elif cache is not None and profiler.cache is None:
+            profiler.cache = cache
+        return profiler.profile_all(self.record().launches)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (f"GNNPipeline({self.figure_label()}, model={self.config.model},"

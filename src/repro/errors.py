@@ -43,3 +43,7 @@ class BackendError(GSuiteError):
 
 class SimulationError(GSuiteError):
     """The GPU simulator was configured or driven inconsistently."""
+
+
+class PlanError(GSuiteError):
+    """An execution plan is malformed or was executed with bad bindings."""

@@ -1,5 +1,7 @@
-"""Framework execution backends: native gSuite, PyG-like, DGL-like."""
+"""Framework execution backends: native gSuite, PyG-like, DGL-like,
+and the planner-driven gSuite-Adaptive path."""
 
+from repro.frameworks.adaptive import AdaptiveBackend
 from repro.frameworks.base import (
     Backend,
     BuiltPipeline,
@@ -12,6 +14,7 @@ from repro.frameworks.pyg_like import PyGLikeBackend
 from repro.frameworks.registry import BACKEND_NAMES, BACKENDS, get_backend
 
 __all__ = [
+    "AdaptiveBackend",
     "BACKENDS",
     "BACKEND_NAMES",
     "Backend",

@@ -14,6 +14,12 @@ DGL's characteristic structure, re-created as real work:
 DGL realises a SAGE conv too (mean aggregation as a row-normalised
 SpMM), so — unlike native gSuite, where SAGE is MP-only — this backend
 supports all three models, matching the paper's Fig. 3/4 grids.
+
+The pipeline lowers to the shared :class:`~repro.plan.ir.ExecutionPlan`
+IR: the up-front graph-object materialisation is a per-run ``dgl_graph``
+Normalize op, the cached structures (``normalized`` / ``mean`` /
+``plain``) are Normalize ops over it, and each conv is the same
+SpMM + SGEMM pair the direct path executed.
 """
 
 from __future__ import annotations
@@ -22,13 +28,13 @@ from typing import Optional
 
 import numpy as np
 
-from repro.core.kernels import sgemm, spmm
 from repro.core.models import build_model
-from repro.core.models.activations import get_activation, relu
+from repro.core.models.sage import mean_adjacency_matrix
 from repro.errors import BackendError
 from repro.frameworks.base import Backend, BuiltPipeline, PipelineSpec
-from repro.graph import Graph, add_self_loops, normalized_adjacency
+from repro.graph import Graph, normalized_adjacency
 from repro.graph.formats import CSRMatrix
+from repro.plan import ExecutionPlan, PlanBuilder, PlanExecutor, cached_plan
 
 __all__ = ["DGLLikeBackend"]
 
@@ -56,13 +62,7 @@ class DGLGraphLike:
     def mean_adjacency(self) -> CSRMatrix:
         """Row-normalised ``A-hat`` realising mean over N(v)+v, cached."""
         if self._mean is None:
-            looped = add_self_loops(self._graph)
-            csr = looped.adjacency_csr()
-            degree = np.maximum(1, looped.in_degrees()).astype(np.float32)
-            rows = csr.expand_rows()
-            data = csr.data / degree[rows]
-            self._mean = CSRMatrix(csr.indptr, csr.indices, data,
-                                   shape=csr.shape)
+            self._mean = mean_adjacency_matrix(self._graph)
         return self._mean
 
     def plain(self) -> CSRMatrix:
@@ -70,48 +70,81 @@ class DGLGraphLike:
         return self.csr
 
 
+def _lower_dgl(spec: PipelineSpec, reference) -> ExecutionPlan:
+    """Lower one DGL-style pipeline to the plan IR.
+
+    The up-front multi-format graph object is a per-run ``dgl_graph``
+    Normalize op (DGL pays that materialisation on every pipeline run);
+    the conv-specific cached structure is derived from it once, then
+    every layer is a fused SpMM followed by the dense transform.
+    """
+    if spec.model not in ("gcn", "gin", "sage", "sag"):
+        raise BackendError(f"DGL backend has no conv for {spec.model!r}")
+    builder = PlanBuilder(model=spec.model, flavor="dgl")
+    x = builder.input("X", fmt="dense")
+    dgl_graph, = builder.normalize("dgl_graph", outputs=(("graph", "obj"),))
+    if spec.model == "gcn":
+        structure, = builder.normalize(
+            "dgl_normalized", outputs=(("normalized", "csr"),),
+            inputs=(dgl_graph,))
+    elif spec.model == "gin":
+        structure, = builder.normalize(
+            "dgl_plain", outputs=(("plain", "csr"),), inputs=(dgl_graph,))
+    else:
+        structure, = builder.normalize(
+            "dgl_mean_adjacency", outputs=(("mean", "csr"),),
+            inputs=(dgl_graph,))
+    for layer in range(spec.num_layers):
+        params = reference.weights[layer]
+        tag = f"{spec.model}-l{layer}"
+        if spec.model == "gcn":
+            weight = builder.constant(params["W"], name=f"l{layer}.W")
+            bias = builder.constant(params["b"], name=f"l{layer}.b")
+            propagated = builder.spmm(structure, x, tag=tag)
+            x = builder.sgemm(propagated, weight, bias=bias, tag=tag)
+        elif spec.model == "gin":
+            w1 = builder.constant(params["W1"], name=f"l{layer}.W1")
+            b1 = builder.constant(params["b1"], name=f"l{layer}.b1")
+            w2 = builder.constant(params["W2"], name=f"l{layer}.W2")
+            b2 = builder.constant(params["b2"], name=f"l{layer}.b2")
+            agg = builder.spmm(structure, x, tag=tag)
+            combined = builder.elementwise("combine", x, agg,
+                                           alpha=reference.epsilon)
+            hidden = builder.activation(
+                builder.sgemm(combined, w1, bias=b1, tag=tag), "relu")
+            x = builder.sgemm(hidden, w2, bias=b2, tag=tag)
+        else:  # sage / sag
+            w1 = builder.constant(params["W1"], name=f"l{layer}.W1")
+            w2 = builder.constant(params["W2"], name=f"l{layer}.W2")
+            bias = builder.constant(params["b"], name=f"l{layer}.b")
+            mean_neigh = builder.spmm(structure, x, tag=tag)
+            self_part = builder.sgemm(x, w1, tag=tag)
+            neigh_part = builder.sgemm(mean_neigh, w2, bias=bias, tag=tag)
+            x = builder.elementwise("add", self_part, neigh_part)
+        if layer < spec.num_layers - 1:
+            x = builder.activation(x, spec.activation)
+    return builder.build(x, layer_formats=("SpMM",) * spec.num_layers)
+
+
 class _DGLLikePipeline(BuiltPipeline):
     def __init__(self, spec: PipelineSpec, graph: Graph):
         super().__init__("DGL", spec, graph)
-        self._activation = get_activation(spec.activation)
         # Reference weights shared with the other backends.
         self._reference = build_model(
             spec.model, in_features=graph.num_features, hidden=spec.hidden,
             out_features=spec.out_features, num_layers=spec.num_layers,
             compute_model="MP", activation=spec.activation, seed=spec.seed,
         )
+        self.plan = cached_plan("dgl", spec, graph,
+                                lambda: _lower_dgl(spec, self._reference))
+        self._executor = PlanExecutor()
 
     def run(self, features: Optional[np.ndarray] = None) -> np.ndarray:
-        spec, graph = self.spec, self.graph
-        x = features if features is not None else graph.features
+        x = features if features is not None else self.graph.features
         if x is None:
             raise BackendError("graph carries no features")
         x = np.asarray(x, dtype=np.float32)
-        # Graph-object construction is part of every DGL pipeline run.
-        dgl_graph = DGLGraphLike(graph)
-        ref = self._reference
-        for layer in range(spec.num_layers):
-            params = ref.weights[layer]
-            tag = f"{spec.model}-l{layer}"
-            if spec.model == "gcn":
-                propagated = spmm(dgl_graph.normalized(), x, tag=tag)
-                x = sgemm(propagated, params["W"], bias=params["b"], tag=tag)
-            elif spec.model == "gin":
-                agg = spmm(dgl_graph.plain(), x, tag=tag)
-                combined = (1.0 + ref.epsilon) * x + agg
-                hidden = relu(sgemm(combined, params["W1"],
-                                    bias=params["b1"], tag=tag))
-                x = sgemm(hidden, params["W2"], bias=params["b2"], tag=tag)
-            elif spec.model in ("sage", "sag"):
-                mean_neigh = spmm(dgl_graph.mean_adjacency(), x, tag=tag)
-                x = (sgemm(x, params["W1"], tag=tag)
-                     + sgemm(mean_neigh, params["W2"], bias=params["b"],
-                             tag=tag))
-            else:
-                raise BackendError(f"DGL backend has no conv for {spec.model!r}")
-            if layer < spec.num_layers - 1:
-                x = self._activation(x)
-        return x
+        return self._executor.run(self.plan, self.graph, {"X": x})
 
 
 class DGLLikeBackend(Backend):

@@ -1,8 +1,11 @@
 """The native gSuite backend: the minimal, dependency-free path.
 
-Directly instantiates a registered model and calls it.  Exposed as two
-figure labels — ``gSuite-MP`` and ``gSuite-SpMM`` — depending on the
-spec's compute model.
+Instantiates a registered model, lowers it onto the shared
+:class:`~repro.plan.ir.ExecutionPlan` IR, and executes the plan through
+the instrumented kernels.  Exposed as two figure labels —
+``gSuite-MP`` and ``gSuite-SpMM`` — depending on the spec's compute
+model.  Lowered plans are persisted through the content-addressed
+cache, so repeated sweeps over the same grid skip lowering.
 """
 
 from __future__ import annotations
@@ -14,6 +17,7 @@ import numpy as np
 from repro.core.models import build_model
 from repro.frameworks.base import Backend, BuiltPipeline, PipelineSpec
 from repro.graph import Graph
+from repro.plan import PlanExecutor, cached_plan
 
 __all__ = ["NativeBackend"]
 
@@ -31,9 +35,19 @@ class _NativePipeline(BuiltPipeline):
             activation=spec.activation,
             seed=spec.seed,
         )
+        try:
+            self.plan = cached_plan("native", spec, graph, self._model.lower)
+        except NotImplementedError:
+            # User-registered extension models may implement only the
+            # direct layer_forward path; they run unlowered.
+            self.plan = None
+        self._executor = PlanExecutor()
 
     def run(self, features: Optional[np.ndarray] = None) -> np.ndarray:
-        return self._model.forward(self.graph, features)
+        if self.plan is None:
+            return self._model.forward(self.graph, features)
+        x = self._model.coerce_features(self.graph, features)
+        return self._executor.run(self.plan, self.graph, {"X": x})
 
 
 class NativeBackend(Backend):

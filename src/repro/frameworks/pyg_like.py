@@ -12,12 +12,16 @@ PyG's costs, re-created here as *real work* (never artificial delays):
 * uncached normalisation — ``GCNConv`` recomputes ``gcn_norm`` (degrees,
   rsqrt, per-edge weights) on every forward, PyG's default
   ``cached=False`` behaviour;
-* an autograd-style tape — every kernel call appends a graph node, the
-  bookkeeping PyTorch performs even in inference mode unless explicitly
-  disabled.
+* an autograd-style tape — every executed plan op appends a graph node,
+  the bookkeeping PyTorch performs even in inference mode unless
+  explicitly disabled.
 
-All math goes through the instrumented core kernels, so kernel-level
-recordings of this backend mirror Fig. 4's PyG column.
+The pipeline *lowers* to the shared :class:`~repro.plan.ir.ExecutionPlan`
+IR (flavoured with PyG's per-layer uncached ``gcn_norm`` and per-call
+edge re-validation) and executes it through the instrumented core
+kernels, so kernel-level recordings of this backend mirror Fig. 4's PyG
+column exactly as the direct path did.  The conv modules below remain
+the reference implementations the parity suite pins the plans against.
 """
 
 from __future__ import annotations
@@ -28,10 +32,11 @@ import numpy as np
 
 from repro.core.kernels import index_select, scatter, sgemm
 from repro.core.models import build_model
-from repro.core.models.activations import get_activation, relu
+from repro.core.models.activations import relu
 from repro.errors import BackendError
 from repro.frameworks.base import Backend, BuiltPipeline, PipelineSpec
 from repro.graph import Graph
+from repro.plan import ExecutionPlan, PlanBuilder, PlanExecutor, cached_plan
 
 __all__ = ["PyGLikeBackend"]
 
@@ -193,11 +198,77 @@ class SAGEConv(MessagePassing):
         return out + neigh
 
 
+def _lower_pyg(spec: PipelineSpec, convs: List) -> ExecutionPlan:
+    """Lower the conv stack to a PyG-flavoured execution plan.
+
+    The plan reproduces PyG's execution structure op for op: the edge
+    index is a *runtime* input (re-validated and re-split every call),
+    ``gcn_norm`` and SAGE's diagonal augmentation are per-layer
+    Normalize ops (PyG's uncached defaults), and all math flows through
+    the same kernels the direct conv ``forward`` methods call.
+    """
+    builder = PlanBuilder(model=spec.model, flavor="pyg")
+    x = builder.input("X", fmt="dense")
+    edge_index = builder.input("edge_index", fmt="edge")
+    if spec.model == "gin":
+        src, dst = builder.normalize(
+            "split_edges", outputs=(("src", "edge"), ("dst", "edge")),
+            inputs=(edge_index,))
+    for layer, conv in enumerate(convs):
+        tag = f"{spec.model}-l{layer}"
+        if spec.model == "gcn":
+            full_src, full_dst, norm_weight = builder.normalize(
+                "pyg_gcn_norm",
+                outputs=(("src", "edge"), ("dst", "edge"), ("weight", "vec")),
+                inputs=(edge_index,))
+            weight = builder.constant(conv.weight.data, name=f"l{layer}.W")
+            bias = builder.constant(conv.bias.data, name=f"l{layer}.b")
+            h = builder.sgemm(x, weight, tag=tag)
+            messages = builder.gather(h, full_src, scale=norm_weight, tag=tag)
+            aggregated = builder.scatter_reduce(messages, full_dst,
+                                                reduce="sum", tag=tag)
+            x = builder.elementwise("add_bias", aggregated, bias)
+        elif spec.model == "gin":
+            w1 = builder.constant(conv.w1.data, name=f"l{layer}.W1")
+            b1 = builder.constant(conv.b1.data, name=f"l{layer}.b1")
+            w2 = builder.constant(conv.w2.data, name=f"l{layer}.W2")
+            b2 = builder.constant(conv.b2.data, name=f"l{layer}.b2")
+            messages = builder.gather(x, src, tag=tag)
+            agg = builder.scatter_reduce(messages, dst, reduce="sum", tag=tag)
+            combined = builder.elementwise("combine", x, agg,
+                                           alpha=conv.epsilon)
+            hidden = builder.activation(
+                builder.sgemm(combined, w1, bias=b1, tag=tag), "relu")
+            x = builder.sgemm(hidden, w2, bias=b2, tag=tag)
+        else:  # sage
+            full_src, full_dst = builder.normalize(
+                "pyg_sage_endpoints",
+                outputs=(("src", "edge"), ("dst", "edge")),
+                inputs=(edge_index,))
+            w_self = builder.constant(conv.w_self.data, name=f"l{layer}.W1")
+            w_neigh = builder.constant(conv.w_neigh.data, name=f"l{layer}.W2")
+            bias = builder.constant(conv.bias.data, name=f"l{layer}.b")
+            messages = builder.gather(x, full_src, tag=tag)
+            mean_neigh = builder.scatter_reduce(messages, full_dst,
+                                                reduce="mean", tag=tag)
+            self_part = builder.sgemm(x, w_self, tag=tag)
+            neigh_part = builder.sgemm(mean_neigh, w_neigh, bias=bias,
+                                       tag=tag)
+            x = builder.elementwise("add", self_part, neigh_part)
+        if layer < len(convs) - 1:
+            x = builder.activation(x, spec.activation)
+    return builder.build(x, layer_formats=("MP",) * len(convs))
+
+
+#: Plan opcode -> the tape label the direct conv path recorded.
+_TAPE_LABELS = {"gather": "index_select", "scatter": "scatter",
+                "sgemm": "sgemm"}
+
+
 class _PyGLikePipeline(BuiltPipeline):
     def __init__(self, spec: PipelineSpec, graph: Graph):
         super().__init__("PyG", spec, graph)
         self._tape = _Tape()
-        self._activation = get_activation(spec.activation)
         rng = np.random.default_rng(spec.seed + 1)
 
         # Construct conv modules (reset_parameters runs here)...
@@ -229,6 +300,22 @@ class _PyGLikePipeline(BuiltPipeline):
                 raise BackendError(f"PyG backend has no conv for {spec.model!r}")
             self._convs.append(conv)
 
+        self.plan = cached_plan("pyg", spec, graph,
+                                lambda: _lower_pyg(spec, self._convs))
+        self._executor = PlanExecutor(on_op=self._record_op)
+
+    def _record_op(self, op, result) -> None:
+        """Autograd-style bookkeeping, matching the direct conv path
+        node for node: every gather is followed by its ``message`` node
+        (PyG records the message step even for identity messages)."""
+        label = _TAPE_LABELS.get(op.opcode)
+        if label is None:
+            return
+        shape = getattr(result, "shape", ())
+        self._tape.record(label, shape)
+        if op.opcode == "gather":
+            self._tape.record("message", shape)
+
     def run(self, features: Optional[np.ndarray] = None) -> np.ndarray:
         graph = self.graph
         x = features if features is not None else graph.features
@@ -237,12 +324,8 @@ class _PyGLikePipeline(BuiltPipeline):
         # Tensor re-materialisation: PyG converts inputs on every call.
         x = np.array(x, dtype=np.float32, copy=True)
         edge_index = _validate_edge_index(graph.edge_index, graph.num_nodes)
-        for layer, conv in enumerate(self._convs):
-            x = conv.forward(x, edge_index, graph.num_nodes,
-                             tag=f"{self.spec.model}-l{layer}")
-            if layer < len(self._convs) - 1:
-                x = self._activation(x)
-        return x
+        return self._executor.run(self.plan, graph,
+                                  {"X": x, "edge_index": edge_index})
 
 
 class PyGLikeBackend(Backend):

@@ -5,6 +5,7 @@ from __future__ import annotations
 from typing import Dict
 
 from repro.errors import BackendError
+from repro.frameworks.adaptive import AdaptiveBackend
 from repro.frameworks.base import Backend
 from repro.frameworks.dgl_like import DGLLikeBackend
 from repro.frameworks.native import NativeBackend
@@ -16,17 +17,20 @@ BACKENDS: Dict[str, Backend] = {
     "gsuite": NativeBackend(),
     "pyg": PyGLikeBackend(),
     "dgl": DGLLikeBackend(),
+    "gsuite-adaptive": AdaptiveBackend(),
 }
 
 #: Figure order: PyG, DGL, gSuite-MP, gSuite-SpMM (gsuite covers the
-#: last two via the spec's compute model).
-BACKEND_NAMES = ("pyg", "dgl", "gsuite")
+#: last two via the spec's compute model), plus the planner-driven
+#: gSuite-Adaptive column.
+BACKEND_NAMES = ("pyg", "dgl", "gsuite", "gsuite-adaptive")
 
 _ALIASES = {
     "none": "gsuite",          # paper: "no framework indicated" -> gSuite
     "native": "gsuite",
     "pytorch-geometric": "pyg",
     "deep-graph-library": "dgl",
+    "adaptive": "gsuite-adaptive",
 }
 
 

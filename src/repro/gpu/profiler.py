@@ -57,13 +57,26 @@ class NvprofProfiler:
     ----------
     config:
         Hardware-side GPU model; defaults to :func:`nvprof_config`.
+    cache:
+        Optional :class:`repro.cache.TraceCache`.  When given, each
+        launch's result is keyed by its trace fingerprint plus the GPU
+        model — the same per-launch persistence the simulator uses —
+        so re-profiling a known trace is a disk read.
     """
 
-    def __init__(self, config: Optional[GPUConfig] = None):
+    def __init__(self, config: Optional[GPUConfig] = None, cache=None):
         self.config = config or nvprof_config()
+        self.cache = cache
 
     def profile(self, launch: KernelLaunch) -> ProfileResult:
-        """Profile one kernel launch."""
+        """Profile one kernel launch (cache-aware)."""
+        from repro.cache import cached_launch_result
+        return cached_launch_result(
+            self.cache, "profile", launch, self.config,
+            lambda: self._profile(launch), self.config.name)
+
+    def _profile(self, launch: KernelLaunch) -> ProfileResult:
+        """The actual analytic profile of one launch."""
         cfg = self.config
         hierarchy = simulate_hierarchy(launch.loads, launch.stores, cfg,
                                        atomic=launch.atomic)

@@ -56,29 +56,12 @@ class GpuSimulator:
         self.config = config or v100_config()
         self.cache = cache
 
-    def _cache_key(self, launch: KernelLaunch) -> str:
-        from dataclasses import asdict
-
-        from repro.cache import compute_key
-
-        return compute_key("sim", {
-            "launch": launch.fingerprint(),
-            "gpu": asdict(self.config),
-        })
-
     def simulate(self, launch: KernelLaunch) -> SimResult:
         """Simulate one kernel launch end to end (cache-aware)."""
-        if self.cache is not None:
-            key = self._cache_key(launch)
-            hit = self.cache.get("sim", key)
-            if hit is not None:
-                return hit
-            result = self._simulate(launch)
-            self.cache.put("sim", key, result,
-                           meta={"kernel": launch.kernel, "tag": launch.tag,
-                                 "gpu": self.config.name})
-            return result
-        return self._simulate(launch)
+        from repro.cache import cached_launch_result
+        return cached_launch_result(
+            self.cache, "sim", launch, self.config,
+            lambda: self._simulate(launch), self.config.name)
 
     def _simulate(self, launch: KernelLaunch) -> SimResult:
         """The actual cycle simulation of one launch."""

@@ -64,6 +64,28 @@ def _as_value_array(values, size: int) -> np.ndarray:
     return arr
 
 
+def _transpose_compressed(indptr: np.ndarray, indices: np.ndarray,
+                          data: np.ndarray,
+                          shape: Tuple[int, int]) -> Tuple[np.ndarray,
+                                                           np.ndarray,
+                                                           np.ndarray]:
+    """CSR arrays of the transposed matrix, via one counting sort.
+
+    Shared by ``CSRMatrix.to_csc`` and ``CSCMatrix.to_csr`` so neither
+    round-trips through COO: the new ``indptr`` is the column histogram
+    cumsum, and a stable argsort of the column ids orders entries by
+    (column, original row) exactly as the COO-based path did —
+    duplicates preserved.
+    """
+    rows, cols = shape
+    counts = np.bincount(indices, minlength=cols)
+    t_indptr = np.zeros(cols + 1, dtype=np.int64)
+    np.cumsum(counts, out=t_indptr[1:])
+    order = np.argsort(indices, kind="stable")
+    row_ids = np.repeat(np.arange(rows, dtype=np.int64), np.diff(indptr))
+    return t_indptr, row_ids[order], data[order]
+
+
 def _validate_shape(shape) -> Tuple[int, int]:
     try:
         rows, cols = shape
@@ -264,7 +286,11 @@ class CSRMatrix(SparseMatrix):
         return self
 
     def to_csc(self) -> "CSCMatrix":
-        return self.to_coo().transpose().to_csr().transpose_view()
+        t_indptr, t_indices, t_data = _transpose_compressed(
+            self.indptr, self.indices, self.data, self.shape)
+        transposed = CSRMatrix(t_indptr, t_indices, t_data,
+                               shape=(self.shape[1], self.shape[0]))
+        return transposed.transpose_view()
 
     def transpose_view(self) -> "CSCMatrix":
         """Reinterpret this CSR matrix as the CSC form of its transpose."""
@@ -360,7 +386,10 @@ class CSCMatrix(SparseMatrix):
         return self._transposed.to_coo().transpose()
 
     def to_csr(self) -> CSRMatrix:
-        return self.to_coo().to_csr()
+        t = self._transposed
+        indptr, indices, data = _transpose_compressed(
+            t.indptr, t.indices, t.data, t.shape)
+        return CSRMatrix(indptr, indices, data, shape=self.shape)
 
     def to_csc(self) -> "CSCMatrix":
         return self

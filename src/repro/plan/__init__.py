@@ -1,0 +1,58 @@
+"""The execution-plan layer: a shared operator IR, its executor, and
+the cost-model-driven format planner.
+
+Every framework backend lowers its pipeline to an
+:class:`~repro.plan.ir.ExecutionPlan` and runs it through the
+:class:`~repro.plan.executor.PlanExecutor`; the
+:mod:`~repro.plan.planner` chooses gather/scatter vs fused-SpMM
+execution per layer for the ``gsuite-adaptive`` backend.
+"""
+
+from repro.plan.executor import NORMALIZE_KINDS, PlanExecutor, register_normalize
+from repro.plan.ir import (
+    Activation,
+    Elementwise,
+    ExecutionPlan,
+    FORMATS,
+    Gather,
+    Normalize,
+    PlanBuilder,
+    ScatterReduce,
+    SGEMM,
+    SpMM,
+    ValueRef,
+)
+from repro.plan.lowering import cached_plan, graph_signature
+from repro.plan.planner import (
+    GraphStats,
+    choose_formats,
+    explain_choice,
+    mp_layer_cost,
+    spmm_layer_cost,
+    spmm_setup_cost,
+)
+
+__all__ = [
+    "Activation",
+    "Elementwise",
+    "ExecutionPlan",
+    "FORMATS",
+    "Gather",
+    "GraphStats",
+    "NORMALIZE_KINDS",
+    "Normalize",
+    "PlanBuilder",
+    "PlanExecutor",
+    "SGEMM",
+    "ScatterReduce",
+    "SpMM",
+    "ValueRef",
+    "cached_plan",
+    "choose_formats",
+    "explain_choice",
+    "graph_signature",
+    "mp_layer_cost",
+    "register_normalize",
+    "spmm_layer_cost",
+    "spmm_setup_cost",
+]

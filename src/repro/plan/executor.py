@@ -1,0 +1,258 @@
+"""Plan execution through the instrumented core kernels.
+
+:class:`PlanExecutor` walks an :class:`~repro.plan.ir.ExecutionPlan`
+op by op, binding the workload graph and runtime inputs, and dispatches
+every operator to the *existing* instrumented kernels
+(``index_select`` / ``scatter`` / ``spmm`` / ``sgemm`` — plus whatever
+kernels a :class:`~repro.plan.ir.Normalize` kind launches internally,
+e.g. GCN's SpGEMM normalisation chain).  Because the kernels are the
+same functions the legacy direct paths called, kernel-level recording,
+simulation and profiling keep working unchanged, and plan execution is
+bit-for-bit identical to the direct code it replaced.
+
+``Normalize`` kinds are pluggable: backends register structure-
+preparation callables in :data:`NORMALIZE_KINDS` via
+:func:`register_normalize`.  Each callable receives
+``(graph, params, inputs, tag)`` and returns a tuple with one entry per
+declared output.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, Optional, Tuple
+
+import numpy as np
+
+from repro.core.kernels import index_select, scatter, sgemm, spmm
+from repro.core.models.activations import get_activation
+from repro.errors import PlanError
+from repro.graph import Graph, add_self_loops, gcn_edge_weights
+from repro.plan.ir import (
+    Activation,
+    Elementwise,
+    ExecutionPlan,
+    Gather,
+    Normalize,
+    ScatterReduce,
+    SGEMM,
+    SpMM,
+)
+
+__all__ = ["PlanExecutor", "NORMALIZE_KINDS", "register_normalize"]
+
+#: Kind name -> ``fn(graph, params, inputs, tag) -> tuple`` registry.
+NORMALIZE_KINDS: Dict[str, Callable] = {}
+
+
+def register_normalize(kind: str, fn: Callable, overwrite: bool = False) -> None:
+    """Register a structure-preparation callable for ``Normalize`` ops."""
+    if kind in NORMALIZE_KINDS and not overwrite:
+        raise PlanError(f"normalize kind {kind!r} already registered")
+    NORMALIZE_KINDS[kind] = fn
+
+
+# ---------------------------------------------------------------------------
+# Built-in normalize kinds (model-zoo structure preparation)
+# ---------------------------------------------------------------------------
+
+def _norm_edge_endpoints(graph: Graph, params, inputs, tag):
+    """Raw COO endpoints — GIN-MP aggregates over the plain edge list."""
+    return graph.src, graph.dst
+
+
+def _norm_self_loop_endpoints(graph: Graph, params, inputs, tag):
+    """Endpoints of the self-loop-augmented edge list (SAGE / GAT)."""
+    edge_index = add_self_loops(graph).edge_index
+    return edge_index[0], edge_index[1]
+
+
+def _norm_gcn_edge_weights(graph: Graph, params, inputs, tag):
+    """GCN-MP per-edge ``1/sqrt(du dv)`` weights over ``A + I``."""
+    edge_index, weight = gcn_edge_weights(graph)
+    return edge_index[0], edge_index[1], weight
+
+
+def _norm_gcn_propagation(graph: Graph, params, inputs, tag):
+    """GCN-SpMM propagation matrix via the traced SpGEMM chain."""
+    from repro.core.models.gcn import gcn_propagation_matrix
+    return (gcn_propagation_matrix(graph, tag=tag),)
+
+
+def _norm_gin_aggregate(graph: Graph, params, inputs, tag):
+    """GIN-SpMM aggregation matrix ``A + (1 + eps) I`` in CSR form."""
+    from repro.core.models.gin import gin_aggregate_matrix
+    return (gin_aggregate_matrix(graph, float(params["epsilon"])),)
+
+
+def _norm_mean_adjacency(graph: Graph, params, inputs, tag):
+    """Row-normalised ``A-hat`` realising mean over ``N(v) + v``."""
+    from repro.core.models.sage import mean_adjacency_matrix
+    return (mean_adjacency_matrix(graph),)
+
+
+def _norm_gat_attention(graph: Graph, params, inputs, tag):
+    """Edge-softmax attention coefficients (kernel-composed)."""
+    from repro.core.models.gat import attention_coefficients
+    h, src, dst, a_src, a_dst = inputs
+    return (attention_coefficients(h, src, dst, a_src, a_dst,
+                                   graph.num_nodes, tag),)
+
+
+def _norm_split_edges(graph: Graph, params, inputs, tag):
+    """Split a runtime ``(2, E)`` edge index into endpoint arrays."""
+    edge_index, = inputs
+    return edge_index[0], edge_index[1]
+
+
+# ---------------------------------------------------------------------------
+# Backend-flavoured normalize kinds (PyG-like / DGL-like structures)
+# ---------------------------------------------------------------------------
+
+def _norm_pyg_gcn_norm(graph: Graph, params, inputs, tag):
+    """PyG's uncached per-forward ``gcn_norm`` over a runtime edge index."""
+    from repro.frameworks.pyg_like import _gcn_norm
+    edge_index, = inputs
+    full, weight = _gcn_norm(edge_index, graph.num_nodes)
+    return full[0], full[1], weight
+
+
+def _norm_pyg_sage_endpoints(graph: Graph, params, inputs, tag):
+    """PyG SAGEConv's per-forward diagonal augmentation."""
+    edge_index, = inputs
+    diag = np.arange(graph.num_nodes, dtype=np.int64)
+    full = np.hstack([edge_index, np.vstack([diag, diag])])
+    return full[0], full[1]
+
+
+def _norm_dgl_graph(graph: Graph, params, inputs, tag):
+    """DGL's up-front multi-format graph object (built per run)."""
+    from repro.frameworks.dgl_like import DGLGraphLike
+    return (DGLGraphLike(graph),)
+
+
+def _norm_dgl_normalized(graph: Graph, params, inputs, tag):
+    dgl_graph, = inputs
+    return (dgl_graph.normalized(),)
+
+
+def _norm_dgl_mean_adjacency(graph: Graph, params, inputs, tag):
+    dgl_graph, = inputs
+    return (dgl_graph.mean_adjacency(),)
+
+
+def _norm_dgl_plain(graph: Graph, params, inputs, tag):
+    dgl_graph, = inputs
+    return (dgl_graph.plain(),)
+
+
+for _kind, _fn in (
+        ("edge_endpoints", _norm_edge_endpoints),
+        ("self_loop_endpoints", _norm_self_loop_endpoints),
+        ("gcn_edge_weights", _norm_gcn_edge_weights),
+        ("gcn_propagation", _norm_gcn_propagation),
+        ("gin_aggregate", _norm_gin_aggregate),
+        ("mean_adjacency", _norm_mean_adjacency),
+        ("gat_attention", _norm_gat_attention),
+        ("split_edges", _norm_split_edges),
+        ("pyg_gcn_norm", _norm_pyg_gcn_norm),
+        ("pyg_sage_endpoints", _norm_pyg_sage_endpoints),
+        ("dgl_graph", _norm_dgl_graph),
+        ("dgl_normalized", _norm_dgl_normalized),
+        ("dgl_mean_adjacency", _norm_dgl_mean_adjacency),
+        ("dgl_plain", _norm_dgl_plain),
+):
+    register_normalize(_kind, _fn)
+
+
+class PlanExecutor:
+    """Interprets :class:`ExecutionPlan` values over a bound graph.
+
+    Parameters
+    ----------
+    on_op:
+        Optional ``fn(op, result)`` observer invoked after each op —
+        the PyG-like backend uses it to keep its autograd-style tape
+        recording per-op bookkeeping exactly as before.
+    """
+
+    def __init__(self, on_op: Optional[Callable] = None):
+        self.on_op = on_op
+
+    def run(self, plan: ExecutionPlan, graph: Graph,
+            inputs: Dict[str, Any]) -> np.ndarray:
+        """Execute ``plan`` over ``graph``; returns the output array."""
+        env: Dict[int, Any] = dict(plan.constants)
+        for ref in plan.inputs:
+            if ref.name not in inputs:
+                raise PlanError(
+                    f"plan requires input {ref.name!r}; got "
+                    f"{sorted(inputs)}"
+                )
+            env[ref.vid] = inputs[ref.name]
+        unknown = set(inputs) - {ref.name for ref in plan.inputs}
+        if unknown:
+            raise PlanError(f"unexpected plan inputs: {sorted(unknown)}")
+
+        for op in plan.ops:
+            result = self._execute(op, env, graph)
+            if self.on_op is not None:
+                self.on_op(op, result)
+        return env[plan.output.vid]
+
+    # -- op dispatch -------------------------------------------------------
+    def _execute(self, op, env: Dict[int, Any], graph: Graph):
+        if isinstance(op, Gather):
+            out = index_select(env[op.source.vid], env[op.index.vid],
+                               tag=op.tag)
+            if op.scale is not None:
+                out = out * env[op.scale.vid][:, None]
+            env[op.out.vid] = out
+            return out
+        if isinstance(op, ScatterReduce):
+            out = scatter(env[op.source.vid], env[op.index.vid],
+                          dim_size=graph.num_nodes, reduce=op.reduce,
+                          tag=op.tag)
+            env[op.out.vid] = out
+            return out
+        if isinstance(op, SpMM):
+            out = spmm(env[op.matrix.vid], env[op.dense.vid], tag=op.tag)
+            env[op.out.vid] = out
+            return out
+        if isinstance(op, SGEMM):
+            bias = env[op.bias.vid] if op.bias is not None else None
+            out = sgemm(env[op.a.vid], env[op.b.vid], bias=bias, tag=op.tag)
+            env[op.out.vid] = out
+            return out
+        if isinstance(op, Activation):
+            out = get_activation(op.function)(env[op.source.vid])
+            env[op.out.vid] = out
+            return out
+        if isinstance(op, Elementwise):
+            a, b = env[op.a.vid], env[op.b.vid]
+            if op.kind == "add":
+                out = a + b
+            elif op.kind == "add_bias":
+                out = a + b
+            else:  # combine: (1 + alpha) * a + b
+                out = (1.0 + op.alpha) * a + b
+            env[op.out.vid] = out
+            return out
+        if isinstance(op, Normalize):
+            try:
+                fn = NORMALIZE_KINDS[op.kind]
+            except KeyError:
+                raise PlanError(
+                    f"unknown normalize kind {op.kind!r}; known: "
+                    f"{sorted(NORMALIZE_KINDS)}"
+                ) from None
+            resolved: Tuple = tuple(env[ref.vid] for ref in op.inputs)
+            values = fn(graph, op.param_dict(), resolved, op.tag)
+            if len(values) != len(op.outs):
+                raise PlanError(
+                    f"normalize {op.kind!r} produced {len(values)} values "
+                    f"for {len(op.outs)} outputs"
+                )
+            for ref, value in zip(op.outs, values):
+                env[ref.vid] = value
+            return values
+        raise PlanError(f"unknown plan op {type(op).__name__}")

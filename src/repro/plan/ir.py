@@ -1,0 +1,419 @@
+"""The operator-level execution IR shared by every backend.
+
+The paper's central claim is framework *independence*: one GNN function
+can run as message passing (gather/scatter over COO) or as fused sparse
+products (SpMM over CSR), and which one wins is workload-dependent.  To
+make that choice explicit — instead of hard-coding one kernel sequence
+per backend — every execution path in this reproduction *lowers* to an
+:class:`ExecutionPlan`: a linear sequence of typed operators over
+SSA-style values, each operand annotated with its storage format.
+
+Operator vocabulary (mirroring the Table II kernels plus the structural
+glue every GNN stack needs):
+
+* :class:`Gather`        — ``indexSelect`` of rows, optionally scaled by
+  a per-edge weight vector (the "message" step);
+* :class:`ScatterReduce` — atomic reduction of per-edge rows into node
+  slots (sum / mean / max / min);
+* :class:`SpMM`          — fused sparse-adjacency x dense-feature
+  product (CSR operand);
+* :class:`SGEMM`         — dense transform with optional fused bias;
+* :class:`Activation`    — inter-layer nonlinearity by name;
+* :class:`Elementwise`   — the cheap combines (residual adds, bias
+  adds, GIN's ``(1+eps)*x + agg``) that glue kernels together;
+* :class:`Normalize`     — graph-structure preparation (self-loop
+  insertion, GCN normalisation, CSR materialisation...).  Executed at
+  *run* time, so plans record exactly the kernel launches — SpGEMM
+  chains included — that the legacy direct paths emitted.
+
+Plans are pure data: value references plus constants (the layer
+weights).  The workload graph is bound at execution time by the
+:class:`~repro.plan.executor.PlanExecutor`, which makes one plan
+reusable across runs and cacheable on disk (see
+:func:`repro.plan.lowering.cached_plan`).
+"""
+
+from __future__ import annotations
+
+import hashlib
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple, Union
+
+import numpy as np
+
+from repro.errors import PlanError
+
+__all__ = [
+    "FORMATS",
+    "ValueRef",
+    "Gather",
+    "ScatterReduce",
+    "SpMM",
+    "SGEMM",
+    "Activation",
+    "Elementwise",
+    "Normalize",
+    "PlanOp",
+    "ExecutionPlan",
+    "PlanBuilder",
+]
+
+#: Storage formats a plan value may carry.  ``edge`` is a 1-D int64
+#: endpoint array (one side of a COO edge list), ``vec`` a 1-D float
+#: vector, ``obj`` an opaque backend structure (e.g. the DGL-like
+#: multi-format graph object).
+FORMATS = ("dense", "csr", "edge", "vec", "obj")
+
+#: Elementwise combine kinds understood by the executor.
+ELEMENTWISE_KINDS = ("add", "add_bias", "combine")
+
+
+@dataclass(frozen=True)
+class ValueRef:
+    """A reference to one SSA value in a plan (id + format + label)."""
+
+    vid: int
+    format: str
+    name: str = ""
+
+    def __post_init__(self):
+        if self.format not in FORMATS:
+            raise PlanError(
+                f"unknown value format {self.format!r}; known: {FORMATS}"
+            )
+
+    def __repr__(self) -> str:
+        label = self.name or f"v{self.vid}"
+        return f"%{self.vid}:{self.format}({label})"
+
+
+@dataclass(frozen=True)
+class Gather:
+    """``out = source[index]`` rows, optionally ``* scale[:, None]``."""
+
+    source: ValueRef
+    index: ValueRef
+    out: ValueRef
+    scale: Optional[ValueRef] = None
+    tag: str = ""
+
+    opcode = "gather"
+
+    def operands(self) -> Tuple[ValueRef, ...]:
+        refs = (self.source, self.index)
+        return refs + ((self.scale,) if self.scale is not None else ())
+
+
+@dataclass(frozen=True)
+class ScatterReduce:
+    """Reduce rows of ``source`` into ``out[index[i]]`` slots."""
+
+    source: ValueRef
+    index: ValueRef
+    out: ValueRef
+    reduce: str = "sum"
+    tag: str = ""
+
+    opcode = "scatter"
+
+    def operands(self) -> Tuple[ValueRef, ...]:
+        return (self.source, self.index)
+
+
+@dataclass(frozen=True)
+class SpMM:
+    """Fused sparse x dense product ``out = matrix @ dense``."""
+
+    matrix: ValueRef
+    dense: ValueRef
+    out: ValueRef
+    tag: str = ""
+
+    opcode = "spmm"
+
+    def operands(self) -> Tuple[ValueRef, ...]:
+        return (self.matrix, self.dense)
+
+
+@dataclass(frozen=True)
+class SGEMM:
+    """Dense transform ``out = a @ b (+ bias)``."""
+
+    a: ValueRef
+    b: ValueRef
+    out: ValueRef
+    bias: Optional[ValueRef] = None
+    tag: str = ""
+
+    opcode = "sgemm"
+
+    def operands(self) -> Tuple[ValueRef, ...]:
+        refs = (self.a, self.b)
+        return refs + ((self.bias,) if self.bias is not None else ())
+
+
+@dataclass(frozen=True)
+class Activation:
+    """``out = activation(source)`` by registered activation name."""
+
+    source: ValueRef
+    out: ValueRef
+    function: str = "relu"
+
+    opcode = "activation"
+    tag = ""
+
+    def operands(self) -> Tuple[ValueRef, ...]:
+        return (self.source,)
+
+
+@dataclass(frozen=True)
+class Elementwise:
+    """Cheap dense combine: ``add``, ``add_bias`` or ``combine``.
+
+    ``combine`` computes ``(1 + alpha) * a + b`` — GIN's self-term mix.
+    """
+
+    kind: str
+    a: ValueRef
+    b: ValueRef
+    out: ValueRef
+    alpha: float = 0.0
+
+    opcode = "elementwise"
+    tag = ""
+
+    def __post_init__(self):
+        if self.kind not in ELEMENTWISE_KINDS:
+            raise PlanError(
+                f"unknown elementwise kind {self.kind!r}; "
+                f"known: {ELEMENTWISE_KINDS}"
+            )
+
+    def operands(self) -> Tuple[ValueRef, ...]:
+        return (self.a, self.b)
+
+
+@dataclass(frozen=True)
+class Normalize:
+    """Graph-structure preparation, dispatched by ``kind``.
+
+    Kinds are registered with the executor
+    (:data:`repro.plan.executor.NORMALIZE_KINDS`); they receive the
+    bound graph, this op's ``params`` and the resolved ``inputs``, and
+    return one value per entry of ``outs``.  Runs at execution time so
+    per-run preparation work (and any kernel launches it performs, e.g.
+    GCN's SpGEMM normalisation chain) lands in the recorded trace
+    exactly like the legacy direct paths.
+    """
+
+    kind: str
+    outs: Tuple[ValueRef, ...]
+    inputs: Tuple[ValueRef, ...] = ()
+    params: Tuple[Tuple[str, Union[int, float, str]], ...] = ()
+    tag: str = ""
+
+    opcode = "normalize"
+
+    def operands(self) -> Tuple[ValueRef, ...]:
+        return self.inputs
+
+    @property
+    def out(self) -> ValueRef:
+        return self.outs[0]
+
+    def param_dict(self) -> Dict[str, Union[int, float, str]]:
+        return dict(self.params)
+
+
+PlanOp = Union[Gather, ScatterReduce, SpMM, SGEMM, Activation, Elementwise,
+               Normalize]
+
+
+def _op_outputs(op: PlanOp) -> Tuple[ValueRef, ...]:
+    return op.outs if isinstance(op, Normalize) else (op.out,)
+
+
+@dataclass
+class ExecutionPlan:
+    """A lowered pipeline: ops + constants + input/output bindings.
+
+    The graph itself is *not* embedded — it is bound when the plan is
+    executed — so a plan depends only on the pipeline spec and the
+    graph's geometry, which is what makes plans cheap to cache.
+    """
+
+    model: str
+    flavor: str
+    ops: Tuple[PlanOp, ...]
+    inputs: Tuple[ValueRef, ...]
+    output: ValueRef
+    constants: Dict[int, np.ndarray]
+    layer_formats: Tuple[str, ...] = ()
+    meta: Dict[str, object] = field(default_factory=dict)
+
+    def op_counts(self) -> Dict[str, int]:
+        """``{opcode: occurrences}`` — the plan's kernel vocabulary."""
+        return dict(Counter(op.opcode for op in self.ops))
+
+    def constant_bytes(self) -> int:
+        """Total payload of embedded constants (weights, biases)."""
+        return int(sum(arr.nbytes for arr in self.constants.values()))
+
+    def validate(self) -> None:
+        """Check SSA well-formedness: defs precede uses, single output."""
+        defined = {ref.vid for ref in self.inputs}
+        defined.update(self.constants)
+        for op in self.ops:
+            for ref in op.operands():
+                if ref.vid not in defined:
+                    raise PlanError(
+                        f"op {op.opcode!r} reads undefined value {ref!r}"
+                    )
+            for ref in _op_outputs(op):
+                if ref.vid in defined:
+                    raise PlanError(f"value {ref!r} defined twice")
+                defined.add(ref.vid)
+        if self.output.vid not in defined:
+            raise PlanError(f"plan output {self.output!r} is never defined")
+
+    def fingerprint(self) -> str:
+        """Content hash of the plan: structure plus constant payloads."""
+        digest = hashlib.sha256()
+        digest.update(f"{self.model}|{self.flavor}|"
+                      f"{','.join(self.layer_formats)}".encode())
+        for op in self.ops:
+            digest.update(repr(op).encode())
+        digest.update(repr(self.inputs).encode())
+        digest.update(repr(self.output).encode())
+        for vid in sorted(self.constants):
+            arr = self.constants[vid]
+            digest.update(f"{vid}|{arr.dtype}|{arr.shape}".encode())
+            digest.update(np.ascontiguousarray(arr).tobytes())
+        return digest.hexdigest()
+
+    def describe(self) -> List[Tuple[str, str, str, str]]:
+        """Rows ``(step, opcode, operands, result)`` for display."""
+        rows = []
+        for i, op in enumerate(self.ops):
+            detail = op.kind if isinstance(op, (Normalize, Elementwise)) \
+                else getattr(op, "function", op.tag)
+            operands = ", ".join(repr(r) for r in op.operands())
+            outs = ", ".join(repr(r) for r in _op_outputs(op))
+            rows.append((f"{i:3d}", f"{op.opcode}"
+                         f"{f'[{detail}]' if detail else ''}",
+                         operands, outs))
+        return rows
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"ExecutionPlan(model={self.model!r}, flavor={self.flavor!r}, "
+                f"ops={len(self.ops)}, formats={list(self.layer_formats)})")
+
+
+class PlanBuilder:
+    """Incremental builder used by the lowering hooks.
+
+    Allocates :class:`ValueRef` ids, accumulates ops/constants and
+    produces a validated :class:`ExecutionPlan`.
+    """
+
+    def __init__(self, model: str, flavor: str):
+        self.model = model
+        self.flavor = flavor
+        self._ops: List[PlanOp] = []
+        self._inputs: List[ValueRef] = []
+        self._constants: Dict[int, np.ndarray] = {}
+        self._next_id = 0
+
+    # -- value allocation --------------------------------------------------
+    def _new(self, fmt: str, name: str = "") -> ValueRef:
+        ref = ValueRef(self._next_id, fmt, name)
+        self._next_id += 1
+        return ref
+
+    def input(self, name: str, fmt: str = "dense") -> ValueRef:
+        """Declare a runtime input bound by name at execution."""
+        if any(ref.name == name for ref in self._inputs):
+            raise PlanError(f"duplicate plan input {name!r}")
+        ref = self._new(fmt, name)
+        self._inputs.append(ref)
+        return ref
+
+    def constant(self, array: np.ndarray, name: str = "",
+                 fmt: Optional[str] = None) -> ValueRef:
+        """Embed a constant array (layer weights, biases, epsilon...)."""
+        array = np.asarray(array)
+        if fmt is None:
+            fmt = "vec" if array.ndim == 1 else "dense"
+        ref = self._new(fmt, name)
+        self._constants[ref.vid] = array
+        return ref
+
+    # -- op emission -------------------------------------------------------
+    def gather(self, source: ValueRef, index: ValueRef,
+               scale: Optional[ValueRef] = None, tag: str = "") -> ValueRef:
+        out = self._new("dense")
+        self._ops.append(Gather(source, index, out, scale=scale, tag=tag))
+        return out
+
+    def scatter_reduce(self, source: ValueRef, index: ValueRef,
+                       reduce: str = "sum", tag: str = "") -> ValueRef:
+        out = self._new("dense")
+        self._ops.append(ScatterReduce(source, index, out, reduce=reduce,
+                                       tag=tag))
+        return out
+
+    def spmm(self, matrix: ValueRef, dense: ValueRef, tag: str = "") -> ValueRef:
+        out = self._new("dense")
+        self._ops.append(SpMM(matrix, dense, out, tag=tag))
+        return out
+
+    def sgemm(self, a: ValueRef, b: ValueRef,
+              bias: Optional[ValueRef] = None, tag: str = "") -> ValueRef:
+        out = self._new("dense")
+        self._ops.append(SGEMM(a, b, out, bias=bias, tag=tag))
+        return out
+
+    def activation(self, source: ValueRef, function: str) -> ValueRef:
+        out = self._new("dense")
+        self._ops.append(Activation(source, out, function=function))
+        return out
+
+    def elementwise(self, kind: str, a: ValueRef, b: ValueRef,
+                    alpha: float = 0.0) -> ValueRef:
+        out = self._new("dense")
+        self._ops.append(Elementwise(kind, a, b, out, alpha=alpha))
+        return out
+
+    def normalize(self, kind: str, outputs: Tuple[Tuple[str, str], ...],
+                  inputs: Tuple[ValueRef, ...] = (),
+                  params: Optional[Dict[str, Union[int, float, str]]] = None,
+                  tag: str = "") -> Tuple[ValueRef, ...]:
+        """Emit a structure-preparation op.
+
+        ``outputs`` is a tuple of ``(name, format)`` pairs describing the
+        values the kind produces, in order.
+        """
+        outs = tuple(self._new(fmt, name) for name, fmt in outputs)
+        self._ops.append(Normalize(
+            kind, outs, inputs=tuple(inputs),
+            params=tuple(sorted((params or {}).items())), tag=tag))
+        return outs
+
+    # -- finalisation ------------------------------------------------------
+    def build(self, output: ValueRef,
+              layer_formats: Tuple[str, ...] = (),
+              meta: Optional[Dict[str, object]] = None) -> ExecutionPlan:
+        plan = ExecutionPlan(
+            model=self.model,
+            flavor=self.flavor,
+            ops=tuple(self._ops),
+            inputs=tuple(self._inputs),
+            output=output,
+            constants=dict(self._constants),
+            layer_formats=tuple(layer_formats),
+            meta=dict(meta or {}),
+        )
+        plan.validate()
+        return plan

@@ -1,0 +1,76 @@
+"""Plan construction helpers shared by the framework backends.
+
+Lowering is deterministic: a plan depends only on the pipeline spec
+(model, geometry, seed — which fixes the weights) and the bound graph's
+signature, never on feature *values*.  :func:`cached_plan` exploits
+that through the persistent content-addressed cache
+(:mod:`repro.cache`, kind ``"plan"``): repeated sweeps over the same
+grid deserialise the finished plan instead of re-lowering.  (Backends
+still construct their model/module objects per build — that cost is
+part of each framework's measured character; only the lowering step is
+skipped.)
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict
+from typing import Callable, Dict, Optional
+
+from repro.cache import compute_key, get_cache
+from repro.plan.ir import ExecutionPlan
+
+__all__ = ["graph_signature", "cached_plan"]
+
+#: Plans above this constant payload are rebuilt instead of persisted:
+#: lowering is cheaper than round-tripping tens of MB of embedded
+#: weights through the pickle store (GIN's wide MLPs on CiteSeer-class
+#: feature lengths are the offenders).
+_MAX_PERSIST_BYTES = 4 * 1024 * 1024
+
+
+def graph_signature(graph) -> Dict[str, object]:
+    """The geometry a plan depends on (plans never embed graph data)."""
+    return {
+        "name": graph.name,
+        "num_nodes": graph.num_nodes,
+        "num_edges": graph.num_edges,
+        "num_features": graph.num_features,
+    }
+
+
+def cached_plan(flavor: str, spec, graph, build: Callable[[], ExecutionPlan],
+                extra: Optional[Dict[str, object]] = None) -> ExecutionPlan:
+    """Fetch (or build and persist) the plan for one pipeline.
+
+    Parameters
+    ----------
+    flavor:
+        The lowering flavour (``"native"``, ``"pyg"``, ``"dgl"``,
+        ``"adaptive"``) — part of the cache key because each backend
+        lowers the same spec differently.
+    spec:
+        The :class:`~repro.frameworks.base.PipelineSpec`.
+    graph:
+        The workload graph; only its signature enters the key.
+    build:
+        Zero-argument callable producing the plan on a cache miss.
+    extra:
+        Additional key material (e.g. the adaptive planner's chosen
+        formats).
+    """
+    cache = get_cache()
+    key = compute_key("plan", {
+        "flavor": flavor,
+        "spec": asdict(spec),
+        "graph": graph_signature(graph),
+        "extra": extra or {},
+    })
+    plan = cache.get("plan", key)
+    if plan is None:
+        plan = build()
+        if plan.constant_bytes() <= _MAX_PERSIST_BYTES:
+            cache.put("plan", key, plan, meta={
+                "flavor": flavor, "model": spec.model,
+                "graph": graph.name or "custom",
+            })
+    return plan

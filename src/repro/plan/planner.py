@@ -1,0 +1,218 @@
+"""Cost-model-driven format selection for execution plans.
+
+The same GNN layer can execute as message passing (gather + scatter
+over an edge list) or as a fused SpMM over CSR, and which one wins is
+workload-dependent: the CSR exemplars show SpMM >1.3x faster on
+Reddit-scale graphs yet *losing* on Cora-scale ones.  This module turns
+that observation into an explicit decision procedure built on the
+per-kernel instruction costs of
+:mod:`repro.core.kernels.costmodel` plus three graph statistics:
+
+* **average degree** — SpMM's row-major traversal pays a per-row
+  overhead (``indptr`` walks, row startup) that only amortises when
+  rows hold enough nonzeros.  Sparse citation graphs (``E/V ~ 2``)
+  leave SpMM underutilised; Reddit's ``E/V ~ 50`` feeds it perfectly.
+* **feature width** — the row-copy inner loops of *all* the sparse
+  kernels keep only ``min(32, f)`` warp lanes busy (see
+  ``active_lanes`` in the kernel emitters), inflating the absolute cost
+  of narrow-feature workloads on both paths; the penalty cancels in the
+  MP-vs-SpMM comparison but keeps the one-off setup amortisation
+  honest: per-layer savings scale with ``f`` while structure setup does
+  not, so narrow-feature workloads need a clearer win to flip.
+* **degree skew** — scatter's atomic reductions collide on hub nodes;
+  heavier-tailed degree distributions raise MP's effective cost.
+
+Choosing SpMM additionally charges a one-off structure-preparation
+cost (CSR materialisation / the SpGEMM normalisation chain), so a plan
+only flips layers to SpMM when the per-layer savings beat the setup —
+which is exactly why Cora-scale graphs stay on MP end to end.
+
+Statistics come either from a live :class:`~repro.graph.graph.Graph`
+(:meth:`GraphStats.from_graph`) or from a
+:class:`~repro.datasets.specs.DatasetSpec`
+(:meth:`GraphStats.from_spec`), so full-size decisions can be computed
+without materialising a 69M-edge workload.  Scaled benchmark graphs
+preserve average degree, hence also preserve the decision.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence, Tuple
+
+from repro.core.kernels.costmodel import COSTS
+from repro.core.kernels.launch import WARP_SIZE
+from repro.datasets.specs import DatasetSpec
+from repro.graph import Graph
+
+__all__ = ["GraphStats", "mp_layer_cost", "spmm_layer_cost",
+           "spmm_setup_cost", "choose_formats", "explain_choice"]
+
+
+def _instructions_per_unit(kernel: str) -> float:
+    cost = COSTS[kernel]
+    return cost.fp32 + cost.int_ops + cost.ldst + cost.control + cost.other
+
+
+#: Dynamic instructions per element of logical work, from the Fig. 5
+#: calibrated kernel cost models.
+_GATHER_UNIT = _instructions_per_unit("indexSelect")
+_SCATTER_UNIT = _instructions_per_unit("scatter")
+_SPMM_UNIT = _instructions_per_unit("spmm")
+_SPGEMM_UNIT = _instructions_per_unit("SpGEMM")
+
+#: SpMM row-traversal overhead, in equivalent nonzeros per matrix row
+#: (indptr loads, row startup, short-row warp underutilisation).  Sets
+#: the average-degree crossover: rows sparser than roughly this many
+#: nonzeros leave the fused kernel waiting on structure walks.
+_ROW_OVERHEAD_NNZ = 8.0
+
+#: Strength of the atomic-contention penalty on scatter (log-damped).
+_CONTENTION_WEIGHT = 0.05
+
+
+@dataclass(frozen=True)
+class GraphStats:
+    """The workload statistics the planner consumes."""
+
+    num_nodes: int
+    num_edges: int
+    feature_width: int
+    avg_degree: float
+    density: float
+    degree_skew: float   # max in-degree / mean in-degree (>= 1)
+
+    @classmethod
+    def from_graph(cls, graph: Graph) -> "GraphStats":
+        """Measure a materialised workload graph."""
+        in_degrees = graph.in_degrees()
+        mean = float(in_degrees.mean()) if in_degrees.size else 0.0
+        skew = float(in_degrees.max()) / mean if mean > 0 else 1.0
+        cells = graph.num_nodes * graph.num_nodes
+        return cls(
+            num_nodes=graph.num_nodes,
+            num_edges=graph.num_edges,
+            feature_width=graph.num_features,
+            avg_degree=graph.num_edges / graph.num_nodes
+            if graph.num_nodes else 0.0,
+            density=graph.num_edges / cells if cells else 0.0,
+            degree_skew=max(1.0, skew),
+        )
+
+    @classmethod
+    def from_spec(cls, spec: DatasetSpec) -> "GraphStats":
+        """Estimate statistics from a Table IV dataset spec.
+
+        The maximum degree of a power-law graph with exponent ``gamma``
+        scales as ``V**(1 / (gamma - 1))`` — enough fidelity for the
+        (log-damped) contention term.
+        """
+        cells = spec.num_nodes * spec.num_nodes
+        max_degree = spec.num_nodes ** (1.0 / (spec.degree_exponent - 1.0))
+        avg = spec.average_degree
+        return cls(
+            num_nodes=spec.num_nodes,
+            num_edges=spec.num_edges,
+            feature_width=spec.feature_length,
+            avg_degree=avg,
+            density=spec.num_edges / cells if cells else 0.0,
+            degree_skew=max(1.0, max_degree / avg) if avg > 0 else 1.0,
+        )
+
+
+def _lane_penalty(feature_width: int) -> float:
+    """Warp-lane underutilisation of the sparse row-copy inner loops.
+
+    Applies to gather/scatter *and* SpMM alike — all three keep
+    ``min(32, f)`` lanes busy per row — so it cancels when comparing
+    the two paths but keeps absolute estimates comparable against the
+    width-independent structure-setup cost.
+    """
+    return WARP_SIZE / min(WARP_SIZE, max(1, feature_width))
+
+
+def _contention(stats: GraphStats) -> float:
+    """Atomic-collision multiplier on scatter (1 for a flat graph)."""
+    return 1.0 + _CONTENTION_WEIGHT * math.log1p(stats.degree_skew)
+
+
+def mp_layer_cost(stats: GraphStats, feature_width: int) -> float:
+    """Estimated instructions for one MP layer (gather + scatter)."""
+    elements = float(stats.num_edges) * max(1, feature_width)
+    gather = _GATHER_UNIT * elements
+    scatter = _SCATTER_UNIT * elements * _contention(stats)
+    return (gather + scatter) * _lane_penalty(feature_width)
+
+
+def spmm_layer_cost(stats: GraphStats, feature_width: int) -> float:
+    """Estimated instructions for one fused SpMM layer."""
+    effective_nnz = stats.num_edges + _ROW_OVERHEAD_NNZ * stats.num_nodes
+    return (_SPMM_UNIT * effective_nnz * max(1, feature_width)
+            * _lane_penalty(feature_width))
+
+
+def spmm_setup_cost(stats: GraphStats) -> float:
+    """One-off cost of materialising the SpMM structure per run.
+
+    Models the CSR build plus the normalisation chain (for GCN, two
+    SpGEMM launches whose expansion is ``E + V`` partial products).
+    """
+    return _SPGEMM_UNIT * (stats.num_edges + stats.num_nodes)
+
+
+def choose_formats(dims: Sequence[Tuple[int, int]], stats: GraphStats,
+                   allowed: Sequence[str] = ("MP", "SpMM"),
+                   ) -> Tuple[str, ...]:
+    """Per-layer execution format for a stack with layer ``dims``.
+
+    ``dims`` is the model's ``(fan_in, fan_out)`` list; the cost of a
+    layer is driven by its *input* feature width (aggregation runs at
+    that width for every model in the zoo).  When the per-layer greedy
+    choice selects SpMM somewhere, the aggregate saving must also beat
+    the one-off structure setup, otherwise the plan stays MP-only.
+    """
+    if "SpMM" not in allowed:
+        return tuple("MP" for _ in dims)
+    if "MP" not in allowed:
+        return tuple("SpMM" for _ in dims)
+
+    decisions = []
+    saving = 0.0
+    for fan_in, _ in dims:
+        mp = mp_layer_cost(stats, fan_in)
+        sp = spmm_layer_cost(stats, fan_in)
+        if sp < mp:
+            decisions.append("SpMM")
+            saving += mp - sp
+        else:
+            decisions.append("MP")
+    if "SpMM" in decisions and saving <= spmm_setup_cost(stats):
+        return tuple("MP" for _ in dims)
+    return tuple(decisions)
+
+
+def explain_choice(dims: Sequence[Tuple[int, int]], stats: GraphStats,
+                   chosen: Sequence[str] = ()) -> str:
+    """Human-readable per-layer cost breakdown (CLI ``gsuite plan``).
+
+    ``chosen`` is the planner's *final* per-layer selection; when given,
+    each line reports it (the raw cost comparison alone can differ from
+    the outcome once the model's allowed lowerings and the SpMM
+    setup-amortisation gate apply).
+    """
+    lines = [
+        f"avg degree {stats.avg_degree:.1f}, skew {stats.degree_skew:.1f}, "
+        f"feature width {stats.feature_width}, "
+        f"setup {spmm_setup_cost(stats):.3g} instr"
+    ]
+    for layer, (fan_in, _) in enumerate(dims):
+        mp = mp_layer_cost(stats, fan_in)
+        sp = spmm_layer_cost(stats, fan_in)
+        picked = chosen[layer] if layer < len(chosen) \
+            else ("SpMM" if sp < mp else "MP")
+        lines.append(
+            f"layer {layer} (f={fan_in}): MP {mp:.3g} vs SpMM {sp:.3g} "
+            f"-> {picked}"
+        )
+    return "\n".join(lines)

@@ -65,7 +65,8 @@ class TestFig3:
     def test_grid_covers_all_variants(self):
         rows = fig3.rows(MICRO)
         labels = {r[0] for r in rows}
-        assert labels == {"PyG", "DGL", "gSuite-MP", "gSuite-SpMM"}
+        assert labels == {"PyG", "DGL", "gSuite-MP", "gSuite-SpMM",
+                          "gSuite-Adaptive"}
         # SAG has no SpMM implementation.
         assert not any(r[0] == "gSuite-SpMM" and r[1] == "SAGE" for r in rows)
         assert all(r[3] > 0 and r[4] > 0 for r in rows)

@@ -84,3 +84,57 @@ class TestExecution:
                                      framework="dgl", compute_model="SpMM")
         a, b = mp.run(), sp.run()
         assert np.allclose(a, b, atol=1e-3)  # same function, two frameworks
+
+    def test_adaptive_backend_dispatch(self):
+        pipe = GNNPipeline.from_params(dataset="cora", scale=0.1,
+                                       framework="gsuite-adaptive")
+        assert pipe.figure_label() == "gSuite-Adaptive"
+        assert pipe.run().shape == (pipe.graph.num_nodes, 7)
+
+    def test_plan_accessor_exposes_lowered_ir(self, pipeline):
+        plan = pipeline.plan()
+        assert plan is not None
+        assert plan.op_counts()  # non-empty op stream
+
+
+class TestPersistentCacheUse:
+    """simulate()/profile() must hit results/.cache like the bench engine."""
+
+    def _fresh(self):
+        return GNNPipeline.from_params(model="gcn", dataset="cora",
+                                       scale=0.1)
+
+    def test_simulate_populates_and_hits_cache(self):
+        from repro.cache import get_cache
+        cache = get_cache()
+        first = self._fresh().simulate()
+        assert cache.stats.stores > 0           # launches persisted
+        before_hits = cache.stats.hits
+        second = self._fresh().simulate()       # fresh pipeline, same trace
+        assert cache.stats.hits > before_hits
+        assert [r.cycles for r in second] == [r.cycles for r in first]
+
+    def test_profile_populates_and_hits_cache(self):
+        from repro.cache import get_cache
+        cache = get_cache()
+        first = self._fresh().profile()
+        assert cache.stats.stores > 0
+        before_hits = cache.stats.hits
+        second = self._fresh().profile()
+        assert cache.stats.hits > before_hits
+        assert ([r.l1_hit_rate for r in second]
+                == [r.l1_hit_rate for r in first])
+
+    def test_explicit_cache_override(self, tmp_path):
+        from repro.cache import TraceCache
+        private = TraceCache(tmp_path / "private-cache")
+        self._fresh().simulate(cache=private)
+        assert private.stats.stores > 0
+        self._fresh().profile(cache=private)
+        assert private.stats.stores > 0
+
+    def test_explicit_simulator_untouched(self):
+        sim = GpuSimulator(v100_config(max_cycles=2_000))
+        results = self._fresh().simulate(sim)
+        assert sim.cache is None                # as configured
+        assert results

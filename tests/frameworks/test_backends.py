@@ -38,12 +38,13 @@ class TestPipelineSpec:
 
 class TestRegistry:
     def test_all_backends_present(self):
-        assert set(BACKENDS) == {"gsuite", "pyg", "dgl"}
+        assert set(BACKENDS) == {"gsuite", "pyg", "dgl", "gsuite-adaptive"}
         assert set(BACKEND_NAMES) == set(BACKENDS)
 
     def test_aliases(self):
         assert get_backend("none").name == "gsuite"
         assert get_backend("PyTorch-Geometric").name == "PyG"
+        assert get_backend("adaptive").name == "gsuite-adaptive"
 
     def test_unknown_backend(self):
         with pytest.raises(BackendError):

@@ -1,0 +1,88 @@
+"""Tests for the plan executor's dispatch, hooks, and error paths."""
+
+import numpy as np
+import pytest
+
+from repro.errors import PlanError
+from repro.graph import Graph
+from repro.plan import (
+    NORMALIZE_KINDS,
+    PlanBuilder,
+    PlanExecutor,
+    register_normalize,
+)
+
+
+@pytest.fixture()
+def graph():
+    edge_index = np.array([[0, 1, 2, 2], [1, 2, 0, 1]], dtype=np.int64)
+    features = np.arange(12, dtype=np.float32).reshape(3, 4)
+    return Graph(edge_index, features=features, name="tiny")
+
+
+def _gather_plan():
+    b = PlanBuilder(model="gcn", flavor="native")
+    x = b.input("X", fmt="dense")
+    src, dst = b.normalize("edge_endpoints",
+                           outputs=(("src", "edge"), ("dst", "edge")))
+    messages = b.gather(x, src, tag="t")
+    agg = b.scatter_reduce(messages, dst, reduce="sum", tag="t")
+    return b.build(agg)
+
+
+class TestExecution:
+    def test_gather_scatter_matches_numpy(self, graph):
+        out = PlanExecutor().run(_gather_plan(), graph,
+                                 {"X": graph.features})
+        expected = np.zeros_like(graph.features)
+        np.add.at(expected, graph.dst, graph.features[graph.src])
+        assert np.allclose(out, expected)
+
+    def test_elementwise_combine(self, graph):
+        b = PlanBuilder(model="gin", flavor="native")
+        x = b.input("X")
+        y = b.constant(np.ones((3, 4), dtype=np.float32))
+        out = b.elementwise("combine", x, y, alpha=0.5)
+        plan = b.build(out)
+        result = PlanExecutor().run(plan, graph, {"X": graph.features})
+        assert np.allclose(result, 1.5 * graph.features + 1.0)
+
+    def test_on_op_hook_sees_every_op(self, graph):
+        seen = []
+        executor = PlanExecutor(on_op=lambda op, result: seen.append(op.opcode))
+        executor.run(_gather_plan(), graph, {"X": graph.features})
+        assert seen == ["normalize", "gather", "scatter"]
+
+
+class TestErrors:
+    def test_missing_input_rejected(self, graph):
+        with pytest.raises(PlanError):
+            PlanExecutor().run(_gather_plan(), graph, {})
+
+    def test_unexpected_input_rejected(self, graph):
+        with pytest.raises(PlanError):
+            PlanExecutor().run(_gather_plan(), graph,
+                               {"X": graph.features, "Y": graph.features})
+
+    def test_unknown_normalize_kind_rejected(self, graph):
+        b = PlanBuilder(model="gcn", flavor="native")
+        b.input("X")
+        out, = b.normalize("does_not_exist", outputs=(("z", "vec"),))
+        plan = b.build(out)
+        with pytest.raises(PlanError):
+            PlanExecutor().run(plan, graph, {"X": graph.features})
+
+    def test_register_normalize_rejects_duplicates(self):
+        kind = next(iter(NORMALIZE_KINDS))
+        with pytest.raises(PlanError):
+            register_normalize(kind, lambda *a: ())
+
+    def test_normalize_arity_mismatch_rejected(self, graph):
+        register_normalize("test_arity", lambda g, p, i, t: (1, 2),
+                           overwrite=True)
+        b = PlanBuilder(model="gcn", flavor="native")
+        b.input("X")
+        out, = b.normalize("test_arity", outputs=(("one", "vec"),))
+        plan = b.build(out)
+        with pytest.raises(PlanError):
+            PlanExecutor().run(plan, graph, {"X": graph.features})

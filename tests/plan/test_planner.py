@@ -1,0 +1,141 @@
+"""Tests for the cost-model planner and the gsuite-adaptive backend.
+
+The acceptance contract: the planner must select SpMM on the
+social-network workloads (reddit, livejournal) and MP on the citation
+workloads (cora, citeseer) — from the full-size Table IV specs *and*
+from scaled live graphs (scaling preserves average degree, hence the
+decision).
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.models import build_model
+from repro.datasets import get_spec, load_dataset
+from repro.errors import ModelError
+from repro.frameworks import get_backend, PipelineSpec
+from repro.plan import (
+    GraphStats,
+    choose_formats,
+    explain_choice,
+    mp_layer_cost,
+    spmm_layer_cost,
+    spmm_setup_cost,
+)
+
+#: dataset -> format every layer must use, per the paper-scale stats.
+EXPECTED = {
+    "cora": "MP",
+    "citeseer": "MP",
+    "pubmed": "MP",
+    "reddit": "SpMM",
+    "livejournal": "SpMM",
+}
+
+
+def _dims(spec):
+    return [(spec.feature_length, 16), (16, spec.num_classes)]
+
+
+class TestGraphStats:
+    def test_from_spec_matches_table_iv(self):
+        stats = GraphStats.from_spec(get_spec("reddit"))
+        assert stats.num_nodes == 232_965
+        assert stats.avg_degree == pytest.approx(49.8, abs=0.1)
+        assert stats.degree_skew > 1.0
+
+    def test_from_graph_measures_live_workload(self):
+        graph = load_dataset("cora", scale=0.2, seed=0)
+        stats = GraphStats.from_graph(graph)
+        assert stats.num_nodes == graph.num_nodes
+        assert stats.num_edges == graph.num_edges
+        assert stats.feature_width == graph.num_features
+        assert stats.degree_skew >= 1.0
+
+    def test_scaling_preserves_average_degree(self):
+        full = GraphStats.from_spec(get_spec("reddit"))
+        scaled = GraphStats.from_graph(load_dataset("reddit", scale=0.005,
+                                                    seed=0))
+        assert scaled.avg_degree == pytest.approx(full.avg_degree, rel=0.15)
+
+
+class TestFormatSelection:
+    @pytest.mark.parametrize("dataset,expected", sorted(EXPECTED.items()))
+    def test_full_size_spec_decision(self, dataset, expected):
+        spec = get_spec(dataset)
+        formats = choose_formats(_dims(spec), GraphStats.from_spec(spec))
+        assert formats == (expected, expected)
+
+    @pytest.mark.parametrize("dataset,scale", [
+        ("cora", 0.3), ("citeseer", 0.3), ("reddit", 0.005),
+        ("livejournal", 0.001),
+    ])
+    def test_scaled_graph_decision_matches(self, dataset, scale):
+        graph = load_dataset(dataset, scale=scale, seed=0)
+        spec = get_spec(dataset)
+        formats = choose_formats(_dims(spec), GraphStats.from_graph(graph))
+        assert set(formats) == {EXPECTED[dataset]}
+
+    def test_mp_only_models_never_flip(self):
+        stats = GraphStats.from_spec(get_spec("reddit"))
+        formats = choose_formats(_dims(get_spec("reddit")), stats,
+                                 allowed=("MP",))
+        assert formats == ("MP", "MP")
+
+    def test_spmm_only_selection(self):
+        stats = GraphStats.from_spec(get_spec("cora"))
+        formats = choose_formats(_dims(get_spec("cora")), stats,
+                                 allowed=("SpMM",))
+        assert formats == ("SpMM", "SpMM")
+
+    def test_costs_scale_with_edges(self):
+        small = GraphStats.from_spec(get_spec("cora"))
+        large = GraphStats.from_spec(get_spec("reddit"))
+        assert mp_layer_cost(large, 64) > mp_layer_cost(small, 64)
+        assert spmm_layer_cost(large, 64) > spmm_layer_cost(small, 64)
+        assert spmm_setup_cost(large) > spmm_setup_cost(small)
+
+    def test_explain_choice_mentions_every_layer(self):
+        spec = get_spec("cora")
+        text = explain_choice(_dims(spec), GraphStats.from_spec(spec))
+        assert "layer 0" in text and "layer 1" in text
+
+
+class TestAdaptiveBackend:
+    @pytest.mark.parametrize("dataset,scale", [
+        ("cora", 0.3), ("reddit", 0.005),
+    ])
+    def test_backend_applies_planner_choice(self, dataset, scale):
+        graph = load_dataset(dataset, scale=scale, seed=0)
+        built = get_backend("gsuite-adaptive").build(
+            PipelineSpec(model="gcn", out_features=3), graph)
+        assert set(built.formats) == {EXPECTED[dataset]}
+        assert built.plan.layer_formats == built.formats
+        out = built.run()
+        assert out.shape == (graph.num_nodes, 3)
+        assert np.all(np.isfinite(out))
+
+    def test_sage_lowers_to_spmm_on_reddit(self):
+        """SAGE is MP-only on the direct path but SpMM-lowerable."""
+        graph = load_dataset("reddit", scale=0.005, seed=0)
+        built = get_backend("gsuite-adaptive").build(
+            PipelineSpec(model="sage", out_features=3), graph)
+        assert set(built.formats) == {"SpMM"}
+        assert np.all(np.isfinite(built.run()))
+
+    def test_gat_stays_mp_everywhere(self):
+        graph = load_dataset("reddit", scale=0.005, seed=0)
+        built = get_backend("gsuite-adaptive").build(
+            PipelineSpec(model="gat", out_features=3), graph)
+        assert set(built.formats) == {"MP"}
+
+    def test_figure_label(self):
+        backend = get_backend("gsuite-adaptive")
+        assert backend.figure_label(PipelineSpec()) == "gSuite-Adaptive"
+
+    def test_model_rejects_unlowerable_format(self):
+        graph = load_dataset("cora", scale=0.1, seed=0)
+        model = build_model("gat", in_features=graph.num_features, hidden=8,
+                            out_features=3, compute_model="MP")
+        with pytest.raises(ModelError):
+            model.lower(["SpMM", "SpMM"])
