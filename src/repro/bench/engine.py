@@ -26,20 +26,20 @@ what makes warm reruns cheap regardless of parallelism.
 
 from __future__ import annotations
 
-import multiprocessing
 import sys
 import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
 from repro.bench import common, experiments
+from repro.bench.pool import WorkerPool
 from repro.bench.profiles import BenchProfile, active_profile
 from repro.bench.tables import write_result
 from repro.cache import CacheStats, env_enabled, get_cache
 from repro.errors import ConfigError
 
-__all__ = ["EXPERIMENTS", "CellTiming", "SuiteReport", "collect_cells",
-           "run_suite"]
+__all__ = ["EXPERIMENTS", "CellTiming", "SuiteReport", "WorkerPool",
+           "collect_cells", "run_suite"]
 
 #: Experiment id -> driver module, in paper order.
 EXPERIMENTS = {
@@ -119,14 +119,11 @@ def _run_wave(cells: List[common.WorkCell], profile: BenchProfile,
     if not cells:
         return
     tasks = [(cell, profile, use_cache) for cell in cells]
-    pooled = jobs > 1 and len(cells) > 1
-    if pooled:
-        # A fresh pool per wave: forked workers inherit every memo the
-        # parent has seeded so far, so later waves reuse earlier traces.
-        with multiprocessing.Pool(processes=min(jobs, len(cells))) as pool:
-            outcomes = pool.map(_execute_cell, tasks, chunksize=1)
-    else:
-        outcomes = [_execute_cell(task) for task in tasks]
+    # A fresh pool per wave: forked workers inherit every memo the
+    # parent has seeded so far, so later waves reuse earlier traces.
+    with WorkerPool(min(jobs, len(cells))) as pool:
+        outcomes = pool.map(_execute_cell, tasks, chunksize=1)
+        pooled = pool.forked
     for cell, value, seconds, delta in outcomes:
         common.seed_cell(cell, profile, value)
         # "cached" means nothing was computed: at least one hit and no

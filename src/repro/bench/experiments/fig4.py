@@ -123,15 +123,23 @@ def checks(result_rows: List[Tuple]) -> Dict[str, bool]:
     spmm_uses_sp = all(
         r[6] > 0 for r in result_rows if r[0] in ("DGL", "gSuite-SpMM"))
 
-    # The planner's choices are visible in the kernel mix: gather/
-    # scatter kernels on sparse citation graphs, fused SpMM kernels on
-    # the dense social graphs (sg/sc/is/sp columns, in that order).
-    adaptive_cr = split("gSuite-Adaptive", "GCN", "CR")
-    adaptive_rd = split("gSuite-Adaptive", "GCN", "RD")
+    # The planner's choices are visible in the kernel mix (sg/sc/is/sp
+    # columns, in that order): gather/scatter kernels on sparse citation
+    # graphs, fused SpMM kernels on the dense social graphs.  GIN
+    # aggregates at the input width, so it flips wholesale; GCN's
+    # calibrated transform-first MP path keeps layer 0 on gather/scatter
+    # even on Reddit (the width hook models its aggregation at the
+    # output width), so its Reddit plan is mixed — both kernel families
+    # present.
+    adaptive_gin_cr = split("gSuite-Adaptive", "GIN", "CR")
+    adaptive_gin_rd = split("gSuite-Adaptive", "GIN", "RD")
+    adaptive_gcn_rd = split("gSuite-Adaptive", "GCN", "RD")
     adaptive_follows_planner = (
-        adaptive_cr is not None and adaptive_rd is not None
-        and adaptive_cr[3] == 0 and adaptive_cr[1] > 0    # cora: MP kernels
-        and adaptive_rd[3] > 0 and adaptive_rd[1] == 0    # reddit: SpMM
+        adaptive_gin_cr is not None and adaptive_gin_rd is not None
+        and adaptive_gcn_rd is not None
+        and adaptive_gin_cr[3] == 0 and adaptive_gin_cr[1] > 0  # cora: MP
+        and adaptive_gin_rd[3] > 0 and adaptive_gin_rd[1] == 0  # reddit: SpMM
+        and adaptive_gcn_rd[3] > 0 and adaptive_gcn_rd[1] > 0   # mixed plan
     )
     return {
         "distributions_normalised": normalised,

@@ -1,0 +1,80 @@
+"""The reusable process pool shared by the bench engine and the plan layer.
+
+Extracted from :mod:`repro.bench.engine` so that work other than bench
+cells — most importantly the sharded plan executor
+(:mod:`repro.plan.sharding`) — can fan tasks across worker processes
+through one facade.  A :class:`WorkerPool` wraps
+:class:`multiprocessing.Pool` with two conveniences:
+
+* ``jobs=1`` (or a single task) degrades to plain in-process mapping,
+  so callers never branch on parallelism themselves and serial runs
+  stay exactly serial — no pool, no pickling, no forked state;
+* the underlying pool is created lazily on the first parallel ``map``
+  and torn down by :meth:`close` / the context manager, so short-lived
+  callers pay nothing and long-lived callers (a sharded multi-layer
+  plan dispatching one wave per aggregation op) reuse one set of
+  workers.
+
+Mapped functions must be module-level callables and tasks must pickle,
+exactly as :mod:`multiprocessing` requires on every start method.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+from typing import Callable, Iterable, List, Optional
+
+from repro.errors import ConfigError
+
+__all__ = ["WorkerPool"]
+
+
+class WorkerPool:
+    """A lazily-created process pool with a serial fast path.
+
+    Parameters
+    ----------
+    jobs:
+        Worker process count.  ``1`` means in-process execution: ``map``
+        simply calls the function on each task in order.
+    """
+
+    def __init__(self, jobs: int = 1):
+        if jobs < 1:
+            raise ConfigError(f"jobs must be >= 1, got {jobs}")
+        self.jobs = int(jobs)
+        self._pool: Optional[multiprocessing.pool.Pool] = None
+        self._forked = False
+
+    def map(self, fn: Callable, tasks: Iterable, chunksize: int = 1) -> List:
+        """``[fn(t) for t in tasks]``, fanned across workers when it pays.
+
+        Order of results always matches task order.  A single task (or
+        ``jobs=1``) runs in-process even when a pool exists, so trivial
+        waves never pay dispatch overhead.
+        """
+        tasks = list(tasks)
+        if self.jobs > 1 and len(tasks) > 1:
+            if self._pool is None:
+                self._pool = multiprocessing.Pool(processes=self.jobs)
+            self._forked = True
+            return self._pool.map(fn, tasks, chunksize=chunksize)
+        return [fn(task) for task in tasks]
+
+    @property
+    def forked(self) -> bool:
+        """Whether any ``map`` so far actually ran on worker processes."""
+        return self._forked
+
+    def close(self) -> None:
+        """Tear down the worker processes (idempotent)."""
+        if self._pool is not None:
+            self._pool.close()
+            self._pool.join()
+            self._pool = None
+
+    def __enter__(self) -> "WorkerPool":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

@@ -15,7 +15,8 @@ that hashes *all* of those inputs, so
   filesystem without coordination (writes are atomic renames).
 
 Layout: ``<root>/<kind>/<sha256>.pkl`` where ``kind`` is one of the
-:data:`KINDS` ("record", "sim", "profile", "timing").  The default root
+:data:`KINDS` ("record", "sim", "profile", "timing", "plan",
+"shard").  The default root
 is ``results/.cache`` next to the benchmark tables; override with the
 ``GSUITE_CACHE_DIR`` environment variable, disable entirely with
 ``GSUITE_CACHE=0``.
@@ -48,8 +49,11 @@ __all__ = [
 
 #: Artifact kinds the benchmark layers store.  "plan" holds lowered
 #: :class:`~repro.plan.ir.ExecutionPlan` objects so repeated sweeps
-#: skip the lowering step.
-KINDS = ("record", "sim", "profile", "timing", "plan")
+#: skip the lowering step; "shard" holds per-shard execution results
+#: (output rows + shard-local launch records) of sharded plan
+#: execution, keyed by the shard sub-plan and its operand content (see
+#: :mod:`repro.plan.sharding`).
+KINDS = ("record", "sim", "profile", "timing", "plan", "shard")
 
 #: Bump to invalidate every existing cache entry (format changes).
 _SCHEMA_VERSION = 1

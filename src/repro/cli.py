@@ -62,6 +62,10 @@ def build_parser() -> argparse.ArgumentParser:
                        help="JSON config file with default parameters")
         p.add_argument("--repeats", type=int, default=3,
                        help="timing repeats (default 3)")
+        p.add_argument("--shards", type=int, default=1,
+                       help="destination-range plan shards: 0 lets the "
+                            "planner decide, 1 disables (default), K >= 2 "
+                            "forces K shards")
 
     for name, help_text in (
             ("run", "run one inference pass"),
@@ -100,6 +104,7 @@ def _pipeline_from_args(args) -> GNNPipeline:
         scale=args.scale,
         seed=args.seed,
         repeats=args.repeats,
+        shards=args.shards,
     )
     if args.config:
         config = SuiteConfig.from_file(args.config, **overrides)
@@ -181,10 +186,27 @@ def _cmd_plan(args) -> int:
           f"{len(plan.ops)} ops, layer formats [{formats}]")
     print(f"fingerprint: {plan.fingerprint()[:16]}")
     if getattr(built, "formats", None) is not None and plan.meta.get("dims"):
+        from repro.core.models import get_model_class
         from repro.plan import GraphStats, explain_choice
         print(explain_choice(plan.meta["dims"],
                              GraphStats.from_graph(pipeline.graph),
-                             chosen=built.formats))
+                             chosen=built.formats,
+                             width_hook=get_model_class(
+                                 args.model).aggregation_width))
+    # The policy build() chose and applied (None = unsharded), so the
+    # report can't drift from execution and nothing is recomputed.
+    policy = getattr(built, "sharding", None)
+    if policy is not None:
+        from repro.plan import find_shard_groups, shard_ranges
+        ranges = shard_ranges(pipeline.graph.num_nodes, policy.num_shards)
+        groups = find_shard_groups(plan)
+        print(f"sharding: {len(ranges)} destination-range shards "
+              f"({policy.source}) over {len(groups)} aggregation op(s)")
+    elif args.shards != 1 and not built.can_shard():
+        print(f"sharding: unavailable (backend {args.framework!r} does "
+              f"not execute plans shardably)")
+    else:
+        print("sharding: off (1 shard; --shards 0 lets the planner decide)")
     print(format_table(("Step", "Op", "Operands", "Result"),
                        plan.describe(), title="Execution plan"))
     return 0

@@ -43,6 +43,8 @@ class SuiteConfig:
     scale: float = 1.0            # dataset down-scaling for CI-sized runs
     repeats: int = 3              # paper: "run three times; mean collected"
     sample_cap: int = 1_000_000   # memory-trace sampling budget
+    shards: int = 1               # plan sharding: 0 = planner decides,
+                                  # 1 = unsharded, K >= 2 = force K shards
 
     def __post_init__(self):
         if self.num_layers < 1:
@@ -59,6 +61,10 @@ class SuiteConfig:
             raise ConfigError(f"repeats must be >= 1, got {self.repeats}")
         if self.sample_cap < 1:
             raise ConfigError(f"sample_cap must be >= 1, got {self.sample_cap}")
+        if self.shards < 0:
+            raise ConfigError(
+                f"shards must be >= 0 (0 = planner decides), got {self.shards}"
+            )
         if self.compute_model not in ("MP", "SpMM"):
             raise ConfigError(
                 f"compute_model must be 'MP' or 'SpMM', got {self.compute_model!r}"

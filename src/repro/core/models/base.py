@@ -171,6 +171,19 @@ class GNNModel:
                  features: Optional[np.ndarray] = None) -> np.ndarray:
         return self.forward(graph, features)
 
+    # -- cost-model calibration ---------------------------------------------
+    @classmethod
+    def aggregation_width(cls, fmt: str, fan_in: int, fan_out: int) -> int:
+        """The feature width one layer's aggregation runs at under ``fmt``.
+
+        The planner's per-layer cost estimates are driven by this hook.
+        The default — aggregate at the *input* width — matches models
+        that gather raw features before transforming (GIN, SAGE).
+        Transform-first models override: GCN's MP path multiplies by
+        ``W`` before gathering, so its messages are ``fan_out`` wide.
+        """
+        return fan_in
+
     # -- plan lowering ------------------------------------------------------
     def supported_lowerings(self) -> Sequence[str]:
         """Execution formats :meth:`lower` accepts per layer."""

@@ -65,6 +65,11 @@ class GAT(GNNModel):
     name = "gat"
     supported_compute_models = ("MP",)
 
+    @classmethod
+    def aggregation_width(cls, fmt: str, fan_in: int, fan_out: int) -> int:
+        """GAT gathers the transformed ``h = x @ W``: output width."""
+        return fan_out
+
     def _init_layer(self, fan_in: int, fan_out: int) -> dict:
         return {
             "W": self._glorot(fan_in, fan_out),

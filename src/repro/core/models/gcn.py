@@ -61,6 +61,13 @@ class GCN(GNNModel):
     name = "gcn"
     supported_compute_models = ("MP", "SpMM")
 
+    @classmethod
+    def aggregation_width(cls, fmt: str, fan_in: int, fan_out: int) -> int:
+        """GCN transforms first on the MP path (Fig. 2), so gather and
+        scatter run at the layer's *output* width; the SpMM path
+        propagates the untransformed features at the input width."""
+        return fan_out if fmt == "MP" else fan_in
+
     def prepare(self, graph: Graph) -> dict:
         """Graph-dependent state.
 

@@ -92,9 +92,69 @@ class GNNPipeline:
         return self._backend.name
 
     # -- execution ------------------------------------------------------------
-    def build(self):
-        """Construct the backend pipeline (framework init included)."""
-        return self._backend.build(self.spec, self.graph)
+    def sharding_policy(self, layer_formats=None):
+        """The sharded-execution policy ``config.shards`` implies.
+
+        ``shards == 1`` (the default) returns ``None`` — unsharded.
+        ``shards >= 2`` forces that many destination-range shards.
+        ``shards == 0`` asks the planner: shard count follows the graph
+        statistics and the per-shard setup-cost term
+        (:func:`repro.plan.planner.choose_shards`), using the model's
+        calibrated aggregation widths; small workloads come back
+        unsharded.  ``layer_formats`` is the lowered plan's per-layer
+        execution format when known (:meth:`build` passes it) — an
+        SpMM layer never materialises the ``[E, f]`` message matrix, so
+        costing the actual formats keeps the planner from over-sharding
+        plans the adaptive backend flipped to the fused side; without
+        it the spec's compute model is assumed for every layer.
+        """
+        from repro.plan.sharding import ShardingPolicy
+        shards = self.config.shards
+        if shards == 1:
+            return None
+        if shards >= 2:
+            return ShardingPolicy(num_shards=shards, source="forced")
+        from repro.core.models import get_model_class
+        from repro.core.models.base import layer_dimensions
+        from repro.plan.planner import GraphStats, choose_shards
+        cls = get_model_class(self.config.model)
+        dims = layer_dimensions(
+            self.graph.num_features, self.spec.hidden,
+            self.spec.out_features, self.spec.num_layers)
+        formats = list(layer_formats) if layer_formats \
+            else [self.spec.compute_model] * len(dims)
+        chosen = choose_shards(
+            dims, GraphStats.from_graph(self.graph),
+            formats=formats,
+            width_hook=cls.aggregation_width)
+        if chosen <= 1:
+            return None
+        return ShardingPolicy(num_shards=chosen, source="planner")
+
+    def build(self, shard_cache: bool = True):
+        """Construct the backend pipeline (framework init included).
+
+        ``shard_cache=False`` disables the per-shard result cache for
+        this build — :meth:`measure` uses it so timed repeats always
+        execute the aggregation kernels instead of reading kind-"shard"
+        cache entries.
+        """
+        from dataclasses import replace
+        built = self._backend.build(self.spec, self.graph)
+        plan = getattr(built, "plan", None)
+        policy = self.sharding_policy(
+            layer_formats=plan.layer_formats if plan is not None else None)
+        if policy is None:
+            return built
+        if policy.source == "planner" and not built.can_shard():
+            # The planner was *asked* to decide, and on a backend that
+            # cannot shard (PyG-like tape, unlowered extension models)
+            # the right decision is "don't" — only forced shard counts
+            # refuse loudly.
+            return built
+        if not shard_cache:
+            policy = replace(policy, use_cache=False)
+        return built.configure_sharding(policy)
 
     def plan(self):
         """The lowered :class:`~repro.plan.ir.ExecutionPlan`.
@@ -119,7 +179,9 @@ class GNNPipeline:
         times = []
         for _ in range(repeats):
             start = time.perf_counter()
-            self.build().run()
+            # shard_cache=False: a timed repeat must execute the
+            # aggregation kernels, never read kind-"shard" entries.
+            self.build(shard_cache=False).run()
             times.append(time.perf_counter() - start)
         return times
 

@@ -44,12 +44,16 @@ def plan_formats(spec: PipelineSpec, graph: Graph, model=None):
 
     ``model`` lets callers that already constructed the reference model
     reuse it; its :meth:`~repro.core.models.base.GNNModel.supported_lowerings`
-    hook bounds the choice (the same validation :meth:`lower` applies).
+    hook bounds the choice (the same validation :meth:`lower` applies)
+    and its :meth:`~repro.core.models.base.GNNModel.aggregation_width`
+    hook calibrates the per-layer cost widths (GCN's transform-first MP
+    path aggregates at the *output* width).
     """
     if model is None:
         model = _reference_model(spec, graph)
     return choose_formats(model.dims, GraphStats.from_graph(graph),
-                          allowed=model.supported_lowerings())
+                          allowed=model.supported_lowerings(),
+                          width_hook=model.aggregation_width)
 
 
 def _reference_model(spec: PipelineSpec, graph: Graph):

@@ -59,10 +59,50 @@ class BuiltPipeline:
         self.backend_name = backend_name
         self.spec = spec
         self.graph = graph
+        #: The ShardingPolicy applied via configure_sharding (None =
+        #: unsharded execution).
+        self.sharding = None
 
     def run(self, features: Optional[np.ndarray] = None) -> np.ndarray:
         """Execute inference, returning ``[num_nodes, out_features]``."""
         raise NotImplementedError
+
+    def can_shard(self) -> bool:
+        """Whether this pipeline can execute its plan sharded.
+
+        True for pipelines that run a lowered plan through a plain
+        :class:`~repro.plan.executor.PlanExecutor` (native, adaptive,
+        DGL-like); false when the plan layer is bypassed (unlowered
+        extension models) or every op is observed (the PyG-like tape).
+        """
+        executor = getattr(self, "_executor", None)
+        return (executor is not None and executor.on_op is None
+                and getattr(self, "plan", None) is not None)
+
+    def configure_sharding(self, policy) -> "BuiltPipeline":
+        """Switch plan execution to destination-range sharding.
+
+        ``policy`` is a :class:`~repro.plan.sharding.ShardingPolicy`.
+        Pipelines for which :meth:`can_shard` is false refuse, so a
+        *forced* ``--shards K`` request is never silently ignored
+        (planner-sourced policies are filtered by the caller instead —
+        see :meth:`repro.core.pipeline.GNNPipeline.build`).
+        """
+        from repro.plan import PlanExecutor
+        if not self.can_shard():
+            raise BackendError(
+                f"backend {self.backend_name!r} does not support sharded "
+                f"plan execution"
+            )
+        self._executor = PlanExecutor(sharding=policy)
+        self.sharding = policy
+        return self
+
+    @property
+    def shard_report(self):
+        """Per-group dispatch accounting of the last sharded run."""
+        executor = getattr(self, "_executor", None)
+        return [] if executor is None else executor.shard_report
 
 
 class Backend:

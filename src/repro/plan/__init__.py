@@ -26,10 +26,20 @@ from repro.plan.lowering import cached_plan, graph_signature
 from repro.plan.planner import (
     GraphStats,
     choose_formats,
+    choose_shards,
     explain_choice,
     mp_layer_cost,
+    shard_setup_cost,
     spmm_layer_cost,
     spmm_setup_cost,
+)
+from repro.plan.sharding import (
+    ShardDispatcher,
+    ShardGroup,
+    ShardingPolicy,
+    build_shard_subplan,
+    find_shard_groups,
+    shard_ranges,
 )
 
 __all__ = [
@@ -45,14 +55,22 @@ __all__ = [
     "PlanExecutor",
     "SGEMM",
     "ScatterReduce",
+    "ShardDispatcher",
+    "ShardGroup",
+    "ShardingPolicy",
     "SpMM",
     "ValueRef",
+    "build_shard_subplan",
     "cached_plan",
     "choose_formats",
+    "choose_shards",
     "explain_choice",
+    "find_shard_groups",
     "graph_signature",
     "mp_layer_cost",
     "register_normalize",
+    "shard_ranges",
+    "shard_setup_cost",
     "spmm_layer_cost",
     "spmm_setup_cost",
 ]

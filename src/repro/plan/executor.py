@@ -173,10 +173,37 @@ class PlanExecutor:
         Optional ``fn(op, result)`` observer invoked after each op —
         the PyG-like backend uses it to keep its autograd-style tape
         recording per-op bookkeeping exactly as before.
+    sharding:
+        Optional :class:`~repro.plan.sharding.ShardingPolicy` (or plain
+        shard count) enabling sharded execution: the plan's aggregation
+        ops (adjacent ``Gather``/``ScatterReduce`` pairs and ``SpMM``
+        ops) are partitioned by destination-node range into shard
+        sub-plans, dispatched over a worker pool, and merged through
+        the scatter kernel.  Outputs and the ambient recorder's trace
+        are bit-for-bit identical to unsharded execution; the shard-
+        local captures of the last run are kept on
+        :attr:`shard_trace` / :attr:`shard_report`.  Mutually exclusive
+        with ``on_op`` (the observer would see shard-order
+        intermediates).
     """
 
-    def __init__(self, on_op: Optional[Callable] = None):
+    def __init__(self, on_op: Optional[Callable] = None, sharding=None):
+        from repro.plan.sharding import ShardingPolicy
+        if isinstance(sharding, int):
+            sharding = ShardingPolicy(num_shards=sharding)
+        if sharding is not None and on_op is not None:
+            raise PlanError(
+                "sharded execution does not support per-op observers"
+            )
         self.on_op = on_op
+        self.sharding = sharding
+        #: Shard-local + merge launches of the last sharded run.
+        #: Populated while an ambient recorder is active (or while the
+        #: shard cache stores entries); un-instrumented runs skip the
+        #: capture work entirely, like the kernels themselves do.
+        self.shard_trace: list = []
+        #: Per-group :class:`~repro.plan.sharding.ShardDispatch` records.
+        self.shard_report: list = []
 
     def run(self, plan: ExecutionPlan, graph: Graph,
             inputs: Dict[str, Any]) -> np.ndarray:
@@ -193,10 +220,49 @@ class PlanExecutor:
         if unknown:
             raise PlanError(f"unexpected plan inputs: {sorted(unknown)}")
 
+        group_at = self._shard_groups(plan, graph)
+        if group_at:
+            return self._run_sharded(plan, env, graph, group_at)
         for op in plan.ops:
             result = self._execute(op, env, graph)
             if self.on_op is not None:
                 self.on_op(op, result)
+        return env[plan.output.vid]
+
+    # -- sharded execution -------------------------------------------------
+    def _shard_groups(self, plan: ExecutionPlan, graph: Graph) -> Dict:
+        """``{start position: ShardGroup}`` when sharding applies."""
+        if self.sharding is None or self.sharding.num_shards <= 1:
+            return {}
+        from repro.plan.sharding import find_shard_groups, shard_ranges
+        if len(shard_ranges(graph.num_nodes, self.sharding.num_shards)) < 2:
+            return {}
+        return {group.start: group for group in find_shard_groups(plan)}
+
+    def _run_sharded(self, plan: ExecutionPlan, env: Dict[int, Any],
+                     graph: Graph, group_at: Dict) -> np.ndarray:
+        """The sharded op walk: groups dispatch, everything else inline."""
+        from repro.bench.pool import WorkerPool
+        from repro.core.kernels.launch import active_recorder
+        from repro.plan.sharding import ShardDispatcher
+        dispatcher = ShardDispatcher(self.sharding)
+        recorder = active_recorder()
+        skip: set = set()
+        try:
+            with WorkerPool(self.sharding.jobs) as pool:
+                for position, op in enumerate(plan.ops):
+                    if position in skip:
+                        continue
+                    group = group_at.get(position)
+                    if group is not None:
+                        env[group.out_vid] = dispatcher.execute_group(
+                            group, env, graph, pool, recorder)
+                        skip.update(group.positions)
+                        continue
+                    self._execute(op, env, graph)
+        finally:
+            self.shard_trace = dispatcher.trace
+            self.shard_report = dispatcher.report
         return env[plan.output.vid]
 
     # -- op dispatch -------------------------------------------------------

@@ -39,7 +39,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Sequence, Tuple
+from typing import Callable, Optional, Sequence, Tuple
 
 from repro.core.kernels.costmodel import COSTS
 from repro.core.kernels.launch import WARP_SIZE
@@ -47,7 +47,19 @@ from repro.datasets.specs import DatasetSpec
 from repro.graph import Graph
 
 __all__ = ["GraphStats", "mp_layer_cost", "spmm_layer_cost",
-           "spmm_setup_cost", "choose_formats", "explain_choice"]
+           "spmm_setup_cost", "choose_formats", "choose_shards",
+           "explain_choice", "shard_setup_cost"]
+
+#: ``fn(fmt, fan_in, fan_out) -> width`` — the feature width a layer's
+#: aggregation actually runs at under execution format ``fmt``.  The
+#: default models aggregation at the input width; models whose lowering
+#: transforms *before* aggregating (GCN-MP, GAT) override via
+#: :meth:`repro.core.models.base.GNNModel.aggregation_width`.
+WidthHook = Callable[[str, int, int], int]
+
+
+def _default_width(fmt: str, fan_in: int, fan_out: int) -> int:
+    return fan_in
 
 
 def _instructions_per_unit(kernel: str) -> float:
@@ -163,15 +175,21 @@ def spmm_setup_cost(stats: GraphStats) -> float:
 
 def choose_formats(dims: Sequence[Tuple[int, int]], stats: GraphStats,
                    allowed: Sequence[str] = ("MP", "SpMM"),
+                   width_hook: Optional[WidthHook] = None,
                    ) -> Tuple[str, ...]:
     """Per-layer execution format for a stack with layer ``dims``.
 
-    ``dims`` is the model's ``(fan_in, fan_out)`` list; the cost of a
-    layer is driven by its *input* feature width (aggregation runs at
-    that width for every model in the zoo).  When the per-layer greedy
-    choice selects SpMM somewhere, the aggregate saving must also beat
-    the one-off structure setup, otherwise the plan stays MP-only.
+    ``dims`` is the model's ``(fan_in, fan_out)`` list.  The cost of a
+    layer is driven by the width its aggregation actually runs at: by
+    default the *input* width, calibrated per model through
+    ``width_hook`` — GCN's transform-first MP path aggregates at the
+    *output* width, so its MP estimate uses ``fan_out`` while its SpMM
+    estimate (propagate-then-transform) keeps ``fan_in``.  When the
+    per-layer greedy choice selects SpMM somewhere, the aggregate
+    saving must also beat the one-off structure setup, otherwise the
+    plan stays MP-only.
     """
+    width = width_hook or _default_width
     if "SpMM" not in allowed:
         return tuple("MP" for _ in dims)
     if "MP" not in allowed:
@@ -179,9 +197,9 @@ def choose_formats(dims: Sequence[Tuple[int, int]], stats: GraphStats,
 
     decisions = []
     saving = 0.0
-    for fan_in, _ in dims:
-        mp = mp_layer_cost(stats, fan_in)
-        sp = spmm_layer_cost(stats, fan_in)
+    for fan_in, fan_out in dims:
+        mp = mp_layer_cost(stats, width("MP", fan_in, fan_out))
+        sp = spmm_layer_cost(stats, width("SpMM", fan_in, fan_out))
         if sp < mp:
             decisions.append("SpMM")
             saving += mp - sp
@@ -192,8 +210,77 @@ def choose_formats(dims: Sequence[Tuple[int, int]], stats: GraphStats,
     return tuple(decisions)
 
 
+#: Per-shard working-set target for sharded aggregation: one shard's
+#: message slice should fit a last-level-cache-sized budget, so the
+#: gather's output is still resident when the scatter consumes it.
+_SHARD_WORKING_SET_BYTES = 32 * 1024 * 1024
+
+#: One-off cost charged per shard, in modelled instructions: edge-range
+#: slicing, sub-plan dispatch and the merge's row pass.  Gates shard
+#: counts the same way ``spmm_setup_cost`` gates format flips — tiny
+#: workloads never amortise it, so they stay unsharded.
+_SHARD_SETUP_INSTRUCTIONS = 5.0e6
+
+_FLOAT_BYTES = 4
+
+
+def shard_setup_cost(stats: GraphStats) -> float:
+    """Modelled per-shard overhead (slice + dispatch + merge share)."""
+    return _SHARD_SETUP_INSTRUCTIONS + _SCATTER_UNIT * stats.num_nodes
+
+
+def choose_shards(dims: Sequence[Tuple[int, int]], stats: GraphStats,
+                  formats: Sequence[str] = (),
+                  width_hook: Optional[WidthHook] = None,
+                  max_shards: int = 32) -> int:
+    """Destination-range shard count for one plan.
+
+    Two terms, both from the graph statistics:
+
+    * the **working-set** target — the widest *MP* layer's per-edge
+      message matrix (``4 * E * width`` bytes) divided into LLC-sized
+      slices sets the shard count that keeps gather output resident for
+      the scatter.  SpMM layers never materialise that intermediate
+      (the fused kernel streams CSR rows), so they contribute no
+      sharding pressure — an all-SpMM plan stays at ``K = 1``;
+    * the **setup amortisation** gate — each shard must carry more
+      modelled aggregation work than :func:`shard_setup_cost`, which is
+      what keeps Cora-class workloads (and narrow-feature giants whose
+      messages already fit) at ``K = 1``.
+
+    ``formats`` is the plan's per-layer execution format (defaults to
+    MP everywhere); widths follow the same calibrated ``width_hook`` as
+    :func:`choose_formats`.
+    """
+    width = width_hook or _default_width
+    formats = list(formats) or ["MP"] * len(dims)
+    peak_bytes = 0.0
+    aggregation = 0.0
+    for (fan_in, fan_out), fmt in zip(dims, formats):
+        layer_width = max(1, width(fmt, fan_in, fan_out))
+        if fmt != "SpMM":
+            peak_bytes = max(
+                peak_bytes,
+                _FLOAT_BYTES * float(stats.num_edges) * layer_width)
+        cost = spmm_layer_cost if fmt == "SpMM" else mp_layer_cost
+        aggregation += cost(stats, layer_width)
+    # 2x hysteresis: a message matrix barely past the target gains less
+    # from residency than the per-shard dispatch costs, so only shard
+    # once the working set clearly exceeds it.
+    if peak_bytes <= 2 * _SHARD_WORKING_SET_BYTES:
+        return 1
+    wanted = math.ceil(peak_bytes / _SHARD_WORKING_SET_BYTES)
+    # cost(K) = aggregation / K + K * setup is minimised at
+    # sqrt(aggregation / setup); past that, extra shards cost more in
+    # setup than they save in working set.
+    amortised = math.sqrt(aggregation / shard_setup_cost(stats))
+    k = min(wanted, int(amortised), max_shards, stats.num_nodes)
+    return max(1, k)
+
+
 def explain_choice(dims: Sequence[Tuple[int, int]], stats: GraphStats,
-                   chosen: Sequence[str] = ()) -> str:
+                   chosen: Sequence[str] = (),
+                   width_hook: Optional[WidthHook] = None) -> str:
     """Human-readable per-layer cost breakdown (CLI ``gsuite plan``).
 
     ``chosen`` is the planner's *final* per-layer selection; when given,
@@ -201,18 +288,21 @@ def explain_choice(dims: Sequence[Tuple[int, int]], stats: GraphStats,
     the outcome once the model's allowed lowerings and the SpMM
     setup-amortisation gate apply).
     """
+    width = width_hook or _default_width
     lines = [
         f"avg degree {stats.avg_degree:.1f}, skew {stats.degree_skew:.1f}, "
         f"feature width {stats.feature_width}, "
         f"setup {spmm_setup_cost(stats):.3g} instr"
     ]
-    for layer, (fan_in, _) in enumerate(dims):
-        mp = mp_layer_cost(stats, fan_in)
-        sp = spmm_layer_cost(stats, fan_in)
+    for layer, (fan_in, fan_out) in enumerate(dims):
+        w_mp = width("MP", fan_in, fan_out)
+        w_sp = width("SpMM", fan_in, fan_out)
+        mp = mp_layer_cost(stats, w_mp)
+        sp = spmm_layer_cost(stats, w_sp)
         picked = chosen[layer] if layer < len(chosen) \
             else ("SpMM" if sp < mp else "MP")
         lines.append(
-            f"layer {layer} (f={fan_in}): MP {mp:.3g} vs SpMM {sp:.3g} "
-            f"-> {picked}"
+            f"layer {layer} (f={fan_in}): MP {mp:.3g} (agg width {w_mp}) "
+            f"vs SpMM {sp:.3g} (agg width {w_sp}) -> {picked}"
         )
     return "\n".join(lines)

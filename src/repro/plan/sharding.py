@@ -1,0 +1,518 @@
+"""Destination-range sharding of execution plans.
+
+The aggregation kernels of every lowered plan — ``Gather`` +
+``ScatterReduce`` pairs on the MP side, ``SpMM`` ops on the fused side —
+reduce per-edge work into *destination-node* slots.  Destinations
+partition cleanly: restricting the edge set (or the adjacency's rows)
+to a contiguous destination range yields an independent sub-problem
+whose output is exactly that range's rows.  This module exploits that
+to split one plan's aggregation ops into ``K`` shard sub-plans plus a
+merge step, so the Reddit/LiveJournal-class workloads whose per-edge
+message matrices exceed a single process's comfortable working set can
+execute piecewise — in-process (bounded peak memory, cache-sized
+working sets) or fanned across the bench engine's
+:class:`~repro.bench.pool.WorkerPool`.
+
+The contract is **bit-for-bit parity** with unsharded execution, for
+outputs *and* recorded traces:
+
+* numeric parity holds because destination partitioning preserves each
+  destination row's reduction sequence exactly (all in-edges of a node
+  live in one shard, in original edge order; CSR row slices preserve
+  per-row entry order), and the merge — one :func:`repro.core.kernels.
+  scatter` over disjoint row ranges — copies rows without rounding;
+* trace parity holds because shard workers record into their *own*
+  recorders (kept on :attr:`PlanExecutor.shard_trace` for inspection)
+  while the ambient recorder receives the **canonical** launch each
+  logical op implies, emitted from the full operands through the same
+  emitter functions the unsharded kernels use.  Sharded and unsharded
+  runs therefore produce identical launch fingerprints, and the
+  simulation/profile caches are shared between the two modes.
+
+Per-shard results can flow through the persistent cache (kind
+``"shard"``), keyed by the shard sub-plan's fingerprint plus the
+content of its bound operands, so warm sharded sweeps skip the
+aggregation compute entirely.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import time
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from importlib import import_module
+
+from repro.cache import compute_key, env_enabled, get_cache
+from repro.core.kernels import record_launches, scatter
+from repro.errors import PlanError
+from repro.graph.formats import CSRMatrix
+from repro.plan.ir import (
+    ExecutionPlan,
+    Gather,
+    PlanBuilder,
+    ScatterReduce,
+    SpMM,
+)
+
+# The kernel *modules* (the package re-exports shadow the submodule
+# names with the kernel functions): home of the canonical launch
+# emitters the dispatcher reuses for merged-trace parity.
+_index_select_mod = import_module("repro.core.kernels.index_select")
+_scatter_mod = import_module("repro.core.kernels.scatter")
+_sparse_mod = import_module("repro.core.kernels.sparse")
+
+__all__ = [
+    "ShardingPolicy",
+    "ShardGroup",
+    "ShardDispatch",
+    "shard_ranges",
+    "find_shard_groups",
+    "build_shard_subplan",
+    "ShardDispatcher",
+]
+
+
+@dataclass(frozen=True)
+class ShardingPolicy:
+    """How a :class:`~repro.plan.executor.PlanExecutor` shards a plan.
+
+    Parameters
+    ----------
+    num_shards:
+        Destination-range shard count ``K`` (clamped to the node count
+        at execution time; ``<= 1`` disables sharding).
+    jobs:
+        Worker processes for shard dispatch.  ``1`` (the default) runs
+        shards in-process — still piecewise, which is what bounds peak
+        memory and keeps per-shard working sets cache-sized — while
+        ``> 1`` fans shards across a
+        :class:`~repro.bench.pool.WorkerPool`.
+    use_cache:
+        Persist per-shard results through the trace cache (kind
+        ``"shard"``).  ANDed with the ``GSUITE_CACHE`` kill switch and
+        the process-wide cache's enabled flag.
+    source:
+        Where the shard count came from (``"forced"`` / ``"planner"``)
+        — reporting only.
+    """
+
+    num_shards: int
+    jobs: int = 1
+    use_cache: bool = True
+    source: str = "forced"
+
+
+@dataclass(frozen=True)
+class ShardGroup:
+    """One shardable aggregation site inside a plan.
+
+    ``kind`` is ``"mp"`` (an adjacent ``Gather`` → ``ScatterReduce``
+    pair whose intermediate is used nowhere else) or ``"spmm"`` (a
+    single fused-aggregation op).  ``start`` is the first covered op
+    position — the point in the op walk where the whole group executes.
+    """
+
+    kind: str
+    start: int
+    positions: Tuple[int, ...]
+    gather: Optional[Gather] = None
+    scatter: Optional[ScatterReduce] = None
+    spmm: Optional[SpMM] = None
+
+    @property
+    def out_vid(self) -> int:
+        """The SSA value id the merged result defines."""
+        op = self.scatter if self.kind == "mp" else self.spmm
+        return op.out.vid
+
+    @property
+    def tag(self) -> str:
+        op = self.scatter if self.kind == "mp" else self.spmm
+        return op.tag
+
+
+@dataclass
+class ShardDispatch:
+    """Accounting for one sharded group execution (reporting only)."""
+
+    tag: str
+    kind: str
+    num_shards: int
+    edges_per_shard: Tuple[int, ...]
+    seconds: float
+    cache_hits: int = 0
+
+
+def shard_ranges(num_nodes: int, num_shards: int) -> List[Tuple[int, int]]:
+    """Contiguous destination ranges partitioning ``[0, num_nodes)``.
+
+    ``num_shards`` is clamped to ``[1, num_nodes]``; when the node count
+    does not divide evenly the first ``num_nodes % K`` shards take one
+    extra node (``np.array_split`` semantics), leaving the last shards
+    ragged.
+    """
+    num_nodes = int(num_nodes)
+    k = max(1, min(int(num_shards), max(1, num_nodes)))
+    base, extra = divmod(num_nodes, k)
+    ranges = []
+    lo = 0
+    for i in range(k):
+        hi = lo + base + (1 if i < extra else 0)
+        ranges.append((lo, hi))
+        lo = hi
+    return ranges
+
+
+def find_shard_groups(plan: ExecutionPlan) -> List[ShardGroup]:
+    """The destination-shardable aggregation sites of ``plan``.
+
+    A ``Gather`` qualifies only when the *immediately following* op is a
+    ``ScatterReduce`` consuming its output and nothing else reads that
+    intermediate — the adjacency requirement keeps the canonical merged
+    trace in the same order the unsharded plan would emit.  ``SpMM``
+    ops always qualify (their rows are destination nodes).
+    """
+    uses: Dict[int, int] = {}
+    for op in plan.ops:
+        for ref in op.operands():
+            uses[ref.vid] = uses.get(ref.vid, 0) + 1
+    uses[plan.output.vid] = uses.get(plan.output.vid, 0) + 1
+
+    groups: List[ShardGroup] = []
+    position = 0
+    ops = plan.ops
+    while position < len(ops):
+        op = ops[position]
+        if isinstance(op, SpMM):
+            groups.append(ShardGroup("spmm", position, (position,), spmm=op))
+        elif isinstance(op, Gather) and position + 1 < len(ops):
+            successor = ops[position + 1]
+            if (isinstance(successor, ScatterReduce)
+                    and successor.source.vid == op.out.vid
+                    and uses.get(op.out.vid, 0) == 1):
+                groups.append(ShardGroup(
+                    "mp", position, (position, position + 1),
+                    gather=op, scatter=successor))
+                position += 2
+                continue
+        position += 1
+    return groups
+
+
+def build_shard_subplan(group: ShardGroup, lo: int, hi: int,
+                        shard_index: int, num_shards: int) -> ExecutionPlan:
+    """The self-contained sub-plan computing one shard of ``group``.
+
+    Sub-plans bind their operands as runtime inputs (the dispatcher
+    slices them), carry shard-annotated tags so shard-local traces stay
+    distinguishable, and record their destination range in ``meta``.
+    """
+    builder = PlanBuilder(model="shard", flavor="shard")
+    suffix = f"@shard{shard_index + 1}/{num_shards}"
+    if group.kind == "mp":
+        source = builder.input("source", "dense")
+        src = builder.input("src", "edge")
+        scale = builder.input("scale", "vec") \
+            if group.gather.scale is not None else None
+        dst = builder.input("dst", "edge")
+        messages = builder.gather(source, src, scale=scale,
+                                  tag=group.gather.tag + suffix)
+        out = builder.scatter_reduce(messages, dst,
+                                     reduce=group.scatter.reduce,
+                                     tag=group.scatter.tag + suffix)
+    elif group.kind == "spmm":
+        matrix = builder.input("matrix", "csr")
+        dense = builder.input("dense", "dense")
+        out = builder.spmm(matrix, dense, tag=group.spmm.tag + suffix)
+    else:  # pragma: no cover - guarded by find_shard_groups
+        raise PlanError(f"unknown shard group kind {group.kind!r}")
+    return builder.build(out, meta={
+        "kind": group.kind, "lo": int(lo), "hi": int(hi),
+        "shard": int(shard_index), "num_shards": int(num_shards),
+    })
+
+
+class _ShardView:
+    """Minimal graph stand-in bound to a shard sub-plan.
+
+    Sub-plans contain no ``Normalize`` ops, so the executor only reads
+    ``num_nodes`` (the scatter's ``dim_size``) — here the shard's row
+    count.
+    """
+
+    def __init__(self, num_nodes: int):
+        self.num_nodes = int(num_nodes)
+
+
+class _OperandShape:
+    """Geometry-only operand stand-in for the canonical launch emitters.
+
+    The kernel ``_emit`` helpers read ``size`` / ``shape`` / ``ndim``
+    from outputs (and from scatter's source) — never the values — so the
+    dispatcher can emit the canonical unsharded launch without
+    materialising the full intermediate it describes.
+    """
+
+    def __init__(self, shape: Tuple[int, ...]):
+        self.shape = tuple(int(dim) for dim in shape)
+        self.ndim = len(self.shape)
+        size = 1
+        for dim in self.shape:
+            size *= dim
+        self.size = size
+
+
+def _binding_digest(value) -> str:
+    """Content hash of one shard-task operand (array or CSR matrix)."""
+    digest = hashlib.sha256()
+    if isinstance(value, CSRMatrix):
+        digest.update(f"csr|{value.shape}".encode())
+        for arr in (value.indptr, value.indices, value.data):
+            digest.update(np.ascontiguousarray(arr).tobytes())
+    else:
+        arr = np.asarray(value)
+        digest.update(f"array|{arr.dtype}|{arr.shape}".encode())
+        digest.update(np.ascontiguousarray(arr).tobytes())
+    return digest.hexdigest()
+
+
+def _execute_shard_task(task):
+    """Run one shard sub-plan; module-level so it pickles for the pool.
+
+    Records the shard's launches into a private recorder (returned for
+    the dispatcher's shard trace).  ``key`` is the precomputed cache
+    key (kind ``"shard"``) or ``None`` when shard caching is off —
+    operand digesting happens dispatcher-side, where shared operands
+    hash once per group instead of once per shard.
+    """
+    from repro.plan.executor import PlanExecutor
+    subplan, bindings, num_rows, key, capture = task
+    cache = get_cache()
+    if key is not None:
+        hit = cache.get("shard", key)
+        if hit is not None:
+            out, launches = hit
+            return out, launches, 0.0, True
+    start = time.perf_counter()
+    if capture or key is not None:
+        # Launch synthesis is O(E) numpy work per kernel — pay it only
+        # when something consumes it: an ambient recorder (shard trace
+        # + canonical durations) or a cache store (so a later recorded
+        # run hitting this entry still gets the shard launches).
+        with record_launches() as recorder:
+            out = PlanExecutor().run(subplan, _ShardView(num_rows), bindings)
+        launches = recorder.launches
+    else:
+        out = PlanExecutor().run(subplan, _ShardView(num_rows), bindings)
+        launches = []
+    seconds = time.perf_counter() - start
+    if key is not None:
+        cache.put("shard", key, (out, launches), meta={
+            "kind": subplan.meta.get("kind", ""),
+            "shard": subplan.meta.get("shard", 0),
+            "num_shards": subplan.meta.get("num_shards", 0),
+        })
+    return out, launches, seconds, False
+
+
+class ShardDispatcher:
+    """Executes a plan's shard groups over a worker pool and merges.
+
+    Created per :meth:`PlanExecutor.run`; collects the per-shard and
+    merge launches on :attr:`trace` and per-group accounting on
+    :attr:`report`.
+    """
+
+    def __init__(self, policy: ShardingPolicy):
+        self.policy = policy
+        self.trace: List = []
+        self.report: List[ShardDispatch] = []
+
+    # -- group execution ---------------------------------------------------
+    def execute_group(self, group: ShardGroup, env: Dict[int, object],
+                      graph, pool, recorder) -> np.ndarray:
+        """Shard, dispatch, merge and canonically trace one group."""
+        start = time.perf_counter()
+        ranges = shard_ranges(graph.num_nodes, self.policy.num_shards)
+        capture = recorder is not None
+        prepare = self._prepare_mp if group.kind == "mp" else self._prepare_spmm
+        tasks, edges, emit_canonical = prepare(group, env, ranges, capture)
+        outcomes = pool.map(_execute_shard_task, tasks)
+        merged = self._merge_rows([o[0] for o in outcomes], graph.num_nodes,
+                                  group.tag, capture)
+        for outcome in outcomes:
+            self.trace.extend(outcome[1])
+        if recorder is not None:
+            emit_canonical(recorder, merged, outcomes)
+        self.report.append(ShardDispatch(
+            tag=group.tag, kind=group.kind, num_shards=len(ranges),
+            edges_per_shard=tuple(edges),
+            seconds=time.perf_counter() - start,
+            cache_hits=sum(1 for o in outcomes if o[3])))
+        return merged
+
+    def _prepare_mp(self, group, env, ranges, capture):
+        """Slice one Gather+ScatterReduce group into shard tasks."""
+        gather_op, scatter_op = group.gather, group.scatter
+        source = np.asarray(env[gather_op.source.vid])
+        src = np.asarray(env[gather_op.index.vid])
+        dst = np.asarray(env[scatter_op.index.vid])
+        scale = None if gather_op.scale is None \
+            else np.asarray(env[gather_op.scale.vid])
+
+        # Partition edge positions by destination shard in one stable
+        # sort, preserving original edge order inside every shard — the
+        # property that keeps per-destination reduction sequences (and
+        # therefore float results) bit-for-bit identical.
+        starts = np.fromiter((lo for lo, _ in ranges), dtype=np.int64,
+                             count=len(ranges))
+        shard_of = np.searchsorted(starts, dst, side="right") - 1
+        order = np.argsort(shard_of, kind="stable")
+        counts = np.bincount(shard_of, minlength=len(ranges))
+        offsets = np.concatenate([np.zeros(1, dtype=np.int64),
+                                  np.cumsum(counts)])
+
+        compact = self.policy.jobs > 1
+        caching = self._caching()
+        # The un-compacted source is shared by every shard: digest it
+        # once per group, not once per shard (it is the whole [N, f]
+        # matrix — per-shard hashing would dwarf the cache's savings).
+        shared = {} if (compact or not caching) \
+            else {"source": _binding_digest(source)}
+        tasks = []
+        for k, (lo, hi) in enumerate(ranges):
+            selection = order[offsets[k]:offsets[k + 1]]
+            src_k = src[selection]
+            bindings = {"dst": dst[selection] - lo}
+            if compact:
+                # Ship only the source rows this shard dereferences, so
+                # worker memory scales with the shard, not the graph.
+                needed = np.unique(src_k)
+                bindings["source"] = source[needed]
+                bindings["src"] = np.searchsorted(needed, src_k)
+            else:
+                bindings["source"] = source
+                bindings["src"] = src_k
+            if scale is not None:
+                bindings["scale"] = scale[selection]
+            tasks.append(self._task(group, bindings, lo, hi, k, len(ranges),
+                                    caching, shared, capture))
+
+        def emit_canonical(recorder, merged, outcomes):
+            width = source.shape[1] if source.ndim == 2 else None
+            message_shape = (src.size, width) if width is not None \
+                else (src.size,)
+            _index_select_mod._emit(
+                recorder, source, src, _OperandShape(message_shape), 0,
+                self._kernel_seconds(outcomes, "indexSelect"),
+                gather_op.tag)
+            _scatter_mod._emit(
+                recorder, _OperandShape(message_shape), dst, merged,
+                scatter_op.reduce,
+                self._kernel_seconds(outcomes, "scatter"), scatter_op.tag)
+
+        return tasks, counts.tolist(), emit_canonical
+
+    def _prepare_spmm(self, group, env, ranges, capture):
+        """Slice one SpMM op's row range into shard tasks."""
+        op = group.spmm
+        matrix = env[op.matrix.vid]
+        dense = np.asarray(env[op.dense.vid])
+        if not isinstance(matrix, CSRMatrix):
+            raise PlanError(
+                f"sharded spmm expects a CSRMatrix operand, got "
+                f"{type(matrix).__name__}")
+
+        compact = self.policy.jobs > 1
+        caching = self._caching()
+        # The shared dense operand hashes once per group (see
+        # _prepare_mp's shared-source note).
+        shared = {} if (compact or not caching) \
+            else {"dense": _binding_digest(dense)}
+        tasks = []
+        edges = []
+        for k, (lo, hi) in enumerate(ranges):
+            sliced = matrix.row_slice(lo, hi)
+            edges.append(sliced.nnz)
+            if compact:
+                # Column-compact the slice so each worker receives only
+                # the dense rows its shard's nonzeros dereference.
+                needed = np.unique(sliced.indices)
+                sliced = CSRMatrix(
+                    sliced.indptr, np.searchsorted(needed, sliced.indices),
+                    sliced.data, shape=(sliced.shape[0], needed.size))
+                bindings = {"matrix": sliced, "dense": dense[needed]}
+            else:
+                bindings = {"matrix": sliced, "dense": dense}
+            tasks.append(self._task(group, bindings, lo, hi, k, len(ranges),
+                                    caching, shared, capture))
+
+        def emit_canonical(recorder, merged, outcomes):
+            _sparse_mod._emit_spmm(
+                recorder, matrix, dense, merged,
+                self._kernel_seconds(outcomes, "spmm"), op.tag)
+
+        return tasks, edges, emit_canonical
+
+    def _caching(self) -> bool:
+        """Whether per-shard results round-trip through the cache."""
+        return (self.policy.use_cache and get_cache().enabled
+                and env_enabled())
+
+    def _task(self, group, bindings, lo, hi, shard_index, num_shards,
+              caching, shared_digests, capture):
+        """One pickled shard task: sub-plan, operands, cache key.
+
+        ``shared_digests`` carries content digests precomputed by the
+        caller for bindings shared across every shard; the remaining
+        (shard-sized) bindings digest here.
+        """
+        subplan = build_shard_subplan(group, lo, hi, shard_index, num_shards)
+        key = None
+        if caching:
+            key = compute_key("shard", {
+                "subplan": subplan.fingerprint(),
+                "rows": int(hi - lo),
+                "bindings": {
+                    name: shared_digests.get(name) or _binding_digest(value)
+                    for name, value in sorted(bindings.items())},
+            })
+        return subplan, bindings, hi - lo, key, capture
+
+    # -- helpers -----------------------------------------------------------
+    def _merge_rows(self, shard_outputs: List[np.ndarray], num_nodes: int,
+                    tag: str, capture: bool) -> np.ndarray:
+        """Merge disjoint shard row blocks through the scatter kernel.
+
+        The ranges partition ``[0, num_nodes)`` in order, so the merge
+        is a pure row placement (one contribution per slot — float
+        exact).  It runs under a private recorder: the merge launch is
+        sharded-runtime bookkeeping, captured on :attr:`trace` when an
+        ambient recorder is active, never part of the canonical logical
+        trace.
+        """
+        stacked = shard_outputs[0] if len(shard_outputs) == 1 \
+            else np.concatenate(shard_outputs, axis=0)
+        slots = np.arange(num_nodes, dtype=np.int64)
+        if not capture:
+            # No ambient recorder (capture mirrors its presence): the
+            # kernel skips all trace synthesis on its own.
+            return scatter(stacked, slots, dim_size=num_nodes,
+                           reduce="sum", tag=f"{tag}@merge")
+        with record_launches() as merge_recorder:
+            merged = scatter(stacked, slots, dim_size=num_nodes,
+                             reduce="sum", tag=f"{tag}@merge")
+        self.trace.extend(merge_recorder.launches)
+        return merged
+
+    @staticmethod
+    def _kernel_seconds(outcomes, kernel: str) -> float:
+        """Summed shard-side duration of one kernel (trace bookkeeping)."""
+        return float(sum(launch.duration_s
+                         for outcome in outcomes
+                         for launch in outcome[1]
+                         if launch.kernel == kernel))

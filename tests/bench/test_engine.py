@@ -58,6 +58,43 @@ def _table_files(base):
     return sorted(p.name for p in base.glob("*.txt"))
 
 
+def _square(value):
+    return value * value
+
+
+class TestWorkerPool:
+    """The pool facade extracted from the engine (shared with the
+    sharded plan executor)."""
+
+    def test_serial_fast_path_runs_in_process(self):
+        from repro.bench.pool import WorkerPool
+        with WorkerPool(1) as pool:
+            assert pool.map(_square, [1, 2, 3]) == [1, 4, 9]
+            assert pool._pool is None          # no processes were forked
+
+    def test_single_task_never_pools(self):
+        from repro.bench.pool import WorkerPool
+        with WorkerPool(4) as pool:
+            assert pool.map(_square, [5]) == [25]
+            assert pool._pool is None
+
+    def test_parallel_map_preserves_order_and_reuses_pool(self):
+        from repro.bench.pool import WorkerPool
+        with WorkerPool(2) as pool:
+            assert pool.map(_square, list(range(6))) == [
+                v * v for v in range(6)]
+            first = pool._pool
+            assert first is not None
+            pool.map(_square, [7, 8])
+            assert pool._pool is first         # lazily created once
+        assert pool._pool is None              # context exit closed it
+
+    def test_rejects_bad_jobs(self):
+        from repro.bench.pool import WorkerPool
+        with pytest.raises(ConfigError):
+            WorkerPool(0)
+
+
 class TestParallelParity:
     """A parallel warm run reproduces the serial run byte for byte."""
 

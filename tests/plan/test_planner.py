@@ -17,8 +17,10 @@ from repro.frameworks import get_backend, PipelineSpec
 from repro.plan import (
     GraphStats,
     choose_formats,
+    choose_shards,
     explain_choice,
     mp_layer_cost,
+    shard_setup_cost,
     spmm_layer_cost,
     spmm_setup_cost,
 )
@@ -101,15 +103,82 @@ class TestFormatSelection:
         assert "layer 0" in text and "layer 1" in text
 
 
+class TestCalibratedWidths:
+    """The per-model aggregation-width hook (ROADMAP calibration fix).
+
+    GCN's transform-first MP path multiplies by ``W`` *before* the
+    gather/scatter pair, so its MP aggregation runs at the layer's
+    output width; its SpMM path propagates raw features at the input
+    width.  Input-width aggregators (GIN, SAGE) keep the default.
+    """
+
+    def test_hook_defaults_to_input_width(self):
+        from repro.core.models import get_model_class
+        for name in ("gin", "sage"):
+            cls = get_model_class(name)
+            assert cls.aggregation_width("MP", 128, 16) == 128
+            assert cls.aggregation_width("SpMM", 128, 16) == 128
+
+    def test_gcn_hook_is_format_aware(self):
+        from repro.core.models import get_model_class
+        gcn = get_model_class("gcn")
+        assert gcn.aggregation_width("MP", 128, 16) == 16
+        assert gcn.aggregation_width("SpMM", 128, 16) == 128
+        gat = get_model_class("gat")
+        assert gat.aggregation_width("MP", 128, 16) == 16
+
+    #: The corrected full-size decisions, per model: GCN's Reddit plan
+    #: is *mixed* (wide-input layer stays on transform-first MP, the
+    #: narrow second layer flips), LiveJournal's width-1 features keep
+    #: it all-SpMM, and the input-width aggregators are unchanged.
+    CALIBRATED = {
+        ("gcn", "cora"): ("MP", "MP"),
+        ("gcn", "reddit"): ("MP", "SpMM"),
+        ("gcn", "livejournal"): ("SpMM", "SpMM"),
+        ("gin", "cora"): ("MP", "MP"),
+        ("gin", "reddit"): ("SpMM", "SpMM"),
+        ("gin", "livejournal"): ("SpMM", "SpMM"),
+        ("sage", "reddit"): ("SpMM", "SpMM"),
+    }
+
+    @pytest.mark.parametrize("model,dataset", sorted(CALIBRATED))
+    def test_full_size_calibrated_decision(self, model, dataset):
+        from repro.core.models import get_model_class
+        cls = get_model_class(model)
+        spec = get_spec(dataset)
+        formats = choose_formats(
+            _dims(spec), GraphStats.from_spec(spec),
+            allowed=cls.lowerable_formats or cls.supported_compute_models,
+            width_hook=cls.aggregation_width)
+        assert formats == self.CALIBRATED[(model, dataset)]
+
+    def test_hookless_decision_unchanged(self):
+        """Without a hook the original input-width model still holds."""
+        spec = get_spec("reddit")
+        formats = choose_formats(_dims(spec), GraphStats.from_spec(spec))
+        assert formats == ("SpMM", "SpMM")
+
+
 class TestAdaptiveBackend:
-    @pytest.mark.parametrize("dataset,scale", [
-        ("cora", 0.3), ("reddit", 0.005),
+    #: model -> {dataset: expected per-layer formats} on scaled live
+    #: graphs with out_features=3 (scaling preserves average degree,
+    #: hence the decision).
+    EXPECTED_LIVE = {
+        ("gcn", "cora"): ("MP", "MP"),
+        ("gcn", "reddit"): ("MP", "SpMM"),
+        ("gin", "cora"): ("MP", "MP"),
+        ("gin", "reddit"): ("SpMM", "SpMM"),
+    }
+
+    @pytest.mark.parametrize("model,dataset,scale", [
+        ("gcn", "cora", 0.3), ("gcn", "reddit", 0.005),
+        ("gin", "cora", 0.3), ("gin", "reddit", 0.005),
     ])
-    def test_backend_applies_planner_choice(self, dataset, scale):
+    def test_backend_applies_planner_choice(self, model, dataset, scale):
         graph = load_dataset(dataset, scale=scale, seed=0)
         built = get_backend("gsuite-adaptive").build(
-            PipelineSpec(model="gcn", out_features=3), graph)
-        assert set(built.formats) == {EXPECTED[dataset]}
+            PipelineSpec(model=model, out_features=3), graph)
+        assert built.formats == self.EXPECTED_LIVE[(model, dataset)]
         assert built.plan.layer_formats == built.formats
         out = built.run()
         assert out.shape == (graph.num_nodes, 3)
@@ -139,3 +208,52 @@ class TestAdaptiveBackend:
                             out_features=3, compute_model="MP")
         with pytest.raises(ModelError):
             model.lower(["SpMM", "SpMM"])
+
+
+class TestShardCount:
+    """choose_shards: working-set driven, setup-cost gated."""
+
+    def test_small_workloads_stay_unsharded(self):
+        for dataset in ("cora", "citeseer", "pubmed"):
+            spec = get_spec(dataset)
+            k = choose_shards(_dims(spec), GraphStats.from_spec(spec))
+            assert k <= 3  # citation graphs never shard aggressively
+        cora = get_spec("cora")
+        assert choose_shards(_dims(cora), GraphStats.from_spec(cora)) == 1
+
+    @pytest.mark.parametrize("dataset", ["reddit", "livejournal"])
+    def test_large_graphs_shard(self, dataset):
+        spec = get_spec(dataset)
+        k = choose_shards(_dims(spec), GraphStats.from_spec(spec))
+        assert k > 1
+
+    def test_shard_count_bounded(self):
+        spec = get_spec("reddit")
+        stats = GraphStats.from_spec(spec)
+        assert choose_shards(_dims(spec), stats, max_shards=4) <= 4
+        assert choose_shards(_dims(spec), stats) <= stats.num_nodes
+
+    def test_spmm_plans_do_not_shard(self):
+        """The fused kernel never materialises the [E, f] messages, so
+        an all-SpMM plan has no working set to slice."""
+        spec = get_spec("reddit")
+        stats = GraphStats.from_spec(spec)
+        assert choose_shards(_dims(spec), stats,
+                             formats=["SpMM", "SpMM"]) == 1
+
+    def test_setup_cost_scales_with_nodes(self):
+        small = GraphStats.from_spec(get_spec("cora"))
+        large = GraphStats.from_spec(get_spec("reddit"))
+        assert shard_setup_cost(large) > shard_setup_cost(small)
+
+    def test_width_hook_shrinks_gcn_working_set(self):
+        """GCN's output-width MP messages imply fewer shards than the
+        input-width default on a wide-feature workload."""
+        from repro.core.models import get_model_class
+        spec = get_spec("reddit")
+        stats = GraphStats.from_spec(spec)
+        hooked = choose_shards(_dims(spec), stats,
+                               width_hook=get_model_class(
+                                   "gcn").aggregation_width)
+        unhooked = choose_shards(_dims(spec), stats)
+        assert hooked <= unhooked

@@ -79,3 +79,38 @@ class TestCommands:
         assert "unknown dataset" in capsys.readouterr().err
         assert main(["run", "--scale", "7"]) == 2
         assert main(["run", "--model", "transformer"]) == 2
+
+    def test_run_with_forced_shards(self, capsys):
+        code = main(["run", "--dataset", "cora", "--scale", "0.1",
+                     "--shards", "3"])
+        assert code == 0
+        assert "output shape" in capsys.readouterr().out
+
+    def test_plan_reports_sharding_decision(self, capsys):
+        code = main(["plan", "--dataset", "cora", "--scale", "0.1",
+                     "--shards", "4"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "4 destination-range shards (forced)" in out
+        code = main(["plan", "--dataset", "cora", "--scale", "0.1"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "sharding: off" in out
+        # --shards 0: the planner declines on a Cora-scale workload.
+        code = main(["plan", "--dataset", "cora", "--scale", "0.1",
+                     "--shards", "0"])
+        assert code == 0
+        assert "sharding: off" in capsys.readouterr().out
+
+    def test_sharding_on_pyg_is_an_error(self, capsys):
+        assert main(["run", "--dataset", "cora", "--scale", "0.1",
+                     "--framework", "pyg", "--shards", "2"]) == 2
+        assert "sharded" in capsys.readouterr().err
+
+    def test_planner_sharding_declines_on_pyg(self, capsys):
+        """--shards 0 asks the planner; on a backend that cannot shard
+        the decision is 'don't', not an error."""
+        code = main(["run", "--dataset", "cora", "--scale", "0.1",
+                     "--framework", "pyg", "--shards", "0"])
+        assert code == 0
+        assert "output shape" in capsys.readouterr().out

@@ -1,0 +1,181 @@
+#!/usr/bin/env python3
+"""Benchmark sharded plan execution against unsharded plans.
+
+For each large-graph MP workload this tool builds one pipeline, runs it
+unsharded, then re-runs it under destination-range sharding
+(``repro.plan.sharding``) for a sweep of shard counts — asserting
+**bit-for-bit output parity** on every configuration — and writes
+``BENCH_sharding.json`` at the repository root with the measured
+wall-clock.
+
+Where the win comes from: the MP aggregation path materialises a
+``[E, f]`` per-edge message matrix between the gather and the scatter.
+At Reddit scale that intermediate is hundreds of MB to GB — far past
+any cache — so the scatter re-streams it from DRAM.  Sharding by
+destination range executes the pair piecewise over slices sized to the
+planner's working-set target, keeping each slice resident between the
+two kernels (and bounding peak memory to ``~1/K`` of the unsharded
+run).  This pays off even in-process on a single core, which is what
+this container measures; ``jobs > 1`` additionally fans shards across
+the worker pool on multi-core hosts.
+
+Usage::
+
+    PYTHONPATH=src python tools/bench_sharding.py --profile ci   # CI smoke
+    PYTHONPATH=src python tools/bench_sharding.py --scale 0.05   # full bench
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+import numpy as np  # noqa: E402
+
+from repro.bench.profiles import PROFILES  # noqa: E402
+from repro.core.models import get_model_class  # noqa: E402
+from repro.datasets import load_dataset  # noqa: E402
+from repro.frameworks import PipelineSpec, get_backend  # noqa: E402
+from repro.plan import GraphStats, choose_shards  # noqa: E402
+from repro.plan.sharding import ShardingPolicy  # noqa: E402
+
+#: (model, dataset, compute model) — the memory-bound MP aggregation
+#: workloads sharding targets.  GCN rides along as the control: its
+#: transform-first path aggregates at the output width, so its messages
+#: are small and the planner keeps its shard count minimal.
+WORKLOADS = (
+    ("sage", "reddit", "MP"),
+    ("gin", "reddit", "MP"),
+    ("gcn", "reddit", "MP"),
+)
+
+
+def _best_seconds(fn, repeats: int) -> float:
+    fn()  # warm-up: allocator, BLAS thread pools, lazy structures
+    return min(_timed(fn) for _ in range(repeats))
+
+
+def _timed(fn) -> float:
+    start = time.perf_counter()
+    fn()
+    return time.perf_counter() - start
+
+
+def run(profile_name: str, scale_override, shard_list, repeats: int,
+        jobs: int, out_path: Path) -> int:
+    profile = PROFILES[profile_name]
+    rows = []
+    failures = []
+    for model, dataset, compute_model in WORKLOADS:
+        scale = scale_override or profile.scale_of(dataset)
+        graph = load_dataset(dataset, scale=scale, seed=0)
+        spec = PipelineSpec(model=model, compute_model=compute_model,
+                            out_features=8)
+        backend = get_backend("gsuite")
+        built = backend.build(spec, graph)
+        cls = get_model_class(model)
+        auto_k = choose_shards(
+            built.plan.meta["dims"], GraphStats.from_graph(graph),
+            formats=list(built.plan.layer_formats),
+            width_hook=cls.aggregation_width)
+        reference = built.run()
+        base_s = _best_seconds(built.run, repeats)
+        print(f"{model:5s} {dataset}@{scale:g}  N={graph.num_nodes} "
+              f"E={graph.num_edges} f={graph.num_features}  "
+              f"planner K={auto_k}")
+        print(f"  unsharded        {base_s * 1e3:9.1f} ms")
+
+        entry = {
+            "model": model, "dataset": dataset, "scale": scale,
+            "compute_model": compute_model,
+            "nodes": graph.num_nodes, "edges": graph.num_edges,
+            "features": graph.num_features,
+            "planner_shards": auto_k,
+            "seconds": {"unsharded": base_s},
+        }
+        for requested in shard_list:
+            k = auto_k if requested == "auto" else int(requested)
+            if k <= 1:
+                continue
+            sharded = backend.build(spec, graph).configure_sharding(
+                ShardingPolicy(num_shards=k, jobs=jobs, use_cache=False))
+            out = sharded.run()
+            if not np.array_equal(out, reference):
+                failures.append(f"{model}/{dataset} K={k}: output mismatch")
+                continue
+            seconds = _best_seconds(sharded.run, repeats)
+            label = f"sharded-K{k}" + ("" if jobs == 1 else f"-jobs{jobs}")
+            if requested == "auto":
+                label += " (planner)"
+            entry["seconds"][label] = seconds
+            print(f"  {label:16s} {seconds * 1e3:9.1f} ms  "
+                  f"({base_s / seconds:.2f}x)  [outputs bit-identical]")
+        sharded_times = {k: v for k, v in entry["seconds"].items()
+                         if k != "unsharded"}
+        if sharded_times:
+            best_label = min(sharded_times, key=sharded_times.get)
+            entry["best_sharded"] = best_label
+            entry["speedup_best_sharded"] = round(
+                base_s / sharded_times[best_label], 3)
+        rows.append(entry)
+
+    if failures:
+        print("PARITY FAILURES:")
+        for failure in failures:
+            print(f"  {failure}")
+        return 1
+
+    payload = {
+        "description": "Sharded vs unsharded plan execution, best-of-"
+                       f"{repeats} inference seconds (plan already "
+                       "built) on the host CPU.  MP aggregation "
+                       "materialises an [E, f] message matrix between "
+                       "gather and scatter; destination-range shards "
+                       "keep each slice cache-resident and bound peak "
+                       "memory to ~1/K, which is where the single-core "
+                       "win comes from (jobs > 1 additionally fans "
+                       "shards across worker processes on multi-core "
+                       "hosts).  Outputs verified bit-for-bit identical "
+                       "on every configuration.  GCN is the control: "
+                       "its transform-first path has small messages, so "
+                       "the planner keeps its shard count low and "
+                       "forced over-sharding only adds overhead.",
+        "profile": profile_name,
+        "jobs": jobs,
+        "results": rows,
+    }
+    out_path.write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"wrote {out_path}")
+    wins = [r for r in rows if r.get("speedup_best_sharded", 0) > 1.0]
+    print(f"workloads with a sharded wall-clock win: {len(wins)}/{len(rows)}")
+    return 0
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--profile", default="ci", choices=sorted(PROFILES))
+    parser.add_argument("--scale", type=float, default=None,
+                        help="override the profile's dataset scale "
+                             "(the committed BENCH_sharding.json uses 0.05)")
+    parser.add_argument("--shards", default="auto,8,32",
+                        help="comma list of shard counts; 'auto' asks the "
+                             "planner (default: auto,8,32)")
+    parser.add_argument("--repeats", type=int, default=3)
+    parser.add_argument("--jobs", type=int, default=1,
+                        help="worker processes per sharded run (default 1: "
+                             "in-process shards)")
+    parser.add_argument("--out", default=str(REPO_ROOT / "BENCH_sharding.json"))
+    args = parser.parse_args()
+    shard_list = [s.strip() for s in args.shards.split(",") if s.strip()]
+    return run(args.profile, args.scale, shard_list, args.repeats,
+               args.jobs, Path(args.out))
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
