@@ -109,6 +109,10 @@ def pipeline_for(model: str, dataset: str, compute_model: str,
         scale=profile.scale_of(dataset),
         sample_cap=profile.sample_cap,
         repeats=profile.repeats,
+        # The paper's figures characterize the *unfused* Table II
+        # kernels (Fig. 5's is/sc/sg/sp taxonomy), so the figure bench
+        # pins fusion off; tools/bench_fusion.py is the fusion bench.
+        fuse="off",
     )
     return GNNPipeline(config)
 

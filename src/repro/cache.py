@@ -59,6 +59,11 @@ KINDS = ("record", "sim", "profile", "timing", "plan", "shard")
 _SCHEMA_VERSION = 1
 
 #: Package subtrees whose source participates in the code-version hash.
+#: ``plan`` is hashed recursively, so the fusion pass
+#: (``plan/fusion.py``) invalidates cached plans/shard results/traces
+#: whenever its rewrite rules change — fused and unfused plans already
+#: carry distinct fingerprints (their op streams differ), this guards
+#: the pass *implementation* itself.
 #: The bench presentation layers (experiments, tables, harness, engine)
 #: only orchestrate and format — their changes cannot alter a recorded
 #: trace, simulation result or measurement, so they are excluded and

@@ -66,6 +66,14 @@ def build_parser() -> argparse.ArgumentParser:
                        help="destination-range plan shards: 0 lets the "
                             "planner decide, 1 disables (default), K >= 2 "
                             "forces K shards")
+        p.add_argument("--fuse", default="auto",
+                       choices=["auto", "off", "force"],
+                       help="plan-level operator fusion: 'auto' lets the "
+                            "planner decide (default), 'off' disables, "
+                            "'force' fuses every legal site")
+        p.add_argument("--no-fuse", dest="fuse", action="store_const",
+                       const="off",
+                       help="shorthand for --fuse off")
 
     for name, help_text in (
             ("run", "run one inference pass"),
@@ -73,8 +81,9 @@ def build_parser() -> argparse.ArgumentParser:
             ("record", "list the kernel launches of one inference"),
             ("simulate", "cycle-level GPU simulation per kernel (Figs. 6-8)"),
             ("profile", "analytic profiler metrics per kernel (Figs. 5, 8, 9)"),
-            ("plan", "show the lowered execution plan and, for "
-                     "gsuite-adaptive, the planner's format choices")):
+            ("plan", "show the lowered execution plan, the fusion "
+                     "decision and, for gsuite-adaptive, the planner's "
+                     "format choices")):
         p = sub.add_parser(name, help=help_text)
         add_pipeline_args(p)
 
@@ -105,6 +114,7 @@ def _pipeline_from_args(args) -> GNNPipeline:
         seed=args.seed,
         repeats=args.repeats,
         shards=args.shards,
+        fuse=args.fuse,
     )
     if args.config:
         config = SuiteConfig.from_file(args.config, **overrides)
@@ -193,6 +203,10 @@ def _cmd_plan(args) -> int:
                              chosen=built.formats,
                              width_hook=get_model_class(
                                  args.model).aggregation_width))
+    # The fusion decision build() actually applied (None = unfused),
+    # read back from the built pipeline so the report can't drift.
+    from repro.plan import describe_fusion
+    print(describe_fusion(plan, getattr(built, "fusion", None)))
     # The policy build() chose and applied (None = unsharded), so the
     # report can't drift from execution and nothing is recomputed.
     policy = getattr(built, "sharding", None)

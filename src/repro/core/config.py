@@ -45,6 +45,9 @@ class SuiteConfig:
     sample_cap: int = 1_000_000   # memory-trace sampling budget
     shards: int = 1               # plan sharding: 0 = planner decides,
                                   # 1 = unsharded, K >= 2 = force K shards
+    fuse: str = "auto"            # plan fusion: "auto" = planner decides,
+                                  # "off" = never (--no-fuse), "force" =
+                                  # every legal site
 
     def __post_init__(self):
         if self.num_layers < 1:
@@ -68,6 +71,10 @@ class SuiteConfig:
         if self.compute_model not in ("MP", "SpMM"):
             raise ConfigError(
                 f"compute_model must be 'MP' or 'SpMM', got {self.compute_model!r}"
+            )
+        if self.fuse not in ("auto", "off", "force"):
+            raise ConfigError(
+                f"fuse must be 'auto', 'off' or 'force', got {self.fuse!r}"
             )
 
     # -- construction helpers ----------------------------------------------

@@ -13,9 +13,9 @@ from repro.core.kernels.launch import (
     record_launches,
 )
 from repro.core.kernels.registry import KERNELS, KernelSpec, get_kernel, kernel_table
-from repro.core.kernels.scatter import REDUCE_OPS, scatter
+from repro.core.kernels.scatter import REDUCE_OPS, scatter, streaming_reduce
 from repro.core.kernels.sgemm import sgemm
-from repro.core.kernels.sparse import spgemm, spmm
+from repro.core.kernels.sparse import fused_gather_scatter, spgemm, spmm
 
 __all__ = [
     "CTA_SIZE",
@@ -29,6 +29,7 @@ __all__ = [
     "REDUCE_OPS",
     "WARP_SIZE",
     "active_recorder",
+    "fused_gather_scatter",
     "get_kernel",
     "index_select",
     "kernel_table",
@@ -37,4 +38,5 @@ __all__ = [
     "sgemm",
     "spgemm",
     "spmm",
+    "streaming_reduce",
 ]

@@ -26,7 +26,7 @@ from dataclasses import dataclass
 
 from repro.core.kernels.launch import InstructionMix
 
-__all__ = ["KernelCost", "COSTS", "mix_for"]
+__all__ = ["KernelCost", "COSTS", "EPILOGUE_FP32_PER_ELEMENT", "mix_for"]
 
 
 @dataclass(frozen=True)
@@ -52,14 +52,27 @@ class KernelCost:
 
 #: Logical work units: indexSelect/scatter — one gathered/scattered
 #: element; sgemm — one FMA; SpGEMM — one expanded partial product;
-#: spmm — one nnz*feature multiply-accumulate.
+#: spmm — one nnz*feature multiply-accumulate; fusedGatherScatter —
+#: one scattered element (the fused message-passing aggregate: gather's
+#: address arithmetic plus scatter's atomic reduce, *minus* the
+#: intermediate's store + reload, which fusion keeps on-chip — compare
+#: its ldst of 3.0 against the pair's 2.2 + 2.8 — plus a small
+#: destination-blocking bookkeeping overhead in int/control).
 COSTS = {
     "indexSelect": KernelCost(fp32=0.0, int_ops=4.0, ldst=2.2, control=0.8, other=0.5),
     "scatter":     KernelCost(fp32=1.0, int_ops=4.5, ldst=2.8, control=0.9, other=0.6),
     "sgemm":       KernelCost(fp32=1.0, int_ops=0.12, ldst=0.10, control=0.04, other=0.05),
     "SpGEMM":      KernelCost(fp32=1.0, int_ops=5.0, ldst=3.0, control=1.2, other=0.8),
     "spmm":        KernelCost(fp32=1.0, int_ops=1.8, ldst=1.4, control=0.4, other=0.3),
+    "fusedGatherScatter":
+                   KernelCost(fp32=1.0, int_ops=8.8, ldst=3.0, control=1.8, other=1.1),
 }
+
+#: Dynamic FP32 instructions one epilogue stage (bias add / activation)
+#: adds per output element of an epilogue-carrying SGEMM.  The paper's
+#: cuBLAS epilogues apply the stage in registers before the store, so
+#: only the arithmetic is charged — no extra ldst traffic.
+EPILOGUE_FP32_PER_ELEMENT = 1.0
 
 
 def mix_for(kernel: str, units: float) -> InstructionMix:

@@ -123,6 +123,17 @@ class KernelLaunch:
     atomic: bool = False             # scatter's reduction is atomic
     active_lanes: int = WARP_SIZE    # SIMT lanes doing useful work per issue
     tag: str = ""                    # free-form label (layer, phase)
+    #: Legacy launches this fused launch stands in for, as
+    #: ``"kernel:tag"`` strings in the order the unfused plan would have
+    #: emitted them.  Empty for ordinary (unfused) launches.  This is
+    #: the documented trace-fingerprint mapping of plan-level fusion:
+    #: expanding every launch's ``replaces`` turns a fused trace back
+    #: into the legacy ``(kernel, tag)`` sequence, which is what the
+    #: fusion parity tests pin (see :func:`repro.plan.fusion.legacy_trace`).
+    replaces: tuple = ()
+    #: Epilogue carried by this launch (e.g. ``"relu"`` on an
+    #: epilogue-carrying SGEMM); empty when none.
+    epilogue: str = ""
 
     @property
     def warps(self) -> int:
@@ -159,7 +170,7 @@ class KernelLaunch:
                 mix.fp32, mix.int_ops, mix.ldst, mix.control, mix.other,
                 self.flops, self.bytes_read, self.bytes_written,
                 self.sample_fraction, self.atomic, self.active_lanes,
-                self.tag)
+                self.tag, self.replaces, self.epilogue)
         digest.update(repr(head).encode())
         digest.update(np.ascontiguousarray(self.loads,
                                            dtype=np.int64).tobytes())

@@ -8,6 +8,7 @@ max / min).
 
 from __future__ import annotations
 
+import math
 import time
 from typing import Optional
 
@@ -18,10 +19,16 @@ from repro.core.kernels import launch as L
 from repro.core.kernels.costmodel import mix_for
 from repro.errors import KernelError
 
-__all__ = ["scatter", "REDUCE_OPS"]
+__all__ = ["scatter", "streaming_reduce", "destination_partition",
+           "REDUCE_OPS", "STREAM_BLOCK_BYTES"]
 
 #: Supported reduction operators.
 REDUCE_OPS = ("sum", "mean", "max", "min")
+
+#: Per-block message budget of :func:`streaming_reduce`: one
+#: destination block's gathered messages should stay last-level-cache
+#: resident between the gather and its reduction.
+STREAM_BLOCK_BYTES = 4 * 1024 * 1024
 
 
 def scatter(src: np.ndarray, index: np.ndarray, dim_size: Optional[int] = None,
@@ -123,6 +130,98 @@ def _reduce(src: np.ndarray, index: np.ndarray, dim_size: int,
     else:  # min
         segment = np.minimum.reduceat(sorted_src, starts, axis=0)
     out[slots] = segment.astype(np.float32, copy=False)
+    return out
+
+
+def destination_partition(starts: np.ndarray, dst_index: np.ndarray):
+    """Stable partition of edge positions by destination range.
+
+    ``starts`` holds the ascending range start nodes; the return is
+    ``(order, counts, offsets)`` such that
+    ``order[offsets[k]:offsets[k + 1]]`` lists range ``k``'s edge
+    positions *in original edge order*.  That stability is what makes
+    destination-range blocking bit-exact — every destination's
+    reduction sequence is preserved — so the streaming kernel and both
+    of the sharding dispatcher's partition sites share this one
+    construction instead of re-deriving it.
+    """
+    block_of = np.searchsorted(starts, dst_index, side="right") - 1
+    order = np.argsort(block_of, kind="stable")
+    counts = np.bincount(block_of, minlength=starts.shape[0])
+    offsets = np.concatenate([np.zeros(1, dtype=np.int64),
+                              np.cumsum(counts)])
+    return order, counts, offsets
+
+
+def streaming_reduce(source: np.ndarray, src_index: np.ndarray,
+                     dst_index: np.ndarray, dim_size: int,
+                     reduce: str = "sum",
+                     scale: Optional[np.ndarray] = None,
+                     block_bytes: int = STREAM_BLOCK_BYTES) -> np.ndarray:
+    """Gather-and-reduce without materialising the full message matrix.
+
+    Computes exactly ``scatter(source[src_index] * scale[:, None],
+    dst_index, dim_size, reduce)`` — the fused message-passing
+    aggregate — but streams the per-edge messages through
+    destination-range blocks sized to ``block_bytes``, so peak
+    intermediate memory is one block instead of the whole ``[E, f]``
+    matrix.
+
+    **Bit-for-bit contract.**  Edges are partitioned by destination
+    block with one stable sort, preserving original edge order inside
+    every block; each destination's in-edges therefore reduce in the
+    same sequence the unfused scatter would use, and block outputs are
+    disjoint row ranges placed without arithmetic — the same argument
+    that makes destination-range *sharding* exact
+    (:mod:`repro.plan.sharding`).  When the messages fit a single block
+    the unfused compute runs verbatim.
+
+    No launch is recorded here: this is the compute core of the
+    ``fusedGatherScatter`` kernel (:func:`repro.core.kernels.sparse.
+    fused_gather_scatter`), which owns validation and instrumentation,
+    and of the sharding dispatcher's fused in-process path.
+    """
+    src_index = np.asarray(src_index)
+    dst_index = np.asarray(dst_index)
+    width = source.shape[1] if source.ndim == 2 else 1
+    total_bytes = src_index.size * width * np.dtype(np.float32).itemsize
+
+    if total_bytes <= block_bytes or dim_size <= 1:
+        messages = source[src_index]
+        if scale is not None:
+            messages = messages * scale[:, None] \
+                if messages.ndim == 2 else messages * scale
+        return _reduce(np.asarray(messages, dtype=np.float32),
+                       dst_index.astype(np.int64, copy=False),
+                       dim_size, reduce)
+
+    num_blocks = min(dim_size, math.ceil(total_bytes / block_bytes))
+    base, extra = divmod(dim_size, num_blocks)
+    starts = np.empty(num_blocks, dtype=np.int64)
+    lo = 0
+    for i in range(num_blocks):
+        starts[i] = lo
+        lo += base + (1 if i < extra else 0)
+    # One stable partition of edge positions by destination block keeps
+    # per-destination edge order — and therefore reduction order —
+    # identical to the unfused scatter.
+    order, _, offsets = destination_partition(starts, dst_index)
+
+    out_shape = (dim_size, width) if source.ndim == 2 else (dim_size,)
+    out = np.zeros(out_shape, dtype=np.float32)
+    for k in range(num_blocks):
+        lo = int(starts[k])
+        hi = int(starts[k + 1]) if k + 1 < num_blocks else dim_size
+        selection = order[offsets[k]:offsets[k + 1]]
+        block_scale = None if scale is None else scale[selection]
+        messages = source[src_index[selection]]
+        if block_scale is not None:
+            messages = messages * block_scale[:, None] \
+                if messages.ndim == 2 else messages * block_scale
+        out[lo:hi] = _reduce(np.asarray(messages, dtype=np.float32),
+                             (dst_index[selection] - lo).astype(
+                                 np.int64, copy=False),
+                             hi - lo, reduce)
     return out
 
 

@@ -16,7 +16,7 @@ from typing import Optional
 import numpy as np
 
 from repro.core.kernels import launch as L
-from repro.core.kernels.costmodel import mix_for
+from repro.core.kernels.costmodel import EPILOGUE_FP32_PER_ELEMENT, mix_for
 from repro.errors import KernelError
 
 __all__ = ["sgemm"]
@@ -27,7 +27,7 @@ _TILE = 32
 
 def sgemm(a: np.ndarray, b: np.ndarray, bias: Optional[np.ndarray] = None,
           alpha: float = 1.0, beta: float = 0.0, c: Optional[np.ndarray] = None,
-          tag: str = "") -> np.ndarray:
+          tag: str = "", activation: Optional[str] = None) -> np.ndarray:
     """Dense matrix multiply ``alpha * a @ b + beta * c + bias``.
 
     Parameters
@@ -43,6 +43,14 @@ def sgemm(a: np.ndarray, b: np.ndarray, bias: Optional[np.ndarray] = None,
         Optional accumulator matrix of shape ``[n, m]``.
     tag:
         Optional label copied onto the emitted :class:`KernelLaunch`.
+    activation:
+        Optional epilogue: the named activation is applied to the
+        finished output inside this launch (cuBLAS-epilogue style, the
+        plan-level-fusion hook).  Applied *after* the float32 cast, so
+        the result is bit-for-bit what a separate activation over this
+        kernel's output would produce; the launch record carries the
+        epilogue's extra arithmetic and a ``replaces`` entry naming the
+        plain sgemm launch it stands in for.
     """
     a = np.asarray(a, dtype=np.float32)
     b = np.asarray(b, dtype=np.float32)
@@ -74,11 +82,14 @@ def sgemm(a: np.ndarray, b: np.ndarray, bias: Optional[np.ndarray] = None,
     if bias is not None:
         out = out + bias
     out = out.astype(np.float32, copy=False)
+    if activation:
+        from repro.core.models.activations import get_activation
+        out = get_activation(activation)(out)
     duration = time.perf_counter() - start
 
     recorder = L.active_recorder()
     if recorder is not None:
-        _emit(recorder, a, b, out, duration, tag)
+        _emit(recorder, a, b, out, duration, tag, epilogue=activation or "")
     return out
 
 
@@ -104,9 +115,17 @@ def _row_tile_interleave(a_sweep: np.ndarray, b_sweep: np.ndarray,
     return np.concatenate(pieces)
 
 
-def _emit(recorder: L.LaunchRecorder, a: np.ndarray, b: np.ndarray,
-          out: np.ndarray, duration: float, tag: str) -> None:
-    """Launch record modelling a 32x32-tiled GEMM's global traffic."""
+def _emit(recorder: L.LaunchRecorder, a, b, out, duration: float,
+          tag: str, epilogue: str = "") -> None:
+    """Launch record modelling a 32x32-tiled GEMM's global traffic.
+
+    Operands may be geometry-only stand-ins (the sharding dispatcher's
+    canonical emission reads shapes and sizes only).  ``epilogue``
+    names a fused activation stage: its per-element arithmetic joins
+    the instruction mix (applied in registers before the store — no
+    extra memory traffic) and the record declares the plain sgemm
+    launch it replaces, for the fusion trace mapping.
+    """
     n, k = a.shape
     m = b.shape[1]
     fmas = float(n) * k * m
@@ -126,17 +145,22 @@ def _emit(recorder: L.LaunchRecorder, a: np.ndarray, b: np.ndarray,
     loads = _row_tile_interleave(a_sweep, b_sweep, row_tiles, cap)
     stores = L.sequential_lines(out_base, out.size * L.FLOAT_BYTES, cap)
 
+    mix = mix_for("sgemm", fmas)
+    if epilogue:
+        mix.fp32 += EPILOGUE_FP32_PER_ELEMENT * out.size
     recorder.emit(L.KernelLaunch(
         kernel="sgemm",
         short_form="sg",
         model="SpMM",   # listed under SpMM in Table II; used by both models
         threads=max(1, n * m),
-        mix=mix_for("sgemm", fmas),
+        mix=mix,
         loads=loads,
         stores=stores,
-        flops=2.0 * fmas,
+        flops=2.0 * fmas + (float(out.size) if epilogue else 0.0),
         bytes_read=float(L.FLOAT_BYTES) * (a.size * col_tiles + b.size * row_tiles),
         bytes_written=float(out.size * L.FLOAT_BYTES),
         duration_s=duration,
         tag=tag,
+        replaces=(f"sgemm:{tag}",) if epilogue else (),
+        epilogue=epilogue,
     ))

@@ -1,23 +1,31 @@
-"""The sparse core kernels: ``spmm`` and ``SpGEMM`` (Table II, SpMM model).
+"""The sparse core kernels: ``spmm``, ``SpGEMM`` and the fused
+message-passing aggregate ``fusedGatherScatter``.
 
 ``spmm`` multiplies a sparse adjacency (CSR) by a dense feature matrix —
 the fused aggregate of DGL-style execution.  ``SpGEMM`` multiplies two
 sparse matrices — the adjacency-normalisation chain of the paper's
-Fig. 2 (``D^-1/2 * A * D^-1/2``).
+Fig. 2 (``D^-1/2 * A * D^-1/2``).  ``fused_gather_scatter`` is the
+plan-level-fusion entry point for the MP side: one launch that streams
+per-edge messages from gather straight into the scatter reduction
+(:func:`repro.core.kernels.scatter.streaming_reduce`) instead of
+materialising the ``[E, f]`` intermediate between two launches.
 """
 
 from __future__ import annotations
 
 import time
+from typing import Optional
 
 import numpy as np
 
 from repro.core.kernels import launch as L
 from repro.core.kernels.costmodel import mix_for
+from repro.core.kernels.scatter import REDUCE_OPS, STREAM_BLOCK_BYTES, \
+    streaming_reduce
 from repro.errors import KernelError
 from repro.graph.formats import CSRMatrix
 
-__all__ = ["spmm", "spgemm"]
+__all__ = ["spmm", "spgemm", "fused_gather_scatter"]
 
 
 def spmm(adjacency: CSRMatrix, dense: np.ndarray, tag: str = "") -> np.ndarray:
@@ -94,6 +102,149 @@ def _emit_spmm(recorder: L.LaunchRecorder, adjacency: CSRMatrix,
         sample_fraction=fraction,
         active_lanes=min(L.WARP_SIZE, max(1, f)),
         tag=tag,
+    ))
+
+
+def fused_gather_scatter(source: np.ndarray, src_index: np.ndarray,
+                         dst_index: np.ndarray, dim_size: int,
+                         scale: Optional[np.ndarray] = None,
+                         reduce: str = "sum", tag: str = "",
+                         gather_tag: Optional[str] = None,
+                         block_bytes: int = STREAM_BLOCK_BYTES) -> np.ndarray:
+    """Fused message passing: gather + (scale +) scatter in one launch.
+
+    Numerically identical — bit-for-bit — to
+    ``scatter(index_select(source, src_index) * scale[:, None],
+    dst_index, dim_size, reduce)``, but the per-edge message matrix is
+    streamed through destination-range blocks of at most
+    ``block_bytes`` instead of being materialised whole (see
+    :func:`repro.core.kernels.scatter.streaming_reduce` for the
+    exactness argument).
+
+    Parameters
+    ----------
+    source:
+        2-D float node-embedding matrix ``[n, f]``.
+    src_index / dst_index:
+        Per-edge source and destination node ids (equal length).
+    dim_size:
+        Number of output slots (destination nodes).
+    scale:
+        Optional per-edge weight vector applied to the gathered rows.
+    reduce:
+        One of ``"sum"``, ``"mean"``, ``"max"``, ``"min"``.
+    tag / gather_tag:
+        Labels of the scatter / gather launches this fused launch
+        replaces (``gather_tag`` defaults to ``tag``); recorded on the
+        launch's ``replaces`` for the fusion trace mapping.
+    """
+    source = np.asarray(source)
+    src_index = np.asarray(src_index)
+    dst_index = np.asarray(dst_index)
+    if source.ndim != 2:
+        raise KernelError(
+            f"fusedGatherScatter expects a 2-D source, got {source.ndim}-D")
+    if src_index.ndim != 1 or dst_index.ndim != 1:
+        raise KernelError("fusedGatherScatter indices must be 1-D")
+    if src_index.shape[0] != dst_index.shape[0]:
+        raise KernelError(
+            f"src/dst index length mismatch: {src_index.shape[0]} vs "
+            f"{dst_index.shape[0]}")
+    for name, index in (("src", src_index), ("dst", dst_index)):
+        if index.size and not np.issubdtype(index.dtype, np.integer):
+            raise KernelError(
+                f"{name} index must be integral, got dtype {index.dtype}")
+    if src_index.size and (int(src_index.min()) < 0
+                           or int(src_index.max()) >= source.shape[0]):
+        raise KernelError("src index out of range")
+    if dst_index.size and (int(dst_index.min()) < 0
+                           or int(dst_index.max()) >= int(dim_size)):
+        raise KernelError("dst index out of range")
+    if scale is not None:
+        scale = np.asarray(scale)
+        if scale.shape != (src_index.shape[0],):
+            raise KernelError(
+                f"scale must have shape ({src_index.shape[0]},), "
+                f"got {scale.shape}")
+    if reduce not in REDUCE_OPS:
+        raise KernelError(
+            f"unknown reduce {reduce!r}; expected one of {REDUCE_OPS}")
+
+    start = time.perf_counter()
+    out = streaming_reduce(source, src_index, dst_index, int(dim_size),
+                           reduce=reduce, scale=scale,
+                           block_bytes=block_bytes)
+    duration = time.perf_counter() - start
+
+    recorder = L.active_recorder()
+    if recorder is not None:
+        _emit_fused_gather_scatter(
+            recorder, source, src_index, dst_index, out, scale, reduce,
+            duration, tag, tag if gather_tag is None else gather_tag)
+    return out
+
+
+def _emit_fused_gather_scatter(recorder: L.LaunchRecorder,
+                               source, src_index: np.ndarray,
+                               dst_index: np.ndarray, out,
+                               scale, reduce: str, duration: float,
+                               tag: str, gather_tag: str) -> None:
+    """Launch record of one fused gather-scatter.
+
+    Operands may be geometry-only stand-ins (the sharding dispatcher's
+    canonical emission) — only shapes, sizes and the index arrays are
+    read.  The memory trace carries the gathered source rows and the
+    scattered destination rows; the intermediate message matrix never
+    reaches DRAM, which is exactly the traffic fusion eliminates.
+    """
+    edges = int(src_index.size)
+    width = source.shape[1] if source.ndim == 2 else 1
+    row_bytes = width * L.FLOAT_BYTES
+    elements = float(edges) * width
+
+    stride = L.sample_stride(edges, max(
+        1, recorder.sample_cap // max(1, row_bytes // L.LINE_BYTES + 1)))
+    sampled_src = src_index[::stride]
+    sampled_dst = dst_index[::stride]
+    fraction = (sampled_src.size / edges) if edges else 1.0
+
+    source_base = recorder.new_region()
+    index_base = recorder.new_region()
+    out_base = recorder.new_region()
+    loads = np.concatenate([
+        L.sequential_lines(index_base,
+                           2 * edges * L.FLOAT_BYTES + (
+                               edges * L.FLOAT_BYTES if scale is not None
+                               else 0),
+                           recorder.sample_cap),
+        L.row_lines(source_base, np.asarray(sampled_src, dtype=np.int64),
+                    row_bytes),
+    ])
+    stores = L.row_lines(out_base, np.asarray(sampled_dst, dtype=np.int64),
+                         row_bytes)
+
+    scale_elements = edges if scale is not None else 0
+    recorder.emit(L.KernelLaunch(
+        kernel="fusedGatherScatter",
+        short_form="fg",
+        model="MP",
+        threads=max(1, int(elements)),
+        mix=mix_for("fusedGatherScatter", elements + scale_elements),
+        loads=loads,
+        stores=stores,
+        flops=elements + scale_elements,
+        bytes_read=float(L.FLOAT_BYTES) * (
+            elements + 2 * edges + scale_elements),
+        bytes_written=float(out.size * L.FLOAT_BYTES),
+        duration_s=duration,
+        sample_fraction=fraction,
+        atomic=True,
+        active_lanes=min(L.WARP_SIZE, max(1, width)),
+        tag=tag or reduce,
+        # The scatter emitter defaults an empty tag to the reduce name;
+        # the mapping must mirror that or legacy_trace() diverges from
+        # the unfused launch stream on untagged ops.
+        replaces=(f"indexSelect:{gather_tag}", f"scatter:{tag or reduce}"),
     ))
 
 

@@ -47,6 +47,7 @@ class GNNPipeline:
     def __init__(self, config: SuiteConfig, graph: Optional[Graph] = None):
         self.config = config
         self._graph = graph
+        self._graph_stats = None
         self._backend: Backend = get_backend(config.framework)
         out_features = config.out_features
         if out_features is None:
@@ -84,6 +85,20 @@ class GNNPipeline:
         """The resolved framework backend."""
         return self._backend
 
+    def graph_stats(self):
+        """Planner statistics of the workload graph, measured once.
+
+        Both the fusion and the sharding planners consume them, and the
+        in-degree pass behind :meth:`GraphStats.from_graph` is O(E) —
+        memoising keeps repeated :meth:`build` calls (and the
+        fusion-then-sharding sequence inside one build) from re-walking
+        LiveJournal-scale edge lists.
+        """
+        if self._graph_stats is None:
+            from repro.plan.planner import GraphStats
+            self._graph_stats = GraphStats.from_graph(self.graph)
+        return self._graph_stats
+
     def figure_label(self) -> str:
         """This pipeline's label in the paper's figures."""
         label = getattr(self._backend, "figure_label", None)
@@ -92,7 +107,39 @@ class GNNPipeline:
         return self._backend.name
 
     # -- execution ------------------------------------------------------------
-    def sharding_policy(self, layer_formats=None):
+    def fusion_policy(self, plan=None):
+        """The plan-fusion policy ``config.fuse`` implies.
+
+        ``"off"`` returns ``None`` (the ``--no-fuse`` escape hatch);
+        ``"force"`` enables every pattern unconditionally; ``"auto"``
+        (the default) asks the planner, which prices the gather+scatter
+        streaming fusion from the workload statistics
+        (:func:`repro.plan.planner.choose_fusion`) — tiny workloads
+        whose message matrices already sit in cache keep their plans
+        unfused, big ones fuse.  ``plan`` supplies the lowered plan's
+        per-layer formats when known.
+        """
+        from repro.plan import FusionPolicy
+        if self.config.fuse == "off":
+            return None
+        if self.config.fuse == "force":
+            return FusionPolicy(source="forced")
+        from repro.core.models import get_model_class
+        from repro.core.models.base import layer_dimensions
+        from repro.plan.planner import choose_fusion
+        cls = get_model_class(self.config.model)
+        dims = layer_dimensions(
+            self.graph.num_features, self.spec.hidden,
+            self.spec.out_features, self.spec.num_layers)
+        formats = list(plan.layer_formats) \
+            if plan is not None and plan.layer_formats \
+            else [self.spec.compute_model] * len(dims)
+        policy = choose_fusion(dims, self.graph_stats(),
+                               formats=formats,
+                               width_hook=cls.aggregation_width)
+        return policy if policy.enabled else None
+
+    def sharding_policy(self, layer_formats=None, fused=False):
         """The sharded-execution policy ``config.shards`` implies.
 
         ``shards == 1`` (the default) returns ``None`` — unsharded.
@@ -107,6 +154,10 @@ class GNNPipeline:
         costing the actual formats keeps the planner from over-sharding
         plans the adaptive backend flipped to the fused side; without
         it the spec's compute model is assumed for every layer.
+        ``fused`` declares that the plan's gather/scatter pairs were
+        fused: the streaming kernel already bounds the working set, so
+        MP layers stop exerting sharding pressure (see
+        :func:`~repro.plan.planner.choose_shards`).
         """
         from repro.plan.sharding import ShardingPolicy
         shards = self.config.shards
@@ -116,7 +167,7 @@ class GNNPipeline:
             return ShardingPolicy(num_shards=shards, source="forced")
         from repro.core.models import get_model_class
         from repro.core.models.base import layer_dimensions
-        from repro.plan.planner import GraphStats, choose_shards
+        from repro.plan.planner import choose_shards
         cls = get_model_class(self.config.model)
         dims = layer_dimensions(
             self.graph.num_features, self.spec.hidden,
@@ -124,9 +175,10 @@ class GNNPipeline:
         formats = list(layer_formats) if layer_formats \
             else [self.spec.compute_model] * len(dims)
         chosen = choose_shards(
-            dims, GraphStats.from_graph(self.graph),
+            dims, self.graph_stats(),
             formats=formats,
-            width_hook=cls.aggregation_width)
+            width_hook=cls.aggregation_width,
+            fused=fused)
         if chosen <= 1:
             return None
         return ShardingPolicy(num_shards=chosen, source="planner")
@@ -142,8 +194,25 @@ class GNNPipeline:
         from dataclasses import replace
         built = self._backend.build(self.spec, self.graph)
         plan = getattr(built, "plan", None)
+        fusion = self.fusion_policy(plan)
+        if fusion is not None:
+            if built.can_fuse() or fusion.source == "forced":
+                # Mirror forced sharding: an explicit --fuse force on a
+                # backend that cannot fuse (the PyG-like tape, unlowered
+                # extension models) refuses loudly inside
+                # configure_fusion; the planner's "auto" just declines.
+                built.configure_fusion(fusion)
+        # Gate on what the pass actually fused, not the policy's intent:
+        # legality (a multiply-consumed gather, non-adjacent pairs) can
+        # leave a "fuse gather/scatter" policy with zero fused sites,
+        # and such plans still need their MP sharding pressure.
+        from repro.plan import fusion_summary
+        fused_mp = (built.fusion is not None and built.plan is not None
+                    and fusion_summary(built.plan).get("gather_scatter",
+                                                       0) > 0)
         policy = self.sharding_policy(
-            layer_formats=plan.layer_formats if plan is not None else None)
+            layer_formats=plan.layer_formats if plan is not None else None,
+            fused=fused_mp)
         if policy is None:
             return built
         if policy.source == "planner" and not built.can_shard():

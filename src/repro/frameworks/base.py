@@ -62,10 +62,49 @@ class BuiltPipeline:
         #: The ShardingPolicy applied via configure_sharding (None =
         #: unsharded execution).
         self.sharding = None
+        #: The FusionPolicy applied via configure_fusion (None =
+        #: unfused plan).
+        self.fusion = None
+        #: The pre-fusion plan kept for inspection/parity when
+        #: configure_fusion rewrote ``plan``.
+        self.plan_unfused = None
 
     def run(self, features: Optional[np.ndarray] = None) -> np.ndarray:
         """Execute inference, returning ``[num_nodes, out_features]``."""
         raise NotImplementedError
+
+    def can_fuse(self) -> bool:
+        """Whether this pipeline's plan can take the fusion pass.
+
+        Mirrors :meth:`can_shard`: the plan must exist and execute
+        through a plain :class:`~repro.plan.executor.PlanExecutor` —
+        an op-observing tape (PyG-like) would see fused ops instead of
+        the per-op stream it records.
+        """
+        return self.can_shard()
+
+    def configure_fusion(self, policy) -> "BuiltPipeline":
+        """Rewrite the plan through the fusion pass
+        (:func:`repro.plan.fusion.fuse_plan`).
+
+        ``policy`` is a :class:`~repro.plan.fusion.FusionPolicy`.
+        Pipelines for which :meth:`can_fuse` is false refuse, so a
+        *forced* fusion request is never silently ignored
+        (planner-sourced policies are filtered by the caller, like
+        sharding — see :meth:`repro.core.pipeline.GNNPipeline.build`).
+        Outputs stay bit-for-bit identical to the unfused plan; the
+        original plan is kept on :attr:`plan_unfused`.
+        """
+        from repro.plan import fuse_plan
+        if not self.can_fuse():
+            raise BackendError(
+                f"backend {self.backend_name!r} does not support plan "
+                f"fusion"
+            )
+        self.plan_unfused = self.plan
+        self.plan = fuse_plan(self.plan, policy)
+        self.fusion = policy
+        return self
 
     def can_shard(self) -> bool:
         """Whether this pipeline can execute its plan sharded.

@@ -9,11 +9,20 @@ execution per layer for the ``gsuite-adaptive`` backend.
 """
 
 from repro.plan.executor import NORMALIZE_KINDS, PlanExecutor, register_normalize
+from repro.plan.fusion import (
+    FusionPolicy,
+    describe_fusion,
+    fuse_plan,
+    fusion_summary,
+    legacy_trace,
+)
 from repro.plan.ir import (
     Activation,
     Elementwise,
     ExecutionPlan,
     FORMATS,
+    FusedElementwise,
+    FusedGatherScatter,
     Gather,
     Normalize,
     PlanBuilder,
@@ -26,8 +35,10 @@ from repro.plan.lowering import cached_plan, graph_signature
 from repro.plan.planner import (
     GraphStats,
     choose_formats,
+    choose_fusion,
     choose_shards,
     explain_choice,
+    fusion_gain,
     mp_layer_cost,
     shard_setup_cost,
     spmm_layer_cost,
@@ -47,6 +58,9 @@ __all__ = [
     "Elementwise",
     "ExecutionPlan",
     "FORMATS",
+    "FusedElementwise",
+    "FusedGatherScatter",
+    "FusionPolicy",
     "Gather",
     "GraphStats",
     "NORMALIZE_KINDS",
@@ -63,10 +77,16 @@ __all__ = [
     "build_shard_subplan",
     "cached_plan",
     "choose_formats",
+    "choose_fusion",
     "choose_shards",
+    "describe_fusion",
     "explain_choice",
     "find_shard_groups",
+    "fuse_plan",
+    "fusion_gain",
+    "fusion_summary",
     "graph_signature",
+    "legacy_trace",
     "mp_layer_cost",
     "register_normalize",
     "shard_ranges",

@@ -23,7 +23,13 @@ from typing import Any, Callable, Dict, Optional, Tuple
 
 import numpy as np
 
-from repro.core.kernels import index_select, scatter, sgemm, spmm
+from repro.core.kernels import (
+    fused_gather_scatter,
+    index_select,
+    scatter,
+    sgemm,
+    spmm,
+)
 from repro.core.models.activations import get_activation
 from repro.errors import PlanError
 from repro.graph import Graph, add_self_loops, gcn_edge_weights
@@ -31,6 +37,8 @@ from repro.plan.ir import (
     Activation,
     Elementwise,
     ExecutionPlan,
+    FusedElementwise,
+    FusedGatherScatter,
     Gather,
     Normalize,
     ScatterReduce,
@@ -38,7 +46,24 @@ from repro.plan.ir import (
     SpMM,
 )
 
-__all__ = ["PlanExecutor", "NORMALIZE_KINDS", "register_normalize"]
+__all__ = ["PlanExecutor", "NORMALIZE_KINDS", "apply_elementwise_stage",
+           "register_normalize"]
+
+
+def apply_elementwise_stage(stage, resolve):
+    """Evaluate one ``Elementwise`` / ``Activation`` stage.
+
+    ``resolve`` maps a :class:`~repro.plan.ir.ValueRef` to its value.
+    Shared by the executor's op dispatch and the sharding dispatcher's
+    in-process tail replay (:func:`repro.plan.sharding._apply_tail`),
+    so the two can never diverge on stage semantics.
+    """
+    if isinstance(stage, Activation):
+        return get_activation(stage.function)(resolve(stage.source))
+    a, b = resolve(stage.a), resolve(stage.b)
+    if stage.kind in ("add", "add_bias"):
+        return a + b
+    return (1.0 + stage.alpha) * a + b  # combine
 
 #: Kind name -> ``fn(graph, params, inputs, tag) -> tuple`` registry.
 NORMALIZE_KINDS: Dict[str, Callable] = {}
@@ -237,7 +262,9 @@ class PlanExecutor:
         from repro.plan.sharding import find_shard_groups, shard_ranges
         if len(shard_ranges(graph.num_nodes, self.sharding.num_shards)) < 2:
             return {}
-        return {group.start: group for group in find_shard_groups(plan)}
+        groups = find_shard_groups(
+            plan, local_tails=self.sharding.local_tails)
+        return {group.start: group for group in groups}
 
     def _run_sharded(self, plan: ExecutionPlan, env: Dict[int, Any],
                      graph: Graph, group_at: Dict) -> np.ndarray:
@@ -284,23 +311,36 @@ class PlanExecutor:
             out = spmm(env[op.matrix.vid], env[op.dense.vid], tag=op.tag)
             env[op.out.vid] = out
             return out
+        if isinstance(op, FusedGatherScatter):
+            scale = env[op.scale.vid] if op.scale is not None else None
+            out = fused_gather_scatter(
+                env[op.source.vid], env[op.src_index.vid],
+                env[op.dst_index.vid], dim_size=graph.num_nodes,
+                scale=scale, reduce=op.reduce, tag=op.tag,
+                gather_tag=op.gather_tag)
+            env[op.out.vid] = out
+            return out
         if isinstance(op, SGEMM):
             bias = env[op.bias.vid] if op.bias is not None else None
-            out = sgemm(env[op.a.vid], env[op.b.vid], bias=bias, tag=op.tag)
+            out = sgemm(env[op.a.vid], env[op.b.vid], bias=bias, tag=op.tag,
+                        activation=op.activation or None)
             env[op.out.vid] = out
             return out
         if isinstance(op, Activation):
             out = get_activation(op.function)(env[op.source.vid])
             env[op.out.vid] = out
             return out
-        if isinstance(op, Elementwise):
-            a, b = env[op.a.vid], env[op.b.vid]
-            if op.kind == "add":
-                out = a + b
-            elif op.kind == "add_bias":
-                out = a + b
-            else:  # combine: (1 + alpha) * a + b
-                out = (1.0 + op.alpha) * a + b
+        if isinstance(op, (Elementwise, FusedElementwise)):
+            stages = op.stages if isinstance(op, FusedElementwise) else (op,)
+            local: Dict[int, Any] = {}
+
+            def _resolve(ref):
+                return local[ref.vid] if ref.vid in local else env[ref.vid]
+
+            out = None
+            for stage in stages:
+                out = apply_elementwise_stage(stage, _resolve)
+                local[stage.out.vid] = out
             env[op.out.vid] = out
             return out
         if isinstance(op, Normalize):

@@ -54,6 +54,8 @@ __all__ = [
     "Activation",
     "Elementwise",
     "Normalize",
+    "FusedGatherScatter",
+    "FusedElementwise",
     "PlanOp",
     "ExecutionPlan",
     "PlanBuilder",
@@ -138,13 +140,20 @@ class SpMM:
 
 @dataclass(frozen=True)
 class SGEMM:
-    """Dense transform ``out = a @ b (+ bias)``."""
+    """Dense transform ``out = a @ b (+ bias)``, optional epilogue.
+
+    ``activation`` names an epilogue-fused activation applied inside
+    the same launch (empty = none) — written by the fusion pass
+    (:mod:`repro.plan.fusion`), never by direct lowering, so unfused
+    plans are untouched.
+    """
 
     a: ValueRef
     b: ValueRef
     out: ValueRef
     bias: Optional[ValueRef] = None
     tag: str = ""
+    activation: str = ""
 
     opcode = "sgemm"
 
@@ -227,8 +236,80 @@ class Normalize:
         return dict(self.params)
 
 
+@dataclass(frozen=True)
+class FusedGatherScatter:
+    """Fused message passing: ``Gather`` + ``ScatterReduce`` in one op.
+
+    Produced by the fusion pass from an adjacent pair whose per-edge
+    message intermediate has exactly one consumer; executed through the
+    ``fusedGatherScatter`` kernel, which streams messages through
+    destination-range blocks instead of materialising the ``[E, f]``
+    matrix.  ``tag`` / ``gather_tag`` keep the legacy scatter / gather
+    labels for the fused launch's ``replaces`` mapping.
+    """
+
+    source: ValueRef
+    src_index: ValueRef
+    dst_index: ValueRef
+    out: ValueRef
+    scale: Optional[ValueRef] = None
+    reduce: str = "sum"
+    tag: str = ""
+    gather_tag: str = ""
+
+    opcode = "fused_gather_scatter"
+
+    def operands(self) -> Tuple[ValueRef, ...]:
+        refs = (self.source, self.src_index, self.dst_index)
+        return refs + ((self.scale,) if self.scale is not None else ())
+
+
+@dataclass(frozen=True)
+class FusedElementwise:
+    """A chain of ``Elementwise`` / ``Activation`` ops, one traversal.
+
+    ``stages`` holds the original ops in order; each stage's output
+    feeds only the next stage (the fusion pass's single-consumer
+    legality condition), so the chain collapses to one dispatch whose
+    intermediates never enter the executor environment.  Replaying the
+    stages applies exactly the unfused arithmetic — bit-for-bit — and,
+    like the unfused ops, emits no kernel launches.
+    """
+
+    stages: Tuple[Union[Elementwise, Activation], ...]
+    out: ValueRef
+
+    opcode = "fused_elementwise"
+    tag = ""
+
+    def __post_init__(self):
+        if len(self.stages) < 2:
+            raise PlanError("fused_elementwise needs at least two stages")
+        if self.stages[-1].out.vid != self.out.vid:
+            raise PlanError(
+                "fused_elementwise out must be the last stage's out")
+
+    def operands(self) -> Tuple[ValueRef, ...]:
+        internal = {stage.out.vid for stage in self.stages[:-1]}
+        seen = set()
+        refs = []
+        for stage in self.stages:
+            for ref in stage.operands():
+                if ref.vid not in internal and ref.vid not in seen:
+                    seen.add(ref.vid)
+                    refs.append(ref)
+        return tuple(refs)
+
+    @property
+    def function(self) -> str:
+        """Compressed stage summary for :meth:`ExecutionPlan.describe`."""
+        return "+".join(
+            stage.kind if isinstance(stage, Elementwise) else stage.function
+            for stage in self.stages)
+
+
 PlanOp = Union[Gather, ScatterReduce, SpMM, SGEMM, Activation, Elementwise,
-               Normalize]
+               Normalize, FusedGatherScatter, FusedElementwise]
 
 
 def _op_outputs(op: PlanOp) -> Tuple[ValueRef, ...]:
@@ -370,9 +451,24 @@ class PlanBuilder:
         return out
 
     def sgemm(self, a: ValueRef, b: ValueRef,
-              bias: Optional[ValueRef] = None, tag: str = "") -> ValueRef:
+              bias: Optional[ValueRef] = None, tag: str = "",
+              activation: str = "") -> ValueRef:
         out = self._new("dense")
-        self._ops.append(SGEMM(a, b, out, bias=bias, tag=tag))
+        self._ops.append(SGEMM(a, b, out, bias=bias, tag=tag,
+                               activation=activation))
+        return out
+
+    def fused_gather_scatter(self, source: ValueRef, src_index: ValueRef,
+                             dst_index: ValueRef,
+                             scale: Optional[ValueRef] = None,
+                             reduce: str = "sum", tag: str = "",
+                             gather_tag: str = "") -> ValueRef:
+        """Emit a fused message-passing aggregate (shard sub-plans; the
+        fusion pass itself rewrites existing ops in place)."""
+        out = self._new("dense")
+        self._ops.append(FusedGatherScatter(
+            source, src_index, dst_index, out, scale=scale, reduce=reduce,
+            tag=tag, gather_tag=gather_tag or tag))
         return out
 
     def activation(self, source: ValueRef, function: str) -> ValueRef:

@@ -43,12 +43,14 @@ from typing import Callable, Optional, Sequence, Tuple
 
 from repro.core.kernels.costmodel import COSTS
 from repro.core.kernels.launch import WARP_SIZE
+from repro.core.kernels.scatter import STREAM_BLOCK_BYTES
 from repro.datasets.specs import DatasetSpec
 from repro.graph import Graph
 
 __all__ = ["GraphStats", "mp_layer_cost", "spmm_layer_cost",
-           "spmm_setup_cost", "choose_formats", "choose_shards",
-           "explain_choice", "shard_setup_cost"]
+           "spmm_setup_cost", "choose_formats", "choose_fusion",
+           "choose_shards", "explain_choice", "fusion_gain",
+           "shard_setup_cost"]
 
 #: ``fn(fmt, fan_in, fan_out) -> width`` — the feature width a layer's
 #: aggregation actually runs at under execution format ``fmt``.  The
@@ -210,6 +212,99 @@ def choose_formats(dims: Sequence[Tuple[int, int]], stats: GraphStats,
     return tuple(decisions)
 
 
+# ---------------------------------------------------------------------------
+# Fusion decisions
+# ---------------------------------------------------------------------------
+
+#: Streaming-block budget of the fused gather-scatter kernel — the
+#: kernel's own constant, so retuning the block size retunes the
+#: planner's pricing with it.  One destination block's messages stay
+#: cache-resident between gather and reduce.
+_FUSE_STREAM_BLOCK_BYTES = STREAM_BLOCK_BYTES
+
+#: Modelled one-off cost of the fused kernel's destination blocking
+#: (the stable partition of edge positions by destination block), in
+#: instructions per edge per doubling of the block count.  Charged only
+#: when the kernel actually blocks.  Calibrated against the measured
+#: control cell (BENCH_fusion.json: GCN-MP on scaled Reddit, whose
+#: width-16 transform-first messages run *slower* fused): the partition
+#: is per-edge while the traffic saving is per-element, so narrow
+#: messages never amortise the sort and stay unfused, wide ones
+#: (GIN/SAGE aggregate at the raw feature width) clearly do.
+_FUSE_PARTITION_UNIT = 48.0
+
+#: Modelled instruction overhead of one kernel launch (driver +
+#: scheduling).  The per-launch saving every fusion pattern banks.
+_LAUNCH_OVERHEAD_INSTRUCTIONS = 2.0e5
+
+
+def fusion_gain(stats: GraphStats, feature_width: int) -> float:
+    """Modelled instruction saving of fusing one Gather+ScatterReduce.
+
+    The fused kernel keeps the per-edge message block on-chip, saving
+    the intermediate's store (gather side) and reload (scatter side) —
+    one ldst each per element — plus one launch overhead, and paying
+    the destination-partition bookkeeping when the matrix is big
+    enough to need blocking.  When the whole message matrix fits the
+    stream block there is no traffic to save (it was cache-resident
+    anyway); the leftover launch-overhead saving sits below the
+    decision threshold, so the gain is modelled as zero — matching
+    :func:`choose_fusion`, which leaves such layers unfused.
+    """
+    width = max(1, feature_width)
+    elements = float(stats.num_edges) * width
+    intermediate_bytes = _FLOAT_BYTES * elements
+    if intermediate_bytes <= _FUSE_STREAM_BLOCK_BYTES:
+        return 0.0
+    saved_traffic = 2.0 * elements * _lane_penalty(width)
+    partition = _FUSE_PARTITION_UNIT * float(stats.num_edges) * math.log2(
+        max(2.0, intermediate_bytes / _FUSE_STREAM_BLOCK_BYTES))
+    return saved_traffic + _LAUNCH_OVERHEAD_INSTRUCTIONS - partition
+
+
+def choose_fusion(dims: Sequence[Tuple[int, int]], stats: GraphStats,
+                  formats: Sequence[str] = (),
+                  width_hook: Optional[WidthHook] = None):
+    """The :class:`~repro.plan.fusion.FusionPolicy` for one plan.
+
+    * **gather+scatter** fusion streams the per-edge message matrix
+      through cache-sized destination blocks; it is enabled when the
+      modelled :func:`fusion_gain` of the *widest MP layer* clearly
+      beats zero — with the same 2x hysteresis ``choose_shards``
+      applies to its working-set target, so workloads whose messages
+      already fit on-chip stay unfused (their only gain would be one
+      launch overhead, below the decision threshold —
+      :func:`fusion_gain` models it as zero).  Plans with no MP layer
+      have no gather/scatter pairs; the flag is moot but left on (the
+      pass finds no sites).
+    * **sgemm epilogue** and **elementwise chain** fusion carry no
+      modelled overhead — the epilogue runs in registers before the
+      store, the chain is pure dispatch elimination — so they are
+      always profitable and always on.
+
+    ``formats``/``width_hook`` follow :func:`choose_formats`.
+    """
+    from repro.plan.fusion import FusionPolicy
+    width = width_hook or _default_width
+    formats = list(formats) or ["MP"] * len(dims)
+    best_gain = 0.0
+    for (fan_in, fan_out), fmt in zip(dims, formats):
+        if fmt == "SpMM":
+            continue
+        layer_width = max(1, width(fmt, fan_in, fan_out))
+        intermediate = _FLOAT_BYTES * float(stats.num_edges) * layer_width
+        # 2x hysteresis on the stream-block budget, mirroring
+        # choose_shards: borderline matrices gain less from blocking
+        # than the partition bookkeeping costs.
+        if intermediate <= 2 * _FUSE_STREAM_BLOCK_BYTES:
+            continue
+        best_gain = max(best_gain, fusion_gain(stats, layer_width))
+    return FusionPolicy(gather_scatter=best_gain > 0.0,
+                        sgemm_epilogue=True,
+                        elementwise_chain=True,
+                        source="planner")
+
+
 #: Per-shard working-set target for sharded aggregation: one shard's
 #: message slice should fit a last-level-cache-sized budget, so the
 #: gather's output is still resident when the scatter consumes it.
@@ -232,7 +327,7 @@ def shard_setup_cost(stats: GraphStats) -> float:
 def choose_shards(dims: Sequence[Tuple[int, int]], stats: GraphStats,
                   formats: Sequence[str] = (),
                   width_hook: Optional[WidthHook] = None,
-                  max_shards: int = 32) -> int:
+                  max_shards: int = 32, fused: bool = False) -> int:
     """Destination-range shard count for one plan.
 
     Two terms, both from the graph statistics:
@@ -250,7 +345,14 @@ def choose_shards(dims: Sequence[Tuple[int, int]], stats: GraphStats,
 
     ``formats`` is the plan's per-layer execution format (defaults to
     MP everywhere); widths follow the same calibrated ``width_hook`` as
-    :func:`choose_formats`.
+    :func:`choose_formats`.  ``fused`` declares that the plan's
+    gather/scatter pairs were fused (:func:`choose_fusion` said yes):
+    the fused kernel already streams the message matrix through
+    cache-sized destination blocks, so — exactly like SpMM layers — MP
+    layers then exert no working-set pressure and a single process
+    stays at ``K = 1`` (sharding a fused plan is still legal and
+    useful for ``jobs > 1`` parallelism; it is just no longer a
+    residency fix).
     """
     width = width_hook or _default_width
     formats = list(formats) or ["MP"] * len(dims)
@@ -258,7 +360,7 @@ def choose_shards(dims: Sequence[Tuple[int, int]], stats: GraphStats,
     aggregation = 0.0
     for (fan_in, fan_out), fmt in zip(dims, formats):
         layer_width = max(1, width(fmt, fan_in, fan_out))
-        if fmt != "SpMM":
+        if fmt != "SpMM" and not fused:
             peak_bytes = max(
                 peak_bytes,
                 _FLOAT_BYTES * float(stats.num_edges) * layer_width)

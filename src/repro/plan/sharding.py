@@ -33,6 +33,19 @@ Per-shard results can flow through the persistent cache (kind
 ``"shard"``), keyed by the shard sub-plan's fingerprint plus the
 content of its bound operands, so warm sharded sweeps skip the
 aggregation compute entirely.
+
+Two extensions ride on the fusion pass (:mod:`repro.plan.fusion`):
+
+* fused plans' :class:`~repro.plan.ir.FusedGatherScatter` ops shard
+  exactly like the pair they replaced, and for ``jobs == 1`` the
+  dispatcher takes a *fused slice-dispatch-merge* fast path — no
+  per-shard sub-plans, binding copies or cache keys; one stable
+  destination partition, the streaming kernel per range, the
+  scatter-kernel merge;
+* ``local_tails`` extends each group with its row-local layer tail
+  (``SGEMM`` / ``Activation`` / constant-operand elementwise ops), so
+  whole layers run inside a shard between merges — opt-in, see
+  :class:`ShardingPolicy` for the exactness caveat.
 """
 
 from __future__ import annotations
@@ -51,10 +64,16 @@ from repro.core.kernels import record_launches, scatter
 from repro.errors import PlanError
 from repro.graph.formats import CSRMatrix
 from repro.plan.ir import (
+    Activation,
+    Elementwise,
     ExecutionPlan,
+    FusedElementwise,
+    FusedGatherScatter,
     Gather,
     PlanBuilder,
+    PlanOp,
     ScatterReduce,
+    SGEMM,
     SpMM,
 )
 
@@ -63,6 +82,7 @@ from repro.plan.ir import (
 # emitters the dispatcher reuses for merged-trace parity.
 _index_select_mod = import_module("repro.core.kernels.index_select")
 _scatter_mod = import_module("repro.core.kernels.scatter")
+_sgemm_mod = import_module("repro.core.kernels.sgemm")
 _sparse_mod = import_module("repro.core.kernels.sparse")
 
 __all__ = [
@@ -98,12 +118,29 @@ class ShardingPolicy:
     source:
         Where the shard count came from (``"forced"`` / ``"planner"``)
         — reporting only.
+    local_tails:
+        Run each aggregation group's row-local *layer tail* — the
+        ``SGEMM`` / ``Activation`` / constant-operand ``Elementwise``
+        ops consuming the aggregate — inside the shard, merging once
+        per layer instead of right after the aggregation.  Off by
+        default because BLAS GEMM blocking depends on the row count:
+        a tail ``SGEMM`` over a shard's row slice is the same function
+        but not guaranteed bit-for-bit against the unsharded launch
+        (measured: float32 GEMMs over small row slices diverge in the
+        last ulp), so enabling tails trades the sharding layer's
+        bitwise-reproducibility contract for merge elimination.
+        Tail-free groups, and tails containing no ``SGEMM``, remain
+        exact.  Fused and unfused plans under the *same* tail-enabled
+        policy still match each other bit-for-bit (they issue
+        identical per-shard kernel calls), which is the fusion parity
+        contract.
     """
 
     num_shards: int
     jobs: int = 1
     use_cache: bool = True
     source: str = "forced"
+    local_tails: bool = False
 
 
 @dataclass(frozen=True)
@@ -111,9 +148,14 @@ class ShardGroup:
     """One shardable aggregation site inside a plan.
 
     ``kind`` is ``"mp"`` (an adjacent ``Gather`` → ``ScatterReduce``
-    pair whose intermediate is used nowhere else) or ``"spmm"`` (a
-    single fused-aggregation op).  ``start`` is the first covered op
-    position — the point in the op walk where the whole group executes.
+    pair whose intermediate is used nowhere else), ``"spmm"`` (a
+    single fused-aggregation op) or ``"fused"`` (a
+    :class:`~repro.plan.ir.FusedGatherScatter` op from the fusion
+    pass).  ``start`` is the first covered op position — the point in
+    the op walk where the whole group executes.  ``tail`` holds the
+    row-local layer-tail ops the group also covers when the policy
+    enables :attr:`ShardingPolicy.local_tails` (empty otherwise); the
+    merged result then defines the *last tail op's* value.
     """
 
     kind: str
@@ -122,17 +164,48 @@ class ShardGroup:
     gather: Optional[Gather] = None
     scatter: Optional[ScatterReduce] = None
     spmm: Optional[SpMM] = None
+    fused: Optional[FusedGatherScatter] = None
+    tail: Tuple[PlanOp, ...] = ()
+
+    @property
+    def agg_op(self):
+        """The aggregation op that produces the group's row blocks."""
+        if self.kind == "mp":
+            return self.scatter
+        return self.spmm if self.kind == "spmm" else self.fused
+
+    @property
+    def agg_out_vid(self) -> int:
+        """The SSA value id of the bare aggregation result."""
+        return self.agg_op.out.vid
 
     @property
     def out_vid(self) -> int:
         """The SSA value id the merged result defines."""
-        op = self.scatter if self.kind == "mp" else self.spmm
-        return op.out.vid
+        return self.tail[-1].out.vid if self.tail else self.agg_out_vid
 
     @property
     def tag(self) -> str:
-        op = self.scatter if self.kind == "mp" else self.spmm
-        return op.tag
+        return self.agg_op.tag
+
+    # -- mp/fused accessors (the two kinds share the dispatch path) ------
+    @property
+    def mp_refs(self):
+        """``(source, src, dst, scale)`` refs of an mp/fused group."""
+        if self.kind == "mp":
+            return (self.gather.source, self.gather.index,
+                    self.scatter.index, self.gather.scale)
+        op = self.fused
+        return (op.source, op.src_index, op.dst_index, op.scale)
+
+    @property
+    def reduce(self) -> str:
+        op = self.scatter if self.kind == "mp" else self.fused
+        return op.reduce
+
+    @property
+    def gather_tag(self) -> str:
+        return self.gather.tag if self.kind == "mp" else self.fused.gather_tag
 
 
 @dataclass
@@ -167,14 +240,64 @@ def shard_ranges(num_nodes: int, num_shards: int) -> List[Tuple[int, int]]:
     return ranges
 
 
-def find_shard_groups(plan: ExecutionPlan) -> List[ShardGroup]:
+def _collect_tail(ops, start: int, value_vid: int, uses: Dict[int, int],
+                  constants: Dict[int, object]) -> Tuple[PlanOp, ...]:
+    """The row-local layer tail starting at op position ``start``.
+
+    An op joins the tail when it is the *sole* consumer of the value
+    flowing out of the group so far and it operates row-locally on it:
+    ``SGEMM`` whose weight/bias are plan constants (broadcast to every
+    shard), ``Activation``, and ``Elementwise`` /
+    :class:`~repro.plan.ir.FusedElementwise` whose non-flowing
+    operands are all constant *vectors* (broadcast row-wise).  An
+    operand that is another runtime matrix (e.g. GIN's self-term ``x``)
+    stops the tail — slicing it per shard would need shape guarantees
+    the IR does not carry.
+    """
+    tail: List[PlanOp] = []
+    position = start
+    while position < len(ops):
+        if uses.get(value_vid, 0) != 1:
+            break
+        op = ops[position]
+        if isinstance(op, SGEMM):
+            if not (op.a.vid == value_vid and op.b.vid in constants
+                    and (op.bias is None or op.bias.vid in constants)):
+                break
+        elif isinstance(op, Activation):
+            if op.source.vid != value_vid:
+                break
+        elif isinstance(op, (Elementwise, FusedElementwise)):
+            refs = op.operands()
+            if value_vid not in {ref.vid for ref in refs}:
+                break
+            others = [ref for ref in refs if ref.vid != value_vid]
+            if any(ref.vid not in constants or ref.format != "vec"
+                   for ref in others):
+                break
+        else:
+            break
+        tail.append(op)
+        value_vid = op.out.vid
+        position += 1
+    return tuple(tail)
+
+
+def find_shard_groups(plan: ExecutionPlan,
+                      local_tails: bool = False) -> List[ShardGroup]:
     """The destination-shardable aggregation sites of ``plan``.
 
     A ``Gather`` qualifies only when the *immediately following* op is a
     ``ScatterReduce`` consuming its output and nothing else reads that
     intermediate — the adjacency requirement keeps the canonical merged
     trace in the same order the unsharded plan would emit.  ``SpMM``
-    ops always qualify (their rows are destination nodes).
+    ops always qualify (their rows are destination nodes), and so do
+    the fusion pass's ``FusedGatherScatter`` ops (destination-range
+    partitioning is exactly the kernel's own blocking structure).
+
+    With ``local_tails`` each group additionally covers its row-local
+    layer tail (see :func:`_collect_tail`), so whole layers execute
+    inside a shard between merges.
     """
     uses: Dict[int, int] = {}
     for op in plan.ops:
@@ -187,29 +310,94 @@ def find_shard_groups(plan: ExecutionPlan) -> List[ShardGroup]:
     ops = plan.ops
     while position < len(ops):
         op = ops[position]
+        group = None
         if isinstance(op, SpMM):
-            groups.append(ShardGroup("spmm", position, (position,), spmm=op))
+            group = ShardGroup("spmm", position, (position,), spmm=op)
+        elif isinstance(op, FusedGatherScatter):
+            group = ShardGroup("fused", position, (position,), fused=op)
         elif isinstance(op, Gather) and position + 1 < len(ops):
             successor = ops[position + 1]
             if (isinstance(successor, ScatterReduce)
                     and successor.source.vid == op.out.vid
                     and uses.get(op.out.vid, 0) == 1):
-                groups.append(ShardGroup(
+                group = ShardGroup(
                     "mp", position, (position, position + 1),
-                    gather=op, scatter=successor))
-                position += 2
-                continue
-        position += 1
+                    gather=op, scatter=successor)
+        if group is None:
+            position += 1
+            continue
+        after = group.positions[-1] + 1
+        if local_tails:
+            tail = _collect_tail(ops, after, group.agg_out_vid, uses,
+                                 plan.constants)
+            if tail:
+                group = ShardGroup(
+                    group.kind, group.start,
+                    group.positions + tuple(
+                        range(after, after + len(tail))),
+                    gather=group.gather, scatter=group.scatter,
+                    spmm=group.spmm, fused=group.fused, tail=tail)
+        groups.append(group)
+        position = group.positions[-1] + 1
     return groups
 
 
+def _append_tail(builder: PlanBuilder, group: ShardGroup, out,
+                 constants: Dict[int, np.ndarray], suffix: str):
+    """Re-emit the group's tail ops into a shard sub-plan.
+
+    The flowing value is remapped onto the sub-plan's aggregation
+    output; constant operands (weights, biases) embed as sub-plan
+    constants, so tail-carrying sub-plans stay self-contained (and
+    their fingerprints — hence shard cache keys — cover the tail).
+    """
+    mapping = {group.agg_out_vid: out}
+    embedded: Dict[int, object] = {}
+
+    def _remap(ref):
+        if ref.vid in mapping:
+            return mapping[ref.vid]
+        if ref.vid not in embedded:
+            embedded[ref.vid] = builder.constant(
+                constants[ref.vid], name=ref.name, fmt=ref.format)
+        return embedded[ref.vid]
+
+    for op in group.tail:
+        if isinstance(op, SGEMM):
+            result = builder.sgemm(
+                _remap(op.a), _remap(op.b),
+                bias=None if op.bias is None else _remap(op.bias),
+                tag=op.tag + suffix, activation=op.activation)
+        elif isinstance(op, Activation):
+            result = builder.activation(_remap(op.source), op.function)
+        elif isinstance(op, Elementwise):
+            result = builder.elementwise(op.kind, _remap(op.a),
+                                         _remap(op.b), alpha=op.alpha)
+        else:  # FusedElementwise: replay its stages individually
+            for stage in op.stages:
+                if isinstance(stage, Activation):
+                    result = builder.activation(_remap(stage.source),
+                                                stage.function)
+                else:
+                    result = builder.elementwise(
+                        stage.kind, _remap(stage.a), _remap(stage.b),
+                        alpha=stage.alpha)
+                mapping[stage.out.vid] = result
+        mapping[op.out.vid] = result
+    return mapping[group.tail[-1].out.vid]
+
+
 def build_shard_subplan(group: ShardGroup, lo: int, hi: int,
-                        shard_index: int, num_shards: int) -> ExecutionPlan:
+                        shard_index: int, num_shards: int,
+                        constants: Optional[Dict[int, np.ndarray]] = None,
+                        ) -> ExecutionPlan:
     """The self-contained sub-plan computing one shard of ``group``.
 
     Sub-plans bind their operands as runtime inputs (the dispatcher
     slices them), carry shard-annotated tags so shard-local traces stay
     distinguishable, and record their destination range in ``meta``.
+    Tail-carrying groups re-emit their tail ops after the aggregation
+    (``constants`` supplies the tail's weight/bias payloads).
     """
     builder = PlanBuilder(model="shard", flavor="shard")
     suffix = f"@shard{shard_index + 1}/{num_shards}"
@@ -224,12 +412,26 @@ def build_shard_subplan(group: ShardGroup, lo: int, hi: int,
         out = builder.scatter_reduce(messages, dst,
                                      reduce=group.scatter.reduce,
                                      tag=group.scatter.tag + suffix)
+    elif group.kind == "fused":
+        source = builder.input("source", "dense")
+        src = builder.input("src", "edge")
+        scale = builder.input("scale", "vec") \
+            if group.fused.scale is not None else None
+        dst = builder.input("dst", "edge")
+        out = builder.fused_gather_scatter(
+            source, src, dst, scale=scale, reduce=group.fused.reduce,
+            tag=group.fused.tag + suffix,
+            gather_tag=group.fused.gather_tag + suffix)
     elif group.kind == "spmm":
         matrix = builder.input("matrix", "csr")
         dense = builder.input("dense", "dense")
         out = builder.spmm(matrix, dense, tag=group.spmm.tag + suffix)
     else:  # pragma: no cover - guarded by find_shard_groups
         raise PlanError(f"unknown shard group kind {group.kind!r}")
+    if group.tail:
+        if constants is None:
+            raise PlanError("tail-carrying sub-plans need the plan constants")
+        out = _append_tail(builder, group, out, constants, suffix)
     return builder.build(out, meta={
         "kind": group.kind, "lo": int(lo), "hi": int(hi),
         "shard": int(shard_index), "num_shards": int(num_shards),
@@ -278,6 +480,38 @@ def _binding_digest(value) -> str:
         digest.update(f"array|{arr.dtype}|{arr.shape}".encode())
         digest.update(np.ascontiguousarray(arr).tobytes())
     return digest.hexdigest()
+
+
+def _apply_tail(rows: np.ndarray, group: ShardGroup,
+                env: Dict[int, object], suffix: str) -> np.ndarray:
+    """Apply a group's layer tail to one shard's aggregation rows.
+
+    Used by the in-process fused fast path, where no sub-plan exists;
+    the pooled path replays tails through the sub-plan executor
+    instead.  Constant operands (weights, biases) resolve from the
+    parent plan's environment; the flowing value is the shard's row
+    block.
+    """
+    from repro.core.kernels import sgemm
+    from repro.plan.executor import apply_elementwise_stage
+    flowing = {group.agg_out_vid: rows}
+
+    def _resolve(ref):
+        return flowing[ref.vid] if ref.vid in flowing else env[ref.vid]
+
+    for op in group.tail:
+        if isinstance(op, SGEMM):
+            bias = None if op.bias is None else env[op.bias.vid]
+            rows = sgemm(_resolve(op.a), env[op.b.vid], bias=bias,
+                         tag=op.tag + suffix,
+                         activation=op.activation or None)
+        else:  # Activation / Elementwise / FusedElementwise
+            stages = op.stages if isinstance(op, FusedElementwise) else (op,)
+            for stage in stages:
+                rows = apply_elementwise_stage(stage, _resolve)
+                flowing[stage.out.vid] = rows
+        flowing[op.out.vid] = rows
+    return rows
 
 
 def _execute_shard_task(task):
@@ -339,7 +573,11 @@ class ShardDispatcher:
         start = time.perf_counter()
         ranges = shard_ranges(graph.num_nodes, self.policy.num_shards)
         capture = recorder is not None
-        prepare = self._prepare_mp if group.kind == "mp" else self._prepare_spmm
+        if group.kind == "fused" and self.policy.jobs == 1:
+            return self._execute_fused_inprocess(
+                group, env, graph, ranges, recorder, start)
+        prepare = self._prepare_spmm if group.kind == "spmm" \
+            else self._prepare_mp
         tasks, edges, emit_canonical = prepare(group, env, ranges, capture)
         outcomes = pool.map(_execute_shard_task, tasks)
         merged = self._merge_rows([o[0] for o in outcomes], graph.num_nodes,
@@ -355,14 +593,90 @@ class ShardDispatcher:
             cache_hits=sum(1 for o in outcomes if o[3])))
         return merged
 
+    def _execute_fused_inprocess(self, group: ShardGroup, env, graph,
+                                 ranges, recorder, start) -> np.ndarray:
+        """Fused slice-dispatch-merge: the ``jobs == 1`` fast path.
+
+        A :class:`~repro.plan.ir.FusedGatherScatter` group needs none
+        of the pooled machinery — no per-shard sub-plans, binding
+        dicts, cache keys or worker round-trips.  The parent-side
+        message partition collapses into the one stable
+        destination-order sort the exactness argument requires; each
+        shard then runs the fused kernel (plus its layer tail, when
+        the group carries one) directly on index *views*, and shard
+        rows merge through the scatter kernel exactly like the pooled
+        path.  Per-shard result caching is skipped: the fused kernel
+        already streams cache-resident blocks, so digesting the shared
+        source matrix would cost more than the aggregation it saves.
+        """
+        from repro.core.kernels.sparse import fused_gather_scatter
+        op = group.fused
+        source = np.asarray(env[op.source.vid])
+        src = np.asarray(env[op.src_index.vid])
+        dst = np.asarray(env[op.dst_index.vid])
+        scale = None if op.scale is None else np.asarray(env[op.scale.vid])
+        capture = recorder is not None
+
+        starts = np.fromiter((lo for lo, _ in ranges), dtype=np.int64,
+                             count=len(ranges))
+        order, counts, offsets = _scatter_mod.destination_partition(
+            starts, dst)
+
+        shard_outputs = []
+        outcomes = []
+        for k, (lo, hi) in enumerate(ranges):
+            suffix = f"@shard{k + 1}/{len(ranges)}"
+            selection = order[offsets[k]:offsets[k + 1]]
+            shard_start = time.perf_counter()
+
+            def _run_shard():
+                rows = fused_gather_scatter(
+                    source, src[selection], dst[selection] - lo,
+                    dim_size=hi - lo,
+                    scale=None if scale is None else scale[selection],
+                    reduce=op.reduce, tag=op.tag + suffix,
+                    gather_tag=op.gather_tag + suffix)
+                return _apply_tail(rows, group, env, suffix)
+
+            if capture:
+                with record_launches() as shard_recorder:
+                    rows = _run_shard()
+                launches = shard_recorder.launches
+            else:
+                rows = _run_shard()
+                launches = []
+            shard_outputs.append(rows)
+            outcomes.append((rows, launches,
+                             time.perf_counter() - shard_start, False))
+
+        merged = self._merge_rows(shard_outputs, graph.num_nodes,
+                                  group.tag, capture)
+        for outcome in outcomes:
+            self.trace.extend(outcome[1])
+        if recorder is not None:
+            _sparse_mod._emit_fused_gather_scatter(
+                recorder, source, src, dst,
+                _OperandShape((graph.num_nodes,
+                               source.shape[1] if source.ndim == 2 else 1)),
+                scale, op.reduce,
+                self._kernel_seconds(outcomes, "fusedGatherScatter"),
+                op.tag, op.gather_tag)
+            self._emit_tail_canonical(
+                recorder, group, env, graph.num_nodes,
+                source.shape[1] if source.ndim == 2 else 1, outcomes)
+        self.report.append(ShardDispatch(
+            tag=group.tag, kind=group.kind, num_shards=len(ranges),
+            edges_per_shard=tuple(counts.tolist()),
+            seconds=time.perf_counter() - start))
+        return merged
+
     def _prepare_mp(self, group, env, ranges, capture):
-        """Slice one Gather+ScatterReduce group into shard tasks."""
-        gather_op, scatter_op = group.gather, group.scatter
-        source = np.asarray(env[gather_op.source.vid])
-        src = np.asarray(env[gather_op.index.vid])
-        dst = np.asarray(env[scatter_op.index.vid])
-        scale = None if gather_op.scale is None \
-            else np.asarray(env[gather_op.scale.vid])
+        """Slice one Gather+ScatterReduce (or fused) group into tasks."""
+        source_ref, src_ref, dst_ref, scale_ref = group.mp_refs
+        source = np.asarray(env[source_ref.vid])
+        src = np.asarray(env[src_ref.vid])
+        dst = np.asarray(env[dst_ref.vid])
+        scale = None if scale_ref is None else np.asarray(env[scale_ref.vid])
 
         # Partition edge positions by destination shard in one stable
         # sort, preserving original edge order inside every shard — the
@@ -370,11 +684,8 @@ class ShardDispatcher:
         # therefore float results) bit-for-bit identical.
         starts = np.fromiter((lo for lo, _ in ranges), dtype=np.int64,
                              count=len(ranges))
-        shard_of = np.searchsorted(starts, dst, side="right") - 1
-        order = np.argsort(shard_of, kind="stable")
-        counts = np.bincount(shard_of, minlength=len(ranges))
-        offsets = np.concatenate([np.zeros(1, dtype=np.int64),
-                                  np.cumsum(counts)])
+        order, counts, offsets = _scatter_mod.destination_partition(
+            starts, dst)
 
         compact = self.policy.jobs > 1
         caching = self._caching()
@@ -400,20 +711,33 @@ class ShardDispatcher:
             if scale is not None:
                 bindings["scale"] = scale[selection]
             tasks.append(self._task(group, bindings, lo, hi, k, len(ranges),
-                                    caching, shared, capture))
+                                    caching, shared, capture,
+                                    constants=env if group.tail else None))
+
+        num_nodes = int(ranges[-1][1]) if ranges else 0
 
         def emit_canonical(recorder, merged, outcomes):
-            width = source.shape[1] if source.ndim == 2 else None
-            message_shape = (src.size, width) if width is not None \
-                else (src.size,)
-            _index_select_mod._emit(
-                recorder, source, src, _OperandShape(message_shape), 0,
-                self._kernel_seconds(outcomes, "indexSelect"),
-                gather_op.tag)
-            _scatter_mod._emit(
-                recorder, _OperandShape(message_shape), dst, merged,
-                scatter_op.reduce,
-                self._kernel_seconds(outcomes, "scatter"), scatter_op.tag)
+            width = source.shape[1] if source.ndim == 2 else 1
+            agg_shape = _OperandShape((num_nodes, width))
+            if group.kind == "fused":
+                _sparse_mod._emit_fused_gather_scatter(
+                    recorder, source, src, dst, agg_shape, scale,
+                    group.reduce,
+                    self._kernel_seconds(outcomes, "fusedGatherScatter"),
+                    group.fused.tag, group.fused.gather_tag)
+            else:
+                message_shape = (src.size, width) if source.ndim == 2 \
+                    else (src.size,)
+                _index_select_mod._emit(
+                    recorder, source, src, _OperandShape(message_shape), 0,
+                    self._kernel_seconds(outcomes, "indexSelect"),
+                    group.gather_tag)
+                _scatter_mod._emit(
+                    recorder, _OperandShape(message_shape), dst, agg_shape,
+                    group.reduce,
+                    self._kernel_seconds(outcomes, "scatter"), group.tag)
+            self._emit_tail_canonical(recorder, group, env, num_nodes,
+                                      width, outcomes)
 
         return tasks, counts.tolist(), emit_canonical
 
@@ -449,12 +773,18 @@ class ShardDispatcher:
             else:
                 bindings = {"matrix": sliced, "dense": dense}
             tasks.append(self._task(group, bindings, lo, hi, k, len(ranges),
-                                    caching, shared, capture))
+                                    caching, shared, capture,
+                                    constants=env if group.tail else None))
+
+        num_nodes = int(ranges[-1][1]) if ranges else 0
 
         def emit_canonical(recorder, merged, outcomes):
+            agg_shape = _OperandShape((num_nodes, dense.shape[1]))
             _sparse_mod._emit_spmm(
-                recorder, matrix, dense, merged,
+                recorder, matrix, dense, agg_shape,
                 self._kernel_seconds(outcomes, "spmm"), op.tag)
+            self._emit_tail_canonical(recorder, group, env, num_nodes,
+                                      dense.shape[1], outcomes)
 
         return tasks, edges, emit_canonical
 
@@ -464,14 +794,16 @@ class ShardDispatcher:
                 and env_enabled())
 
     def _task(self, group, bindings, lo, hi, shard_index, num_shards,
-              caching, shared_digests, capture):
+              caching, shared_digests, capture, constants=None):
         """One pickled shard task: sub-plan, operands, cache key.
 
         ``shared_digests`` carries content digests precomputed by the
         caller for bindings shared across every shard; the remaining
-        (shard-sized) bindings digest here.
+        (shard-sized) bindings digest here.  ``constants`` supplies the
+        tail ops' weight/bias payloads for tail-carrying groups.
         """
-        subplan = build_shard_subplan(group, lo, hi, shard_index, num_shards)
+        subplan = build_shard_subplan(group, lo, hi, shard_index, num_shards,
+                                      constants=constants)
         key = None
         if caching:
             key = compute_key("shard", {
@@ -509,6 +841,30 @@ class ShardDispatcher:
         self.trace.extend(merge_recorder.launches)
         return merged
 
+    def _emit_tail_canonical(self, recorder, group: ShardGroup, env,
+                             num_nodes: int, width: int, outcomes) -> None:
+        """Emit the canonical launches of a group's layer tail.
+
+        Only ``SGEMM`` tail ops launch kernels (elementwise and
+        activation stages are silent); each is emitted from full-shape
+        stand-ins plus the real weight constant, with its duration
+        summed from the matching per-shard launches — so a tail-
+        carrying sharded run records the same logical launch stream an
+        unsharded run of the same plan does.
+        """
+        sgemm_index = 0
+        for op in group.tail:
+            if not isinstance(op, SGEMM):
+                continue
+            weight = np.asarray(env[op.b.vid])
+            _sgemm_mod._emit(
+                recorder,
+                _OperandShape((num_nodes, weight.shape[0])), weight,
+                _OperandShape((num_nodes, weight.shape[1])),
+                self._nth_kernel_seconds(outcomes, "sgemm", sgemm_index),
+                op.tag, epilogue=op.activation or "")
+            sgemm_index += 1
+
     @staticmethod
     def _kernel_seconds(outcomes, kernel: str) -> float:
         """Summed shard-side duration of one kernel (trace bookkeeping)."""
@@ -516,3 +872,14 @@ class ShardDispatcher:
                          for outcome in outcomes
                          for launch in outcome[1]
                          if launch.kernel == kernel))
+
+    @staticmethod
+    def _nth_kernel_seconds(outcomes, kernel: str, n: int) -> float:
+        """Summed duration of each shard's ``n``-th launch of ``kernel``."""
+        total = 0.0
+        for outcome in outcomes:
+            matches = [launch for launch in outcome[1]
+                       if launch.kernel == kernel]
+            if n < len(matches):
+                total += matches[n].duration_s
+        return float(total)

@@ -1,0 +1,575 @@
+"""Fusion parity: fused plans are invisible except for speed.
+
+The fusion contract (see :mod:`repro.plan.fusion`) is bit-for-bit
+output equality with the unfused plan, under every execution mode —
+unsharded, sharded in-process, sharded over the pool — plus a
+*documented trace mapping*: fused launches declare the legacy launches
+they replace, so expanding ``replaces`` reproduces the unfused
+``(kernel, tag)`` sequence exactly.  These tests pin that contract for
+every model x backend x {fused, unfused} x shard count, the legality
+edge cases (a value with two consumers must block fusion), the
+streaming kernel's destination blocking, the planner's cost-model
+gate, and the cache-key bugfix (fused and unfused plans never share a
+fingerprint).
+"""
+
+import numpy as np
+import pytest
+
+from repro.cache import get_cache
+from repro.core.kernels import fused_gather_scatter, index_select, \
+    record_launches, scatter
+from repro.datasets import load_dataset
+from repro.errors import BackendError, ConfigError
+from repro.frameworks import get_backend, PipelineSpec
+from repro.plan import (
+    FusedElementwise,
+    FusedGatherScatter,
+    FusionPolicy,
+    PlanBuilder,
+    ShardingPolicy,
+    choose_fusion,
+    find_shard_groups,
+    fuse_plan,
+    legacy_trace,
+)
+from repro.plan.planner import GraphStats
+
+#: Backend x (model, compute model) combos whose pipelines execute a
+#: plain PlanExecutor and therefore accept the fusion pass.  (The
+#: PyG-like tape observes every op and refuses — covered below.)
+FUSABLE = {
+    "gsuite": (("gcn", "MP"), ("gcn", "SpMM"), ("gin", "MP"),
+               ("gin", "SpMM"), ("sage", "MP"), ("gat", "MP")),
+    "dgl": (("gcn", "SpMM"), ("gin", "SpMM"), ("sage", "SpMM")),
+    "gsuite-adaptive": (("gcn", "MP"), ("gin", "MP"), ("sage", "MP"),
+                        ("gat", "MP")),
+}
+
+#: Force every pattern so tiny test graphs exercise the fused kernels.
+FORCE = FusionPolicy()
+
+SHARD_COUNTS = (1, 2)
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return load_dataset("cora", scale=0.15, seed=1)
+
+
+def _spec(model, compute_model):
+    return PipelineSpec(model=model, compute_model=compute_model, seed=5)
+
+
+def _run_recorded(pipeline):
+    with record_launches() as recorder:
+        out = pipeline.run()
+    return out, recorder.launches
+
+
+def _combos():
+    return [(backend, model, cm, k)
+            for backend, combos in FUSABLE.items()
+            for model, cm in combos
+            for k in SHARD_COUNTS]
+
+
+class TestFusionPass:
+    """Structural properties of the plan rewrite."""
+
+    def test_gather_scatter_pairs_fuse(self, graph):
+        built = get_backend("gsuite").build(_spec("gcn", "MP"), graph)
+        fused = fuse_plan(built.plan, FORCE)
+        kinds = [op.opcode for op in fused.ops]
+        assert kinds.count("fused_gather_scatter") == 2  # one per layer
+        assert "gather" not in kinds and "scatter" not in kinds
+        fused.validate()
+        assert fused.meta["fusion"]["gather_scatter"] == 2
+        from repro.plan.fusion import structure_digest
+        assert fused.meta["fused_from"] == structure_digest(built.plan)
+        assert structure_digest(fused) != structure_digest(built.plan)
+
+    def test_sgemm_epilogue_folds_activation(self, graph):
+        built = get_backend("gsuite").build(_spec("gin", "SpMM"), graph)
+        fused = fuse_plan(built.plan, FORCE)
+        epilogues = [op for op in fused.ops
+                     if op.opcode == "sgemm" and op.activation]
+        # GIN: the MLP's inner relu per layer + the inter-layer relu.
+        assert len(epilogues) == 3
+        assert {op.activation for op in epilogues} == {"relu"}
+        assert fused.meta["fusion"]["sgemm_epilogue"] == 3
+
+    def test_elementwise_chain_collapses(self, graph):
+        built = get_backend("gsuite").build(_spec("sage", "MP"), graph)
+        fused = fuse_plan(built.plan, FORCE)
+        chains = [op for op in fused.ops
+                  if isinstance(op, FusedElementwise)]
+        assert len(chains) == 1          # layer-0 add + inter-layer relu
+        assert chains[0].function == "add+relu"
+
+    def test_fused_plan_op_count_shrinks(self, graph):
+        for backend, combos in FUSABLE.items():
+            for model, cm in combos:
+                built = get_backend(backend).build(_spec(model, cm), graph)
+                if built.plan is None:
+                    continue
+                fused = fuse_plan(built.plan, FORCE)
+                assert len(fused.ops) < len(built.plan.ops), (backend, model)
+
+    def test_empty_policy_is_identity(self, graph):
+        built = get_backend("gsuite").build(_spec("gcn", "MP"), graph)
+        off = FusionPolicy(gather_scatter=False, sgemm_epilogue=False,
+                           elementwise_chain=False)
+        assert fuse_plan(built.plan, off) is built.plan
+
+    def test_bias_fold_requires_constant_vec(self):
+        """An add_bias whose operand is a runtime value must not fold."""
+        builder = PlanBuilder("t", "t")
+        x = builder.input("X", "dense")
+        w = builder.constant(np.eye(3, dtype=np.float32), "W")
+        runtime_bias = builder.input("B", "vec")     # not a constant
+        h = builder.sgemm(x, w, tag="t")
+        out = builder.elementwise("add_bias", h, runtime_bias)
+        plan = builder.build(out)
+        fused = fuse_plan(plan, FORCE)
+        sgemms = [op for op in fused.ops if op.opcode == "sgemm"]
+        assert sgemms[0].bias is None               # nothing folded
+
+
+class TestReuseBlocksFusion:
+    """The liveness analysis: a value with two consumers stays put."""
+
+    def _mp_plan(self, reused):
+        """Gather -> ScatterReduce where the messages are optionally
+        also consumed by a second op (an elementwise add)."""
+        builder = PlanBuilder("t", "t")
+        x = builder.input("X", "dense")
+        src = builder.input("src", "edge")
+        dst = builder.input("dst", "edge")
+        messages = builder.gather(x, src, tag="t")
+        agg = builder.scatter_reduce(messages, dst, tag="t")
+        if reused:
+            # Second consumer of the gathered messages.
+            out = builder.elementwise("add", messages, messages)
+            out = builder.elementwise("add", agg, out)
+        else:
+            out = agg
+        return builder.build(out)
+
+    def test_single_consumer_fuses(self):
+        fused = fuse_plan(self._mp_plan(reused=False), FORCE)
+        assert any(isinstance(op, FusedGatherScatter) for op in fused.ops)
+
+    def test_reused_messages_block_gather_scatter(self):
+        fused = fuse_plan(self._mp_plan(reused=True), FORCE)
+        assert not any(isinstance(op, FusedGatherScatter)
+                       for op in fused.ops)
+        kinds = [op.opcode for op in fused.ops]
+        assert "gather" in kinds and "scatter" in kinds
+
+    def test_reused_elementwise_blocks_chain(self):
+        """An elementwise value read by two consumers stays a plan value."""
+        builder = PlanBuilder("t", "t")
+        a = builder.input("A", "dense")
+        b = builder.input("B", "dense")
+        summed = builder.elementwise("add", a, b)
+        act = builder.activation(summed, "relu")
+        # Second consumer of `summed`: it must survive as an SSA value.
+        out = builder.elementwise("add", act, summed)
+        fused = fuse_plan(builder.build(out), FORCE)
+        # The producing add must stay a standalone op (its output is
+        # read twice); a chain may legally start *after* it, but can
+        # never absorb it.
+        standalone = [op for op in fused.ops
+                      if op.opcode == "elementwise"
+                      and op.out.vid == summed.vid]
+        assert len(standalone) == 1
+        for op in fused.ops:
+            if isinstance(op, FusedElementwise):
+                assert summed.vid not in {s.out.vid for s in op.stages}
+
+    def test_reused_sgemm_output_blocks_epilogue(self):
+        builder = PlanBuilder("t", "t")
+        x = builder.input("X", "dense")
+        w = builder.constant(np.eye(2, dtype=np.float32), "W")
+        h = builder.sgemm(x, w, tag="t")
+        act = builder.activation(h, "relu")
+        out = builder.elementwise("add", act, h)     # h read twice
+        fused = fuse_plan(builder.build(out), FORCE)
+        sgemms = [op for op in fused.ops if op.opcode == "sgemm"]
+        assert sgemms[0].activation == ""
+
+
+class TestFusedParity:
+    """model x backend x {fused, unfused} x shards in {1, 2}: outputs
+    bit-for-bit, traces equivalent under the replaces mapping."""
+
+    @pytest.mark.parametrize("backend,model,cm,k", _combos())
+    def test_bitwise_output_and_mapped_trace(self, graph, backend, model,
+                                             cm, k):
+        spec = _spec(model, cm)
+        reference, ref_launches = _run_recorded(
+            get_backend(backend).build(spec, graph))
+        fused_pipeline = get_backend(backend).build(spec, graph) \
+            .configure_fusion(FORCE)
+        if k > 1:
+            fused_pipeline.configure_sharding(ShardingPolicy(num_shards=k))
+        fused, fused_launches = _run_recorded(fused_pipeline)
+        assert fused.dtype == reference.dtype
+        assert np.array_equal(fused, reference)      # bit-for-bit
+        assert legacy_trace(fused_launches) == \
+            [(l.kernel, l.tag) for l in ref_launches]
+
+    @pytest.mark.parametrize("backend,model,cm,k", _combos())
+    def test_sharded_fused_trace_matches_unsharded_fused(
+            self, graph, backend, model, cm, k):
+        """Sharding a fused plan keeps PR 3's contract: fingerprint-
+        identical traces against the unsharded fused run."""
+        if k == 1:
+            pytest.skip("sharded-vs-unsharded needs K >= 2")
+        spec = _spec(model, cm)
+        unsharded = get_backend(backend).build(spec, graph) \
+            .configure_fusion(FORCE)
+        ref, ref_launches = _run_recorded(unsharded)
+        sharded = get_backend(backend).build(spec, graph) \
+            .configure_fusion(FORCE) \
+            .configure_sharding(ShardingPolicy(num_shards=k))
+        out, launches = _run_recorded(sharded)
+        assert np.array_equal(out, ref)
+        assert [l.fingerprint() for l in launches] == \
+            [l.fingerprint() for l in ref_launches]
+
+    def test_pooled_fused_dispatch_is_identical(self, graph):
+        """jobs > 1 ships fused sub-plans through worker processes."""
+        spec = _spec("gin", "MP")
+        ref, ref_launches = _run_recorded(
+            get_backend("gsuite").build(spec, graph).configure_fusion(FORCE))
+        pooled = get_backend("gsuite").build(spec, graph) \
+            .configure_fusion(FORCE) \
+            .configure_sharding(ShardingPolicy(num_shards=3, jobs=2))
+        out, launches = _run_recorded(pooled)
+        assert np.array_equal(out, ref)
+        assert [l.fingerprint() for l in launches] == \
+            [l.fingerprint() for l in ref_launches]
+
+    def test_inprocess_fused_path_skips_task_machinery(self, graph):
+        """The jobs=1 fused slice-dispatch-merge path: shard-suffixed
+        fused launches on the shard trace, no shard cache entries."""
+        cache = get_cache()
+        before = cache.stats.to_dict()
+        built = get_backend("gsuite").build(_spec("gin", "MP"), graph) \
+            .configure_fusion(FORCE) \
+            .configure_sharding(ShardingPolicy(num_shards=4))
+        with record_launches():
+            built.run()
+        tags = [launch.tag for launch in built._executor.shard_trace]
+        assert any("@shard1/4" in tag for tag in tags)
+        assert any(tag.endswith("@merge") for tag in tags)
+        kernels = {launch.kernel for launch in built._executor.shard_trace}
+        assert "fusedGatherScatter" in kernels
+        assert "indexSelect" not in kernels          # nothing materialised
+        after = cache.stats.to_dict()
+        assert after["stores"] == before["stores"]   # no shard caching
+
+    def test_pyg_refuses_fusion(self, graph):
+        built = get_backend("pyg").build(_spec("gcn", "MP"), graph)
+        with pytest.raises(BackendError):
+            built.configure_fusion(FORCE)
+
+
+class TestShardLocalTails:
+    """local_tails=True runs SGEMM/Activation layer tails inside the
+    shard.  Fused and unfused plans under the same tail policy match
+    each other bit-for-bit (identical per-shard kernel calls); against
+    the *unsharded* run the tail SGEMM is numerically equivalent but
+    only allclose-guaranteed (BLAS GEMM blocking varies with the row
+    count — the documented local_tails caveat)."""
+
+    POLICY = ShardingPolicy(num_shards=3, local_tails=True, use_cache=False)
+
+    @pytest.mark.parametrize("model,cm", [("gcn", "SpMM"), ("gin", "SpMM"),
+                                          ("gcn", "MP"), ("gin", "MP"),
+                                          ("sage", "MP"), ("gat", "MP")])
+    def test_fused_equals_unfused_under_same_tails(self, graph, model, cm):
+        spec = _spec(model, cm)
+        unfused = get_backend("gsuite").build(spec, graph) \
+            .configure_sharding(self.POLICY)
+        fused = get_backend("gsuite").build(spec, graph) \
+            .configure_fusion(FORCE).configure_sharding(self.POLICY)
+        assert np.array_equal(unfused.run(), fused.run())
+
+    @pytest.mark.parametrize("model,cm", [("gcn", "SpMM"), ("gin", "MP")])
+    def test_tails_match_unsharded_function(self, graph, model, cm):
+        spec = _spec(model, cm)
+        reference = get_backend("gsuite").build(spec, graph).run()
+        tailed = get_backend("gsuite").build(spec, graph) \
+            .configure_sharding(self.POLICY)
+        assert np.allclose(tailed.run(), reference, atol=1e-5)
+
+    def test_tail_covers_whole_layer(self, graph):
+        """GCN-SpMM: spmm + sgemm(+bias) + activation in one group."""
+        built = get_backend("gsuite").build(_spec("gcn", "SpMM"), graph)
+        groups = find_shard_groups(built.plan, local_tails=True)
+        assert [g.kind for g in groups] == ["spmm", "spmm"]
+        assert len(groups[0].tail) == 2              # sgemm + activation
+        assert len(groups[0].positions) == 3
+        # Fused plan: the tail is a single epilogue-carrying sgemm.
+        fused = fuse_plan(built.plan, FORCE)
+        fused_groups = find_shard_groups(fused, local_tails=True)
+        assert len(fused_groups[0].tail) == 1
+        assert fused_groups[0].tail[0].activation == "relu"
+
+    def test_runtime_operand_stops_tail(self, graph):
+        """GIN's combine reads the layer input x -> tail must stop."""
+        built = get_backend("gsuite").build(_spec("gin", "MP"), graph)
+        groups = find_shard_groups(built.plan, local_tails=True)
+        assert all(not g.tail for g in groups)
+
+    def test_tails_captured_in_shard_trace(self, graph):
+        built = get_backend("gsuite").build(_spec("gcn", "SpMM"), graph) \
+            .configure_fusion(FORCE).configure_sharding(self.POLICY)
+        with record_launches() as recorder:
+            built.run()
+        shard_kernels = [launch.kernel
+                         for launch in built._executor.shard_trace]
+        assert "sgemm" in shard_kernels              # tail ran shard-local
+        # The ambient (canonical) trace still shows one logical sgemm
+        # per layer, epilogue included.
+        sgemms = [l for l in recorder.launches if l.kernel == "sgemm"]
+        assert len(sgemms) == 2
+        assert sgemms[0].epilogue == "relu"
+
+
+class TestStreamingKernel:
+    """The fused kernel's destination blocking is exact and bounded."""
+
+    def _workload(self, edges=4000, nodes=300, width=9, seed=3):
+        rng = np.random.default_rng(seed)
+        source = rng.standard_normal((nodes, width)).astype(np.float32)
+        src = rng.integers(0, nodes, size=edges)
+        dst = rng.integers(0, nodes, size=edges)
+        scale = rng.standard_normal(edges).astype(np.float32)
+        return source, src, dst, scale
+
+    @pytest.mark.parametrize("reduce", ["sum", "mean", "max", "min"])
+    def test_multi_block_matches_unfused(self, reduce):
+        source, src, dst, scale = self._workload()
+        unfused = scatter(index_select(source, src) * scale[:, None], dst,
+                          dim_size=source.shape[0], reduce=reduce)
+        # Tiny block budget: forces many destination blocks.
+        fused = fused_gather_scatter(source, src, dst, source.shape[0],
+                                     scale=scale, reduce=reduce,
+                                     block_bytes=2048)
+        assert np.array_equal(fused, unfused)
+
+    def test_single_block_matches_unfused(self):
+        source, src, dst, _ = self._workload(edges=50, nodes=20, width=3)
+        unfused = scatter(index_select(source, src), dst,
+                          dim_size=source.shape[0])
+        fused = fused_gather_scatter(source, src, dst, source.shape[0])
+        assert np.array_equal(fused, unfused)
+
+    def test_launch_declares_replaced_kernels(self):
+        source, src, dst, _ = self._workload(edges=64, nodes=16, width=4)
+        with record_launches() as recorder:
+            fused_gather_scatter(source, src, dst, source.shape[0],
+                                 tag="l0", gather_tag="g0")
+        launch, = recorder.launches
+        assert launch.kernel == "fusedGatherScatter"
+        assert launch.replaces == ("indexSelect:g0", "scatter:l0")
+        assert launch.atomic
+        assert launch.mix.total > 0
+
+    def test_validation_errors(self):
+        source, src, dst, _ = self._workload(edges=10, nodes=8, width=2)
+        with pytest.raises(Exception):
+            fused_gather_scatter(source[:, 0], src, dst, 8)   # 1-D source
+        with pytest.raises(Exception):
+            fused_gather_scatter(source, src[:5], dst, 8)     # length skew
+        with pytest.raises(Exception):
+            fused_gather_scatter(source, src, dst, 8, reduce="prod")
+
+
+class TestRandomizedFusion:
+    """Property-style parity over seeded adversarial graphs (duplicate
+    edges, isolated nodes, empty edge sets, ragged shard counts)."""
+
+    MODELS = (("gcn", "MP"), ("gcn", "SpMM"), ("gin", "MP"),
+              ("gin", "SpMM"), ("sage", "MP"), ("gat", "MP"))
+
+    def _random_graph(self, rng, case):
+        from repro.graph import Graph
+        num_nodes = int(rng.integers(4, 40))
+        reachable = max(1, int(rng.integers(1, num_nodes + 1)))
+        num_edges = int(rng.integers(0, 4 * num_nodes))
+        src = rng.integers(0, reachable, size=num_edges)
+        dst = rng.integers(0, reachable, size=num_edges)
+        if num_edges > 2:
+            src[1], dst[1] = src[0], dst[0]           # duplicate edge
+        features = rng.standard_normal(
+            (num_nodes, int(rng.integers(1, 12)))).astype(np.float32)
+        return Graph(np.vstack([src, dst]), num_nodes=num_nodes,
+                     features=features, name=f"fusion-random-{case}")
+
+    def test_random_graphs_fuse_identically(self):
+        rng = np.random.default_rng(20260731)
+        for case in range(12):
+            graph = self._random_graph(rng, case)
+            model, cm = self.MODELS[case % len(self.MODELS)]
+            spec = PipelineSpec(model=model, compute_model=cm,
+                                out_features=int(rng.integers(2, 6)),
+                                hidden=int(rng.integers(2, 9)),
+                                seed=int(rng.integers(0, 100)))
+            reference = get_backend("gsuite").build(spec, graph).run()
+            fused_pipeline = get_backend("gsuite").build(spec, graph) \
+                .configure_fusion(FORCE)
+            num_shards = int(rng.integers(1, graph.num_nodes + 3))
+            if num_shards > 1:
+                fused_pipeline.configure_sharding(
+                    ShardingPolicy(num_shards=num_shards))
+            fused = fused_pipeline.run()
+            assert np.array_equal(fused, reference), \
+                f"case {case}: {model}/{cm} K={num_shards}"
+
+
+class TestPlannerFusion:
+    """choose_fusion prices the streaming fusion from the statistics."""
+
+    def _stats(self, dataset, scale=1.0):
+        from repro.datasets import get_spec
+        spec = get_spec(dataset)
+        stats = GraphStats.from_spec(spec)
+        if scale != 1.0:
+            stats = GraphStats(
+                num_nodes=int(stats.num_nodes * scale),
+                num_edges=int(stats.num_edges * scale),
+                feature_width=stats.feature_width,
+                avg_degree=stats.avg_degree, density=stats.density,
+                degree_skew=stats.degree_skew)
+        return stats
+
+    def test_big_mp_workload_fuses(self):
+        dims = [(602, 16), (16, 41)]
+        policy = choose_fusion(dims, self._stats("reddit"))
+        assert policy.gather_scatter
+        assert policy.source == "planner"
+
+    def test_tiny_workload_keeps_gather_scatter(self):
+        dims = [(1433, 16), (16, 7)]
+        stats = self._stats("cora", scale=0.15)
+        policy = choose_fusion(dims, stats,
+                               formats=["MP", "MP"],
+                               width_hook=lambda fmt, fi, fo: fo)
+        assert not policy.gather_scatter          # messages fit cache
+        assert policy.sgemm_epilogue              # zero-overhead: always on
+        assert policy.elementwise_chain
+
+    def test_spmm_layers_exert_no_pressure(self):
+        dims = [(602, 16), (16, 41)]
+        policy = choose_fusion(dims, self._stats("reddit"),
+                               formats=["SpMM", "SpMM"])
+        assert not policy.gather_scatter
+
+    def test_fused_plans_relax_shard_pressure(self):
+        from repro.plan import choose_shards
+        dims = [(602, 16), (16, 41)]
+        stats = self._stats("reddit")
+        unfused_k = choose_shards(dims, stats)
+        assert unfused_k > 1
+        assert choose_shards(dims, stats, fused=True) == 1
+
+    def test_pipeline_auto_skips_fusion_on_tiny_graphs(self, graph):
+        from repro.core import GNNPipeline, SuiteConfig
+        pipe = GNNPipeline(SuiteConfig(dataset="cora", model="gcn"),
+                           graph=graph)
+        built = pipe.build()
+        # gcn messages at cora scale sit far under the stream budget:
+        # the planner leaves gather/scatter unfused...
+        assert not any(isinstance(op, FusedGatherScatter)
+                       for op in built.plan.ops)
+        # ...while the zero-overhead patterns still apply.
+        assert built.fusion is not None and built.fusion.sgemm_epilogue
+
+
+class TestConfigAndCli:
+    def test_config_validates_fuse(self):
+        from repro.core import SuiteConfig
+        assert SuiteConfig(fuse="off").fuse == "off"
+        with pytest.raises(ConfigError):
+            SuiteConfig(fuse="sometimes")
+
+    def test_plan_command_reports_fusion(self, graph, capsys):
+        from repro.cli import main
+        assert main(["plan", "--dataset", "cora", "--scale", "0.1",
+                     "--model", "gin", "--fuse", "force"]) == 0
+        out = capsys.readouterr().out
+        assert "fusion: " in out
+        assert "gather+scatter x2" in out
+        assert "fused_gather_scatter" in out
+
+    def test_no_fuse_escape_hatch(self, graph, capsys):
+        from repro.cli import main
+        assert main(["plan", "--dataset", "cora", "--scale", "0.1",
+                     "--no-fuse"]) == 0
+        out = capsys.readouterr().out
+        assert "fusion: off" in out
+        assert "fused_gather_scatter" not in out
+
+    def test_forced_fusion_on_pyg_is_an_error(self, capsys):
+        from repro.cli import main
+        assert main(["run", "--dataset", "cora", "--scale", "0.1",
+                     "--framework", "pyg", "--fuse", "force"]) == 2
+        assert "fusion" in capsys.readouterr().err
+
+    def test_auto_fusion_declines_on_pyg(self, capsys):
+        from repro.cli import main
+        assert main(["run", "--dataset", "cora", "--scale", "0.1",
+                     "--framework", "pyg"]) == 0
+
+
+class TestCacheKeys:
+    """The cache-key bugfix: fused and unfused plans stay distinct."""
+
+    def test_fingerprints_differ(self, graph):
+        built = get_backend("gsuite").build(_spec("gcn", "MP"), graph)
+        fused = fuse_plan(built.plan, FORCE)
+        assert fused.fingerprint() != built.plan.fingerprint()
+
+    def test_fused_shard_entries_are_distinct(self, graph):
+        """Pooled fused sub-plans cache under their own keys, without
+        clobbering the unfused entries (PR 3's kind 'shard').  Workers
+        write from their own processes, so entries are counted on disk.
+        """
+        cache = get_cache()
+        spec = _spec("gin", "MP")
+
+        def _entries():
+            shard_dir = cache.root / "shard"
+            return set(path.name for path in shard_dir.glob("*.pkl")) \
+                if shard_dir.is_dir() else set()
+
+        def _run(fused, jobs):
+            built = get_backend("gsuite").build(spec, graph)
+            if fused:
+                built.configure_fusion(FORCE)
+            built.configure_sharding(
+                ShardingPolicy(num_shards=2, jobs=jobs, use_cache=True))
+            return built.run()
+
+        first = _run(fused=False, jobs=1)
+        unfused_entries = _entries()
+        assert unfused_entries                       # mp sub-plans stored
+        # Pooled fused dispatch (jobs=1 streams in-process and skips
+        # the shard cache by design).
+        second = _run(fused=True, jobs=2)
+        fused_entries = _entries() - unfused_entries
+        assert fused_entries                         # new, distinct keys
+        assert unfused_entries <= _entries()         # nothing clobbered
+        assert np.array_equal(first, second)
+
+    def test_cache_info_reports_plan_kind(self, graph, capsys):
+        from repro.cli import main
+        get_backend("gsuite").build(_spec("gcn", "MP"), graph)
+        assert main(["cache", "info"]) == 0
+        out = capsys.readouterr().out
+        assert "plan" in out
