@@ -113,6 +113,13 @@ def pipeline_for(model: str, dataset: str, compute_model: str,
         # kernels (Fig. 5's is/sc/sg/sp taxonomy), so the figure bench
         # pins fusion off; tools/bench_fusion.py is the fusion bench.
         fuse="off",
+        # Likewise pinned single-graph: every figure cell is one
+        # (dataset, model, framework) pipeline, and packing the
+        # small-graph cells into batched plans would fold their
+        # per-graph setup character — exactly what Fig. 3 measures —
+        # into one launch stream; tools/bench_batching.py is the
+        # batching bench.
+        batch=1,
     )
     return GNNPipeline(config)
 

@@ -49,7 +49,12 @@ __all__ = [
 
 #: Artifact kinds the benchmark layers store.  "plan" holds lowered
 #: :class:`~repro.plan.ir.ExecutionPlan` objects so repeated sweeps
-#: skip the lowering step; "shard" holds per-shard execution results
+#: skip the lowering step — batched multi-graph plans are a distinct
+#: *flavor* of the same kind: their keys hash the packed batch
+#: geometry (every member's signature, in order — see
+#: :func:`repro.plan.lowering.graph_signature`) and their entries
+#: carry ``meta["batched"]``, so a packed sweep and its per-graph
+#: members never collide; "shard" holds per-shard execution results
 #: (output rows + shard-local launch records) of sharded plan
 #: execution, keyed by the shard sub-plan and its operand content (see
 #: :mod:`repro.plan.sharding`).

@@ -3,6 +3,7 @@
 Build and exercise a GNN pipeline by passing a few parameters::
 
     gsuite run      --model gcn --dataset cora
+    gsuite run      --model gcn --dataset cora --batch 4   # batched sweep
     gsuite time     --model gin --dataset pubmed --compute-model SpMM
     gsuite record   --model sage --dataset citeseer
     gsuite simulate --model gcn --dataset cora --framework pyg
@@ -31,6 +32,17 @@ from repro.errors import GSuiteError
 __all__ = ["main", "build_parser"]
 
 
+def _parse_batch(value: str) -> int:
+    """``--batch`` values, via the shared vocabulary in
+    :func:`repro.core.config.parse_batch`."""
+    from repro.core.config import parse_batch
+    from repro.errors import ConfigError
+    try:
+        return parse_batch(value)
+    except ConfigError as exc:
+        raise argparse.ArgumentTypeError(str(exc)) from None
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The gsuite argument parser."""
     parser = argparse.ArgumentParser(
@@ -40,33 +52,39 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
+    # Defaults are None sentinels so a --config file's values are only
+    # overridden by flags the user actually passed (an unset flag must
+    # not clobber the file with the built-in default); the built-in
+    # defaults themselves live in SuiteConfig and apply when neither
+    # the file nor the flag sets a field.
     def add_pipeline_args(p):
-        p.add_argument("--model", default="gcn",
+        p.add_argument("--model", default=None,
                        help="GNN model: gcn, gin, sage (default gcn)")
-        p.add_argument("--dataset", default="cora",
+        p.add_argument("--dataset", default=None,
                        help="dataset name or short form (default cora)")
-        p.add_argument("--compute-model", default="MP", choices=["MP", "SpMM"],
+        p.add_argument("--compute-model", default=None,
+                       choices=["MP", "SpMM"],
                        help="computational model (default MP)")
-        p.add_argument("--framework", default="gsuite",
+        p.add_argument("--framework", default=None,
                        help="execution backend: gsuite, pyg, dgl, "
                             "gsuite-adaptive (default gsuite)")
-        p.add_argument("--layers", type=int, default=2,
+        p.add_argument("--layers", type=int, default=None,
                        help="number of GNN layers (default 2)")
-        p.add_argument("--hidden", type=int, default=16,
+        p.add_argument("--hidden", type=int, default=None,
                        help="hidden width (default 16)")
-        p.add_argument("--scale", type=float, default=1.0,
+        p.add_argument("--scale", type=float, default=None,
                        help="dataset scale in (0, 1] (default 1.0)")
-        p.add_argument("--seed", type=int, default=0,
+        p.add_argument("--seed", type=int, default=None,
                        help="generation / weight seed (default 0)")
         p.add_argument("--config", default=None,
                        help="JSON config file with default parameters")
-        p.add_argument("--repeats", type=int, default=3,
+        p.add_argument("--repeats", type=int, default=None,
                        help="timing repeats (default 3)")
-        p.add_argument("--shards", type=int, default=1,
+        p.add_argument("--shards", type=int, default=None,
                        help="destination-range plan shards: 0 lets the "
                             "planner decide, 1 disables (default), K >= 2 "
                             "forces K shards")
-        p.add_argument("--fuse", default="auto",
+        p.add_argument("--fuse", default=None,
                        choices=["auto", "off", "force"],
                        help="plan-level operator fusion: 'auto' lets the "
                             "planner decide (default), 'off' disables, "
@@ -74,6 +92,12 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--no-fuse", dest="fuse", action="store_const",
                        const="off",
                        help="shorthand for --fuse off")
+        p.add_argument("--batch", type=_parse_batch, default=None,
+                       metavar="auto|off|N",
+                       help="batched multi-graph plans: 'auto' lets the "
+                            "planner pick the packed sweep width, 'off' "
+                            "(default) runs one graph, N >= 2 packs N "
+                            "seed-variant graphs into one plan")
 
     for name, help_text in (
             ("run", "run one inference pass"),
@@ -102,41 +126,56 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+#: argparse dest -> SuiteConfig field for the pipeline flags.
+_ARG_FIELDS = {
+    "model": "model", "dataset": "dataset",
+    "compute_model": "compute_model", "framework": "framework",
+    "layers": "num_layers", "hidden": "hidden", "scale": "scale",
+    "seed": "seed", "repeats": "repeats", "shards": "shards",
+    "fuse": "fuse", "batch": "batch",
+}
+
+
 def _pipeline_from_args(args) -> GNNPipeline:
-    overrides = dict(
-        model=args.model,
-        dataset=args.dataset,
-        compute_model=args.compute_model,
-        framework=args.framework,
-        num_layers=args.layers,
-        hidden=args.hidden,
-        scale=args.scale,
-        seed=args.seed,
-        repeats=args.repeats,
-        shards=args.shards,
-        fuse=args.fuse,
-    )
+    # Only flags the user actually passed override the config file /
+    # the SuiteConfig defaults (argparse defaults are None sentinels).
+    overrides = {field: getattr(args, dest)
+                 for dest, field in _ARG_FIELDS.items()
+                 if getattr(args, dest) is not None}
     if args.config:
         config = SuiteConfig.from_file(args.config, **overrides)
     else:
         config = SuiteConfig.from_dict(overrides)
+    # Backfill the args namespace from the resolved config so command
+    # output (labels, decision lines) reflects what actually ran.
+    for dest, field in _ARG_FIELDS.items():
+        setattr(args, dest, getattr(config, field))
     return GNNPipeline(config)
 
 
 def _cmd_run(args) -> int:
+    from repro.graph import BatchedGraph
     pipeline = _pipeline_from_args(args)
-    out = pipeline.run()
+    outputs = pipeline.run_batch()
     graph = pipeline.graph
     print(f"{pipeline.figure_label()} {args.model} on {graph.name}: "
           f"{graph.num_nodes} nodes, {graph.num_edges} edges")
-    print(f"output shape: {out.shape}")
+    if isinstance(graph, BatchedGraph):
+        for member, out in zip(graph.members, outputs):
+            print(f"  {member.name}: output shape {out.shape}")
+    else:
+        print(f"output shape: {outputs[0].shape}")
     return 0
 
 
 def _cmd_time(args) -> int:
     pipeline = _pipeline_from_args(args)
     times = pipeline.measure()
-    print(f"{pipeline.figure_label()} {args.model} on {args.dataset}: "
+    # The graph's name, not the dataset flag: a batched pipeline's
+    # measurement covers the whole packed sweep, and the label must
+    # say so ("on batch(cora+...)").
+    print(f"{pipeline.figure_label()} {args.model} on "
+          f"{pipeline.graph.name}: "
           f"mean {statistics.mean(times) * 1e3:.2f} ms over "
           f"{len(times)} runs (min {min(times) * 1e3:.2f}, "
           f"max {max(times) * 1e3:.2f})")
@@ -192,7 +231,10 @@ def _cmd_plan(args) -> int:
         print(f"backend {args.framework!r} exposes no execution plan")
         return 1
     formats = ", ".join(plan.layer_formats) or "n/a"
-    print(f"{pipeline.figure_label()} {args.model} on {args.dataset}: "
+    # The graph's name, not the dataset flag: a batched plan covers
+    # the whole packed sweep (mirrors _cmd_time).
+    print(f"{pipeline.figure_label()} {args.model} on "
+          f"{pipeline.graph.name}: "
           f"{len(plan.ops)} ops, layer formats [{formats}]")
     print(f"fingerprint: {plan.fingerprint()[:16]}")
     if getattr(built, "formats", None) is not None and plan.meta.get("dims"):
@@ -203,6 +245,17 @@ def _cmd_plan(args) -> int:
                              chosen=built.formats,
                              width_hook=get_model_class(
                                  args.model).aggregation_width))
+    # The batch map the plan actually carries (None = single-graph),
+    # read back from the lowered plan so the report can't drift.
+    size, source = pipeline.batch_decision()
+    if plan.batch is not None and plan.batch.num_graphs > 1:
+        print(f"batching: {plan.batch.describe()} ({source})")
+    elif source == "planner" and size <= 1:
+        print("batching: off (planner declined — packed message "
+              "working set or resident footprint past budget)")
+    else:
+        print("batching: off (1 graph; --batch auto lets the planner "
+              "decide)")
     # The fusion decision build() actually applied (None = unfused),
     # read back from the built pipeline so the report can't drift.
     from repro.plan import describe_fusion

@@ -19,7 +19,38 @@ from typing import Optional
 
 from repro.errors import ConfigError
 
-__all__ = ["SuiteConfig", "DEFAULTS"]
+__all__ = ["SuiteConfig", "DEFAULTS", "parse_batch"]
+
+
+def parse_batch(value) -> int:
+    """The one ``batch`` vocabulary: ``auto`` -> 0, ``off`` -> 1, else int.
+
+    Shared by the CLI flag parser and :class:`SuiteConfig`'s config-file
+    coercion so the two spellings can never diverge.  Raises
+    :class:`~repro.errors.ConfigError` on anything else.
+    """
+    if isinstance(value, bool):
+        # bool is an int subclass: {"batch": false} would silently
+        # coerce to 0 = planner auto — the opposite of the likely
+        # intent.  Demand the explicit vocabulary instead.
+        raise ConfigError(
+            f"batch must be 'auto', 'off' or an integer, got {value!r}"
+        )
+    if isinstance(value, str):
+        spelled = {"auto": 0, "off": 1}.get(value.strip().lower())
+        if spelled is not None:
+            return spelled
+    try:
+        coerced = int(value)
+    except (TypeError, ValueError):
+        raise ConfigError(
+            f"batch must be 'auto', 'off' or an integer, got {value!r}"
+        ) from None
+    if not isinstance(value, str) and coerced != value:
+        raise ConfigError(  # non-integral number, e.g. 4.5
+            f"batch must be 'auto', 'off' or an integer, got {value!r}"
+        )
+    return coerced
 
 
 @dataclass(frozen=True)
@@ -48,6 +79,10 @@ class SuiteConfig:
     fuse: str = "auto"            # plan fusion: "auto" = planner decides,
                                   # "off" = never (--no-fuse), "force" =
                                   # every legal site
+    batch: int = 1                # batched multi-graph plans: 0 = planner
+                                  # decides the packed sweep width ("auto"),
+                                  # 1 = single-graph ("off"), B >= 2 = pack
+                                  # B seed-variant graphs into one plan
 
     def __post_init__(self):
         if self.num_layers < 1:
@@ -67,6 +102,13 @@ class SuiteConfig:
         if self.shards < 0:
             raise ConfigError(
                 f"shards must be >= 0 (0 = planner decides), got {self.shards}"
+            )
+        # Config files may use the CLI's vocabulary ("auto"/"off")
+        # directly; numbers coerce to int (non-integral ones refuse).
+        object.__setattr__(self, "batch", parse_batch(self.batch))
+        if self.batch < 0:
+            raise ConfigError(
+                f"batch must be >= 0 (0 = planner decides), got {self.batch}"
             )
         if self.compute_model not in ("MP", "SpMM"):
             raise ConfigError(

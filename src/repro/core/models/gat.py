@@ -36,14 +36,27 @@ def _leaky_relu(x: np.ndarray) -> np.ndarray:
 
 def attention_coefficients(h: np.ndarray, src: np.ndarray, dst: np.ndarray,
                            a_src: np.ndarray, a_dst: np.ndarray,
-                           num_nodes: int, tag: str) -> np.ndarray:
+                           num_nodes: int, tag: str,
+                           segments=None) -> np.ndarray:
     """Edge-softmax attention weights, composed from Table II kernels.
 
     Shared by the direct path and the plan executor's ``gat_attention``
     Normalize kind, so both emit the identical kernel-launch sequence.
+
+    ``segments`` carries the member row ranges of a batched workload
+    (see :class:`~repro.plan.ir.BatchSegmentMap`): the per-node score
+    matvecs then run segment-local, because a BLAS matvec — like a
+    GEMM — is not guaranteed bitwise under row-count changes, and
+    batched plans promise bit-for-bit member outputs.  Everything
+    downstream is per-destination (the softmax never mixes members of
+    a block-diagonal edge list) and needs no segmentation.
     """
-    score_src = h @ a_src
-    score_dst = h @ a_dst
+    if segments is not None and len(segments) > 1:
+        score_src = np.concatenate([h[lo:hi] @ a_src for lo, hi in segments])
+        score_dst = np.concatenate([h[lo:hi] @ a_dst for lo, hi in segments])
+    else:
+        score_src = h @ a_src
+        score_dst = h @ a_dst
     logits = _leaky_relu(
         index_select(score_src[:, None], src, tag=tag)[:, 0]
         + index_select(score_dst[:, None], dst, tag=tag)[:, 0]

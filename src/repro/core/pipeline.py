@@ -27,9 +27,17 @@ from repro.core.config import SuiteConfig
 from repro.core.kernels import LaunchRecorder, record_launches
 from repro.datasets import get_spec, load_dataset
 from repro.frameworks import Backend, PipelineSpec, get_backend
-from repro.graph import Graph
+from repro.graph import BatchedGraph, Graph
 
 __all__ = ["GNNPipeline"]
+
+#: Candidate sweep width ``--batch auto`` offers the planner: the
+#: default number of seed-variant member graphs a batched pipeline
+#: considers packing (``choose_batching`` may pick fewer — down to 1 —
+#: when the packed working set would outgrow its cache budget).  Sweeps
+#: that know their true width pass ``batch=B`` explicitly or call
+#: :func:`repro.plan.planner.choose_batching` themselves.
+AUTO_BATCH_SWEEP = 8
 
 
 class GNNPipeline:
@@ -47,6 +55,8 @@ class GNNPipeline:
     def __init__(self, config: SuiteConfig, graph: Optional[Graph] = None):
         self.config = config
         self._graph = graph
+        self._explicit_graph = graph is not None
+        self._batch_decision = None
         self._graph_stats = None
         self._backend: Backend = get_backend(config.framework)
         out_features = config.out_features
@@ -71,13 +81,84 @@ class GNNPipeline:
         return cls(SuiteConfig.from_dict(params))
 
     # -- data ---------------------------------------------------------------
+    def batch_decision(self):
+        """The resolved batched-plan decision: ``(size, source)``.
+
+        ``source`` is ``"off"`` (single-graph), ``"forced"``
+        (``config.batch >= 2``), ``"planner"`` (``config.batch == 0``:
+        :func:`repro.plan.planner.choose_batching` prices a
+        :data:`AUTO_BATCH_SWEEP`-wide sweep from the dataset *spec* —
+        no graph is materialised to decide) or ``"graph"`` (an
+        explicitly supplied :class:`~repro.graph.BatchedGraph`
+        workload, whose membership wins over the config).
+        """
+        if self._batch_decision is not None:
+            return self._batch_decision
+        if self._explicit_graph:
+            if isinstance(self._graph, BatchedGraph):
+                self._batch_decision = (self._graph.num_graphs, "graph")
+            else:
+                self._batch_decision = (1, "off")
+        elif self.config.batch == 1:
+            self._batch_decision = (1, "off")
+        elif self.config.batch >= 2:
+            self._batch_decision = (self.config.batch, "forced")
+        else:  # 0 = auto: estimate from the spec, like the format planner
+            from repro.core.models import get_model_class
+            from repro.core.models.base import layer_dimensions
+            from repro.datasets import scaled_spec
+            from repro.plan.planner import (
+                GraphStats,
+                choose_batching,
+                choose_formats,
+            )
+            spec = scaled_spec(get_spec(self.config.dataset),
+                               self.config.scale)
+            stats = GraphStats.from_spec(spec)
+            cls = get_model_class(self.config.model)
+            dims = layer_dimensions(spec.feature_length, self.spec.hidden,
+                                    self.spec.out_features,
+                                    self.spec.num_layers)
+            if getattr(self._backend, "name", "") == "gsuite-adaptive":
+                # The adaptive backend will pick its own per-layer
+                # formats; price the batch the same way, so an
+                # all-SpMM plan gets choose_batching's free-batching
+                # rule instead of being costed at MP message widths.
+                allowed = cls.lowerable_formats \
+                    or cls.supported_compute_models
+                formats = list(choose_formats(
+                    dims, stats, allowed=allowed,
+                    width_hook=cls.aggregation_width))
+            else:
+                formats = [self.spec.compute_model] * len(dims)
+            chosen = choose_batching(
+                AUTO_BATCH_SWEEP, dims, stats, formats=formats,
+                width_hook=cls.aggregation_width)
+            self._batch_decision = (chosen, "planner")
+        return self._batch_decision
+
     @property
     def graph(self) -> Graph:
-        """The workload graph (loaded lazily, cached)."""
+        """The workload graph (loaded lazily, cached).
+
+        When the config asks for batched plans (``batch != 1``) this is
+        a block-diagonal :class:`~repro.graph.BatchedGraph` packing the
+        decided number of seed-variant member graphs (seeds ``seed``,
+        ``seed + 1``, ...) — one lowered plan then executes the whole
+        sweep.  An explicitly supplied graph always wins.
+        """
         if self._graph is None:
-            self._graph = load_dataset(self.config.dataset,
-                                       scale=self.config.scale,
-                                       seed=self.config.seed)
+            size, _ = self.batch_decision()
+            if size > 1:
+                members = [load_dataset(self.config.dataset,
+                                        scale=self.config.scale,
+                                        seed=self.config.seed + i)
+                           for i in range(size)]
+                self._graph = BatchedGraph(members)
+            else:
+                self._graph = load_dataset(self.config.dataset,
+                                           scale=self.config.scale,
+                                           seed=self.config.seed)
         return self._graph
 
     @property
@@ -235,8 +316,27 @@ class GNNPipeline:
         return getattr(self.build(), "plan", None)
 
     def run(self, features: Optional[np.ndarray] = None) -> np.ndarray:
-        """Build and execute one inference pass."""
+        """Build and execute one inference pass.
+
+        For a batched pipeline the return is the *packed* output
+        (``[sum of member node counts, out_features]``); use
+        :meth:`run_batch` for per-member blocks.
+        """
         return self.build().run(features)
+
+    def run_batch(self, features: Optional[np.ndarray] = None) -> List[np.ndarray]:
+        """One inference pass, returned as per-member output blocks.
+
+        A batched pipeline runs its single packed plan and unpacks the
+        result (each block bit-for-bit equal to running that member's
+        unbatched plan alone); an unbatched pipeline returns a
+        one-element list, so sweep code can treat both uniformly.
+        """
+        out = self.run(features)
+        graph = self.graph
+        if isinstance(graph, BatchedGraph):
+            return graph.unpack(out)
+        return [out]
 
     def measure(self, repeats: Optional[int] = None) -> List[float]:
         """End-to-end wall-clock seconds per repeat (build + inference).

@@ -3,6 +3,8 @@
 Public surface:
 
 * :class:`~repro.graph.graph.Graph` — attributed graph (edge index + features)
+* :class:`~repro.graph.batch.BatchedGraph` — a set of graphs packed into one
+  block-diagonal workload (the substrate of batched multi-graph plans)
 * :class:`~repro.graph.formats.COOMatrix` / :class:`~repro.graph.formats.CSRMatrix`
   / :class:`~repro.graph.formats.CSCMatrix` / :class:`~repro.graph.formats.DenseMatrix`
 * :func:`~repro.graph.convert.convert` and edge-index bridges
@@ -11,6 +13,7 @@ Public surface:
 
 from repro.graph.formats import COOMatrix, CSCMatrix, CSRMatrix, DenseMatrix, SparseMatrix
 from repro.graph.graph import Graph
+from repro.graph.batch import BatchedGraph
 from repro.graph.convert import (
     FORMATS,
     convert,
@@ -33,6 +36,7 @@ from repro.graph.ops import (
 from repro.graph.validate import check_same_structure, validate_csr, validate_graph
 
 __all__ = [
+    "BatchedGraph",
     "COOMatrix",
     "CSCMatrix",
     "CSRMatrix",

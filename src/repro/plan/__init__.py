@@ -1,11 +1,43 @@
-"""The execution-plan layer: a shared operator IR, its executor, and
-the cost-model-driven format planner.
+"""The execution-plan layer: one operator IR shared by every backend,
+and the passes and planners that transform and execute it.
 
-Every framework backend lowers its pipeline to an
-:class:`~repro.plan.ir.ExecutionPlan` and runs it through the
-:class:`~repro.plan.executor.PlanExecutor`; the
-:mod:`~repro.plan.planner` chooses gather/scatter vs fused-SpMM
-execution per layer for the ``gsuite-adaptive`` backend.
+Five subsystems compose here (see ``docs/architecture.md`` for the
+full dataflow):
+
+:mod:`~repro.plan.ir`
+    The SSA operator vocabulary (``Gather`` / ``ScatterReduce`` /
+    ``SpMM`` / ``SGEMM`` / ``Activation`` / ``Elementwise`` /
+    ``Normalize`` plus the fused ops), the :class:`ExecutionPlan`
+    container, the :class:`PlanBuilder` the lowering hooks drive, and
+    the :class:`BatchSegmentMap` that marks batched multi-graph plans.
+:mod:`~repro.plan.lowering`
+    :func:`cached_plan` — the content-addressed plan store (cache kind
+    ``"plan"``; batched geometry is a distinct flavor of the same
+    kind) — and :func:`graph_signature`, the geometry a plan key
+    depends on.
+:mod:`~repro.plan.planner`
+    The cost-model decision procedures, one ``choose_*`` entry point
+    per knob: :func:`choose_formats` (MP vs SpMM per layer),
+    :func:`choose_fusion` (which fusion patterns pay),
+    :func:`choose_shards` (destination-range shard count) and
+    :func:`choose_batching` (packed sweep width).  All four consume
+    the same :class:`GraphStats` and per-kernel cost constants.
+:mod:`~repro.plan.fusion`
+    :func:`fuse_plan`, the liveness/single-consumer rewrite merging
+    gather+scatter pairs, SGEMM epilogues and elementwise chains, with
+    :func:`legacy_trace` mapping fused launch streams back onto the
+    unfused ``(kernel, tag)`` sequence.
+:mod:`~repro.plan.sharding`
+    Destination-range sharding: :func:`find_shard_groups`,
+    :func:`build_shard_subplan`, the :class:`ShardingPolicy` contract
+    and the :class:`ShardDispatcher` that executes groups over a
+    worker pool with canonical trace emission.
+
+The :class:`~repro.plan.executor.PlanExecutor` ties them together: it
+interprets any (fused, sharded, batched — in any combination) plan
+through the instrumented core kernels, bit-for-bit identical to the
+direct legacy paths, which is the contract the ``tests/plan`` parity
+suites pin.
 """
 
 from repro.plan.executor import NORMALIZE_KINDS, PlanExecutor, register_normalize
@@ -18,6 +50,7 @@ from repro.plan.fusion import (
 )
 from repro.plan.ir import (
     Activation,
+    BatchSegmentMap,
     Elementwise,
     ExecutionPlan,
     FORMATS,
@@ -34,6 +67,9 @@ from repro.plan.ir import (
 from repro.plan.lowering import cached_plan, graph_signature
 from repro.plan.planner import (
     GraphStats,
+    batch_member_bytes,
+    batch_member_footprint,
+    choose_batching,
     choose_formats,
     choose_fusion,
     choose_shards,
@@ -55,6 +91,7 @@ from repro.plan.sharding import (
 
 __all__ = [
     "Activation",
+    "BatchSegmentMap",
     "Elementwise",
     "ExecutionPlan",
     "FORMATS",
@@ -74,8 +111,11 @@ __all__ = [
     "ShardingPolicy",
     "SpMM",
     "ValueRef",
+    "batch_member_bytes",
+    "batch_member_footprint",
     "build_shard_subplan",
     "cached_plan",
+    "choose_batching",
     "choose_formats",
     "choose_fusion",
     "choose_shards",

@@ -2,13 +2,24 @@
 
 :class:`PlanExecutor` walks an :class:`~repro.plan.ir.ExecutionPlan`
 op by op, binding the workload graph and runtime inputs, and dispatches
-every operator to the *existing* instrumented kernels
-(``index_select`` / ``scatter`` / ``spmm`` / ``sgemm`` — plus whatever
-kernels a :class:`~repro.plan.ir.Normalize` kind launches internally,
-e.g. GCN's SpGEMM normalisation chain).  Because the kernels are the
-same functions the legacy direct paths called, kernel-level recording,
+every operator to the instrumented kernels (``index_select`` /
+``scatter`` / ``spmm`` / ``sgemm``, the fusion pass's streaming
+``fused_gather_scatter`` — plus whatever kernels a
+:class:`~repro.plan.ir.Normalize` kind launches internally, e.g. GCN's
+SpGEMM normalisation chain).  Because the kernels are the same
+functions the legacy direct paths called, kernel-level recording,
 simulation and profiling keep working unchanged, and plan execution is
 bit-for-bit identical to the direct code it replaced.
+
+Two execution modes layer on top of the plain op walk, composably:
+
+* **sharded** — a :class:`~repro.plan.sharding.ShardingPolicy` routes
+  the plan's aggregation groups through the
+  :class:`~repro.plan.sharding.ShardDispatcher` (see :class:`PlanExecutor`);
+* **batched** — a plan carrying a
+  :class:`~repro.plan.ir.BatchSegmentMap` binds a block-diagonal
+  :class:`~repro.graph.BatchedGraph` and runs its dense transforms
+  segment-local (see :meth:`PlanExecutor.run`).
 
 ``Normalize`` kinds are pluggable: backends register structure-
 preparation callables in :data:`NORMALIZE_KINDS` via
@@ -116,11 +127,20 @@ def _norm_mean_adjacency(graph: Graph, params, inputs, tag):
 
 
 def _norm_gat_attention(graph: Graph, params, inputs, tag):
-    """Edge-softmax attention coefficients (kernel-composed)."""
+    """Edge-softmax attention coefficients (kernel-composed).
+
+    On a batched workload the score matvecs run segment-local (see
+    :func:`~repro.core.models.gat.attention_coefficients`), keeping
+    batched GAT plans bit-for-bit with their per-member runs.
+    """
     from repro.core.models.gat import attention_coefficients
+    from repro.graph import BatchedGraph
     h, src, dst, a_src, a_dst = inputs
+    segments = graph.node_segments() \
+        if isinstance(graph, BatchedGraph) else None
     return (attention_coefficients(h, src, dst, a_src, a_dst,
-                                   graph.num_nodes, tag),)
+                                   graph.num_nodes, tag,
+                                   segments=segments),)
 
 
 def _norm_split_edges(graph: Graph, params, inputs, tag):
@@ -222,6 +242,9 @@ class PlanExecutor:
             )
         self.on_op = on_op
         self.sharding = sharding
+        #: Node segments of the currently bound batched plan (``None``
+        #: while running unbatched plans — set per :meth:`run`).
+        self._segments = None
         #: Shard-local + merge launches of the last sharded run.
         #: Populated while an ambient recorder is active (or while the
         #: shard cache stores entries); un-instrumented runs skip the
@@ -232,7 +255,60 @@ class PlanExecutor:
 
     def run(self, plan: ExecutionPlan, graph: Graph,
             inputs: Dict[str, Any]) -> np.ndarray:
-        """Execute ``plan`` over ``graph``; returns the output array."""
+        """Execute ``plan`` over ``graph``; returns the output array.
+
+        A plan carrying a :class:`~repro.plan.ir.BatchSegmentMap`
+        expects the matching block-diagonal packed graph: the sparse
+        aggregation ops run once over the packed operands (their block
+        structure already factors per member — same per-destination
+        reduction order, hence bit-for-bit member outputs), while
+        ``SGEMM`` launches run *segment-local* per member row range,
+        because BLAS blocking varies with the row count and a packed
+        GEMM is not guaranteed bitwise against the per-member launches
+        (the measured caveat behind
+        :attr:`~repro.plan.sharding.ShardingPolicy.local_tails`).
+        """
+        self._segments = None
+        if plan.batch is None and getattr(graph, "num_graphs", 1) > 1:
+            # The converse of the checks below: an unstamped plan over
+            # a packed workload would run its dense transforms packed
+            # (and GAT's graph-keyed attention matvecs segmented) —
+            # a silent, half-segmented break of member parity.  Lower
+            # through cached_plan (which stamps the map) or stamp
+            # explicitly with ExecutionPlan.with_batch.
+            raise PlanError(
+                f"a BatchedGraph packing {graph.num_graphs} members "
+                f"requires a batch-stamped plan, got one with batch=None"
+            )
+        if plan.batch is not None:
+            if plan.batch.num_nodes != graph.num_nodes:
+                raise PlanError(
+                    f"batched plan packs {plan.batch.num_nodes} nodes "
+                    f"but the bound graph has {graph.num_nodes}"
+                )
+            offsets = getattr(graph, "node_offsets", None)
+            if offsets is None and plan.batch.num_graphs > 1:
+                # A plain graph of coincidentally matching size would
+                # pass the totals check, but graph-derived segmentation
+                # (GAT's attention-score matvecs) would then run
+                # packed — refuse rather than break member parity.
+                raise PlanError(
+                    f"batched plan ({plan.batch.num_graphs} members) "
+                    f"must bind its matching BatchedGraph, got a plain "
+                    f"{type(graph).__name__}"
+                )
+            if offsets is not None and tuple(
+                    int(o) for o in offsets) != plan.batch.node_offsets:
+                # A total-preserving repack would silently segment the
+                # dense transforms at the wrong rows, voiding the
+                # bit-for-bit member contract — refuse at bind time.
+                raise PlanError(
+                    f"batched plan member boundaries "
+                    f"{plan.batch.node_offsets} do not match the bound "
+                    f"graph's packing {tuple(int(o) for o in offsets)}"
+                )
+            if plan.batch.num_graphs > 1:
+                self._segments = plan.batch.node_segments()
         env: Dict[int, Any] = dict(plan.constants)
         for ref in plan.inputs:
             if ref.name not in inputs:
@@ -292,6 +368,25 @@ class PlanExecutor:
             self.shard_report = dispatcher.report
         return env[plan.output.vid]
 
+    # -- batched execution -------------------------------------------------
+    def _segmented_sgemm(self, op: SGEMM, a, b, bias) -> np.ndarray:
+        """Run one node-aligned ``SGEMM`` per member of a batched plan.
+
+        Each launch sees exactly the row count the member's unbatched
+        run would — the property that keeps batched dense transforms
+        bit-for-bit — and carries a ``@graphI/B`` tag suffix so the
+        per-member launches stay distinguishable in recorded traces.
+        Zero-node members contribute an empty block and no arithmetic.
+        """
+        total = len(self._segments)
+        parts = []
+        for i, (lo, hi) in enumerate(self._segments):
+            parts.append(sgemm(
+                a[lo:hi], b, bias=bias,
+                tag=f"{op.tag}@graph{i + 1}/{total}",
+                activation=op.activation or None))
+        return np.concatenate(parts, axis=0)
+
     # -- op dispatch -------------------------------------------------------
     def _execute(self, op, env: Dict[int, Any], graph: Graph):
         if isinstance(op, Gather):
@@ -322,8 +417,13 @@ class PlanExecutor:
             return out
         if isinstance(op, SGEMM):
             bias = env[op.bias.vid] if op.bias is not None else None
-            out = sgemm(env[op.a.vid], env[op.b.vid], bias=bias, tag=op.tag,
-                        activation=op.activation or None)
+            a = env[op.a.vid]
+            if (self._segments is not None
+                    and np.asarray(a).shape[0] == graph.num_nodes):
+                out = self._segmented_sgemm(op, a, env[op.b.vid], bias)
+            else:
+                out = sgemm(a, env[op.b.vid], bias=bias, tag=op.tag,
+                            activation=op.activation or None)
             env[op.out.vid] = out
             return out
         if isinstance(op, Activation):

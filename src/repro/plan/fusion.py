@@ -108,6 +108,8 @@ def structure_digest(plan: ExecutionPlan) -> str:
     digest = hashlib.sha256()
     digest.update(f"{plan.model}|{plan.flavor}|"
                   f"{','.join(plan.layer_formats)}".encode())
+    if plan.batch is not None:
+        digest.update(repr(plan.batch).encode())
     for op in plan.ops:
         digest.update(repr(op).encode())
     return digest.hexdigest()
@@ -258,6 +260,7 @@ def fuse_plan(plan: ExecutionPlan, policy: FusionPolicy) -> ExecutionPlan:
         layer_formats=plan.layer_formats,
         meta={**plan.meta, "fusion": counts,
               "fused_from": structure_digest(plan)},
+        batch=plan.batch,
     )
     fused.validate()
     return fused

@@ -26,11 +26,24 @@ glue every GNN stack needs):
   *run* time, so plans record exactly the kernel launches — SpGEMM
   chains included — that the legacy direct paths emitted.
 
+The fusion pass (:mod:`repro.plan.fusion`) adds two derived ops —
+:class:`FusedGatherScatter` (one streaming launch for a
+gather + scatter pair) and :class:`FusedElementwise` (an
+elementwise/activation chain collapsed to one dispatch) — written only
+by plan rewrites, never by direct lowering.
+
 Plans are pure data: value references plus constants (the layer
 weights).  The workload graph is bound at execution time by the
 :class:`~repro.plan.executor.PlanExecutor`, which makes one plan
 reusable across runs and cacheable on disk (see
 :func:`repro.plan.lowering.cached_plan`).
+
+A plan may additionally carry a :class:`BatchSegmentMap` — the batched
+multi-graph flavor: the bound graph is a block-diagonal
+:class:`~repro.graph.batch.BatchedGraph` packing several workloads,
+the ops run once over the packed operands, and the segment map tells
+the executor where the member row ranges lie (dense transforms run
+segment-local to stay bit-for-bit with per-member execution).
 """
 
 from __future__ import annotations
@@ -46,6 +59,7 @@ from repro.errors import PlanError
 
 __all__ = [
     "FORMATS",
+    "BatchSegmentMap",
     "ValueRef",
     "Gather",
     "ScatterReduce",
@@ -69,6 +83,71 @@ FORMATS = ("dense", "csr", "edge", "vec", "obj")
 
 #: Elementwise combine kinds understood by the executor.
 ELEMENTWISE_KINDS = ("add", "add_bias", "combine")
+
+
+@dataclass(frozen=True)
+class BatchSegmentMap:
+    """Where the member graphs of a batched plan live in the packing.
+
+    The batch dimension of the plan IR: ``node_offsets`` /
+    ``edge_offsets`` are prefix sums over the packed layout (length
+    ``num_graphs + 1``), ``members`` the workload names for reporting.
+    Every op of a batched plan implicitly carries this map — the
+    executor reads it to keep row-count-sensitive launches (``SGEMM``)
+    segment-local while the sparse aggregation ops run packed (their
+    block-diagonal structure already factors per member).  The map is
+    part of :meth:`ExecutionPlan.fingerprint`, so batched plans can
+    never collide with unbatched ones in the plan cache.
+    """
+
+    node_offsets: Tuple[int, ...]
+    edge_offsets: Tuple[int, ...]
+    members: Tuple[str, ...] = ()
+
+    def __post_init__(self):
+        for name, offsets in (("node_offsets", self.node_offsets),
+                              ("edge_offsets", self.edge_offsets)):
+            if len(offsets) < 2 or offsets[0] != 0 or any(
+                    lo > hi for lo, hi in zip(offsets, offsets[1:])):
+                raise PlanError(
+                    f"{name} must be a non-decreasing prefix sum "
+                    f"starting at 0, got {offsets}"
+                )
+        if len(self.edge_offsets) != len(self.node_offsets):
+            raise PlanError(
+                "node_offsets and edge_offsets must describe the same "
+                f"member count, got {len(self.node_offsets)} vs "
+                f"{len(self.edge_offsets)}"
+            )
+
+    @classmethod
+    def from_graph(cls, graph) -> "BatchSegmentMap":
+        """The map of a :class:`~repro.graph.batch.BatchedGraph`."""
+        return cls(
+            node_offsets=tuple(int(o) for o in graph.node_offsets),
+            edge_offsets=tuple(int(o) for o in graph.edge_offsets),
+            members=tuple(graph.member_names()),
+        )
+
+    @property
+    def num_graphs(self) -> int:
+        """Number of packed member graphs."""
+        return len(self.node_offsets) - 1
+
+    @property
+    def num_nodes(self) -> int:
+        """Total node count of the packed layout."""
+        return self.node_offsets[-1]
+
+    def node_segments(self) -> Tuple[Tuple[int, int], ...]:
+        """Per-member ``(lo, hi)`` node-row ranges, in pack order."""
+        return tuple(zip(self.node_offsets[:-1], self.node_offsets[1:]))
+
+    def describe(self) -> str:
+        """One-line form for reports (``gsuite plan``)."""
+        names = "+".join(self.members) if self.members else "?"
+        return (f"{self.num_graphs} graphs ({names}), "
+                f"{self.num_nodes} packed nodes")
 
 
 @dataclass(frozen=True)
@@ -154,6 +233,14 @@ class SGEMM:
     bias: Optional[ValueRef] = None
     tag: str = ""
     activation: str = ""
+
+    #: Batched-execution contract: every lowering today emits ``a``
+    #: operands whose rows are *node-aligned* (one row per graph
+    #: node), which is what lets the executor segment batched SGEMMs
+    #: by member row range (detected via ``a.shape[0] ==
+    #: graph.num_nodes``).  A future lowering emitting an SGEMM over
+    #: edge-aligned rows must grow an explicit alignment marker here
+    #: before it can compose with batching.
 
     opcode = "sgemm"
 
@@ -323,6 +410,12 @@ class ExecutionPlan:
     The graph itself is *not* embedded — it is bound when the plan is
     executed — so a plan depends only on the pipeline spec and the
     graph's geometry, which is what makes plans cheap to cache.
+
+    ``batch`` marks the batched multi-graph flavor: the plan expects a
+    block-diagonal :class:`~repro.graph.batch.BatchedGraph` whose
+    packing matches this :class:`BatchSegmentMap` (the executor
+    validates the node totals at bind time).  ``None`` — the default —
+    is the ordinary single-graph plan.
     """
 
     model: str
@@ -333,6 +426,24 @@ class ExecutionPlan:
     constants: Dict[int, np.ndarray]
     layer_formats: Tuple[str, ...] = ()
     meta: Dict[str, object] = field(default_factory=dict)
+    batch: Optional[BatchSegmentMap] = None
+
+    def with_batch(self, batch: Optional[BatchSegmentMap]) -> "ExecutionPlan":
+        """A copy of this plan carrying ``batch`` as its segment map.
+
+        Lowering is batch-agnostic (the ops are identical either way);
+        :func:`repro.plan.lowering.cached_plan` stamps the map on when
+        the bound graph is batched, flipping the plan — fingerprint
+        included — into the batched flavor.
+        """
+        if batch is self.batch:
+            return self
+        return ExecutionPlan(
+            model=self.model, flavor=self.flavor, ops=self.ops,
+            inputs=self.inputs, output=self.output,
+            constants=self.constants, layer_formats=self.layer_formats,
+            meta=self.meta, batch=batch,
+        )
 
     def op_counts(self) -> Dict[str, int]:
         """``{opcode: occurrences}`` — the plan's kernel vocabulary."""
@@ -364,6 +475,8 @@ class ExecutionPlan:
         digest = hashlib.sha256()
         digest.update(f"{self.model}|{self.flavor}|"
                       f"{','.join(self.layer_formats)}".encode())
+        if self.batch is not None:
+            digest.update(repr(self.batch).encode())
         for op in self.ops:
             digest.update(repr(op).encode())
         digest.update(repr(self.inputs).encode())
@@ -388,8 +501,10 @@ class ExecutionPlan:
         return rows
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        batched = f", batch={self.batch.num_graphs}" if self.batch else ""
         return (f"ExecutionPlan(model={self.model!r}, flavor={self.flavor!r}, "
-                f"ops={len(self.ops)}, formats={list(self.layer_formats)})")
+                f"ops={len(self.ops)}, formats={list(self.layer_formats)}"
+                f"{batched})")
 
 
 class PlanBuilder:

@@ -29,13 +29,29 @@ _MAX_PERSIST_BYTES = 4 * 1024 * 1024
 
 
 def graph_signature(graph) -> Dict[str, object]:
-    """The geometry a plan depends on (plans never embed graph data)."""
-    return {
+    """The geometry a plan depends on (plans never embed graph data).
+
+    For a :class:`~repro.graph.batch.BatchedGraph` the signature also
+    carries every member's geometry: batched plans are a distinct cache
+    flavor (same kind ``"plan"``, batched key), so a packed sweep and
+    its per-graph members can never collide in the store — and two
+    batches differing only in member order or membership get distinct
+    keys too.
+    """
+    from repro.graph import BatchedGraph
+    signature = {
         "name": graph.name,
         "num_nodes": graph.num_nodes,
         "num_edges": graph.num_edges,
         "num_features": graph.num_features,
     }
+    if isinstance(graph, BatchedGraph):
+        signature["batch"] = [
+            {"name": member.name, "num_nodes": member.num_nodes,
+             "num_edges": member.num_edges}
+            for member in graph.members
+        ]
+    return signature
 
 
 def cached_plan(flavor: str, spec, graph, build: Callable[[], ExecutionPlan],
@@ -57,7 +73,16 @@ def cached_plan(flavor: str, spec, graph, build: Callable[[], ExecutionPlan],
     extra:
         Additional key material (e.g. the adaptive planner's chosen
         formats).
+
+    When ``graph`` is a :class:`~repro.graph.batch.BatchedGraph`, the
+    returned plan carries its :class:`~repro.plan.ir.BatchSegmentMap`
+    (see :meth:`~repro.plan.ir.ExecutionPlan.with_batch`): lowering
+    itself is batch-agnostic — the op stream is identical — but the
+    stamped plan tells the executor where the member row ranges lie,
+    and the key above already separates the batched flavor on disk.
     """
+    from repro.graph import BatchedGraph
+    from repro.plan.ir import BatchSegmentMap
     cache = get_cache()
     key = compute_key("plan", {
         "flavor": flavor,
@@ -68,9 +93,17 @@ def cached_plan(flavor: str, spec, graph, build: Callable[[], ExecutionPlan],
     plan = cache.get("plan", key)
     if plan is None:
         plan = build()
+        if isinstance(graph, BatchedGraph):
+            plan = plan.with_batch(BatchSegmentMap.from_graph(graph))
         if plan.constant_bytes() <= _MAX_PERSIST_BYTES:
             cache.put("plan", key, plan, meta={
                 "flavor": flavor, "model": spec.model,
                 "graph": graph.name or "custom",
+                "batched": isinstance(graph, BatchedGraph),
             })
+    elif isinstance(graph, BatchedGraph) and plan.batch is None:
+        # Entries written before the batched flavor existed (or by a
+        # by-hand put) still bind correctly: stamp the map on the way
+        # out.
+        plan = plan.with_batch(BatchSegmentMap.from_graph(graph))
     return plan

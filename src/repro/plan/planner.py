@@ -1,12 +1,23 @@
-"""Cost-model-driven format selection for execution plans.
+"""The cost-model planner: every execution decision a plan can take.
 
-The same GNN layer can execute as message passing (gather + scatter
-over an edge list) or as a fused SpMM over CSR, and which one wins is
-workload-dependent: the CSR exemplars show SpMM >1.3x faster on
-Reddit-scale graphs yet *losing* on Cora-scale ones.  This module turns
-that observation into an explicit decision procedure built on the
-per-kernel instruction costs of
-:mod:`repro.core.kernels.costmodel` plus three graph statistics:
+One ``choose_*`` entry point per knob, all consuming the same
+:class:`GraphStats` and the per-kernel instruction costs of
+:mod:`repro.core.kernels.costmodel`:
+
+* :func:`choose_formats` — MP vs fused-SpMM execution per layer;
+* :func:`choose_fusion`  — which fusion patterns pay
+  (:mod:`repro.plan.fusion` implements the transform);
+* :func:`choose_shards`  — destination-range shard count
+  (:mod:`repro.plan.sharding`);
+* :func:`choose_batching` — how many sweep members pack into one
+  batched multi-graph plan (:mod:`repro.graph.batch`).
+
+The founding observation is the format split: the same GNN layer can
+execute as message passing (gather + scatter over an edge list) or as
+a fused SpMM over CSR, and which one wins is workload-dependent — the
+CSR exemplars show SpMM >1.3x faster on Reddit-scale graphs yet
+*losing* on Cora-scale ones.  The cost model turns that into an
+explicit decision procedure built on three graph statistics:
 
 * **average degree** — SpMM's row-major traversal pays a per-row
   overhead (``indptr`` walks, row startup) that only amortises when
@@ -47,10 +58,11 @@ from repro.core.kernels.scatter import STREAM_BLOCK_BYTES
 from repro.datasets.specs import DatasetSpec
 from repro.graph import Graph
 
-__all__ = ["GraphStats", "mp_layer_cost", "spmm_layer_cost",
-           "spmm_setup_cost", "choose_formats", "choose_fusion",
+__all__ = ["GraphStats", "batch_member_bytes", "batch_member_footprint",
+           "choose_batching", "choose_formats", "choose_fusion",
            "choose_shards", "explain_choice", "fusion_gain",
-           "shard_setup_cost"]
+           "mp_layer_cost", "shard_setup_cost", "spmm_layer_cost",
+           "spmm_setup_cost"]
 
 #: ``fn(fmt, fan_in, fan_out) -> width`` — the feature width a layer's
 #: aggregation actually runs at under execution format ``fmt``.  The
@@ -378,6 +390,119 @@ def choose_shards(dims: Sequence[Tuple[int, int]], stats: GraphStats,
     amortised = math.sqrt(aggregation / shard_setup_cost(stats))
     k = min(wanted, int(amortised), max_shards, stats.num_nodes)
     return max(1, k)
+
+
+# ---------------------------------------------------------------------------
+# Batching decisions
+# ---------------------------------------------------------------------------
+
+#: Ceiling on planner-chosen batch sizes.  Past this the per-plan
+#: amortisation is already >96% captured (overhead scales as 1/B) while
+#: every extra member keeps growing the packed operands linearly.
+_MAX_AUTO_BATCH = 64
+
+#: Resident-footprint budget for one packed batch: member state
+#: (feature slabs, compressed structures) multiplies by ``B`` no
+#: matter which formats the layers run, so even plans with no message
+#: working set (all-SpMM) must not pack Table-IV-scale members whose
+#: combined slabs reach gigabytes.
+_BATCH_FOOTPRINT_BYTES = 1024 ** 3
+
+
+def batch_member_bytes(dims: Sequence[Tuple[int, int]], stats: GraphStats,
+                       formats: Sequence[str] = (),
+                       width_hook: Optional[WidthHook] = None) -> float:
+    """Peak aggregation working set of *one* member's plan, in bytes.
+
+    The same quantity :func:`choose_shards` prices: the widest MP
+    layer's per-edge message matrix (``4 * E * width``).  SpMM layers
+    stream CSR rows block-locally and never materialise that
+    intermediate, so — exactly as in the shard planner — they
+    contribute nothing; an all-SpMM plan batches freely.
+    """
+    width = width_hook or _default_width
+    formats = list(formats) or ["MP"] * len(dims)
+    peak = 0.0
+    for (fan_in, fan_out), fmt in zip(dims, formats):
+        if fmt == "SpMM":
+            continue
+        layer_width = max(1, width(fmt, fan_in, fan_out))
+        peak = max(peak, _FLOAT_BYTES * float(stats.num_edges) * layer_width)
+    return peak
+
+
+def batch_member_footprint(stats: GraphStats) -> float:
+    """Resident bytes one packed member contributes, format-agnostic.
+
+    The feature slab (``4 * N * f``) plus the compressed adjacency
+    (CSR data + indices + indptr, ~``12 * E``): state every member of
+    a batch keeps live simultaneously, whichever formats its layers
+    execute.  This is the term that keeps :func:`choose_batching` from
+    packing Table-IV-scale members even when their plans are all-SpMM
+    and therefore exert no *message* working-set pressure.
+    """
+    return (_FLOAT_BYTES * float(stats.num_nodes)
+            * max(1, stats.feature_width)
+            + 12.0 * float(stats.num_edges))
+
+
+def choose_batching(num_graphs: int, dims: Sequence[Tuple[int, int]],
+                    stats: GraphStats, formats: Sequence[str] = (),
+                    width_hook: Optional[WidthHook] = None,
+                    max_batch: int = _MAX_AUTO_BATCH) -> int:
+    """Packed batch size for a sweep of ``num_graphs`` same-spec graphs.
+
+    Batching always *saves* fixed per-graph overhead — one lowering /
+    plan-cache round-trip, one executor walk, one launch per
+    aggregation op instead of ``num_graphs`` — so the decision is
+    driven entirely by what it *costs*: the packed per-edge message
+    matrix grows linearly with the batch, and once it outgrows the
+    cache-residency budget the batched run loses the locality every
+    member enjoyed alone (which sharding would then have to win back).
+    The planner therefore packs the largest ``B`` satisfying two
+    budgets at once:
+
+    * **message working set** — ``B *`` :func:`batch_member_bytes`
+      stays within the LLC-sized residency target the shard planner
+      also prices (``_SHARD_WORKING_SET_BYTES``).  Note the *absence*
+      of the 2x hysteresis :func:`choose_shards` applies: sharding
+      pays a real per-shard setup cost, so it waits until the working
+      set clearly exceeds the target — batching costs nothing to
+      decline, and a borderline pack (measured: two ~31 MB GIN/Cora
+      members) loses more residency than it amortises.  Batching and
+      sharding can therefore never fight over the same plan: a
+      planner-packed batch always sits below the point where
+      ``choose_shards`` would start slicing it back up.
+    * **resident footprint** — ``B *`` :func:`batch_member_footprint`
+      stays within a RAM-scale budget (``_BATCH_FOOTPRINT_BYTES``).
+      Feature slabs and structures multiply by ``B`` whatever the
+      layer formats, so an all-SpMM plan — which exerts no message
+      pressure at all — is still bounded: scaled social-graph sweeps
+      may pack, Table-IV-size ones stay per-graph.
+
+    Citation-scale members pack wholesale; a full-size Reddit member
+    exceeds both budgets on its own and the sweep stays unbatched
+    (``1``).  ``stats`` describes one representative member (sweep
+    members share a spec); ``formats`` / ``width_hook`` follow
+    :func:`choose_formats`.
+
+    Unlike :func:`choose_shards`, there is deliberately no ``fused``
+    relaxation: the fused kernel bounds the message working set, but
+    the footprint argument above applies to fused plans identically,
+    and the message term is what keeps a *borderline* unfused pack
+    from evicting the residency each member enjoyed alone.
+    """
+    if num_graphs <= 1:
+        return 1
+    ceiling = min(int(num_graphs), int(max_batch))
+    per_member = batch_member_bytes(dims, stats, formats=formats,
+                                    width_hook=width_hook)
+    if per_member > 0.0:
+        ceiling = min(ceiling, int(_SHARD_WORKING_SET_BYTES // per_member))
+    footprint = batch_member_footprint(stats)
+    if footprint > 0.0:
+        ceiling = min(ceiling, int(_BATCH_FOOTPRINT_BYTES // footprint))
+    return max(1, ceiling)
 
 
 def explain_choice(dims: Sequence[Tuple[int, int]], stats: GraphStats,

@@ -46,6 +46,15 @@ Two extensions ride on the fusion pass (:mod:`repro.plan.fusion`):
   (``SGEMM`` / ``Activation`` / constant-operand elementwise ops), so
   whole layers run inside a shard between merges — opt-in, see
   :class:`ShardingPolicy` for the exactness caveat.
+
+Batched multi-graph plans (:class:`~repro.plan.ir.BatchSegmentMap`)
+shard transparently: the packed graph is one block-diagonal workload,
+so shard ranges partition the *packed* node space and may split inside
+a member graph — which is fine, because the parity argument above is
+per-destination and never refers to graph boundaries.  The executor's
+segment-local ``SGEMM`` handling applies to the non-group ops of a
+sharded walk unchanged; only ``local_tails`` sub-plans run their tail
+``SGEMM`` over shard rows (the already-documented non-bitwise opt-in).
 """
 
 from __future__ import annotations

@@ -11,10 +11,20 @@ class TestParser:
             build_parser().parse_args([])
 
     def test_run_defaults(self):
+        # Unset flags stay None at the parser (sentinels, so a --config
+        # file is never clobbered by built-in defaults); the defaults
+        # resolve through SuiteConfig when the pipeline is built.
+        from repro.cli import _pipeline_from_args
         args = build_parser().parse_args(["run"])
-        assert args.model == "gcn"
-        assert args.dataset == "cora"
-        assert args.compute_model == "MP"
+        assert args.model is None
+        assert args.dataset is None
+        assert args.compute_model is None
+        pipeline = _pipeline_from_args(args)
+        assert pipeline.config.model == "gcn"
+        assert pipeline.config.dataset == "cora"
+        assert pipeline.config.compute_model == "MP"
+        # The namespace is backfilled for command output.
+        assert (args.model, args.dataset) == ("gcn", "cora")
 
     def test_compute_model_choices(self):
         with pytest.raises(SystemExit):

@@ -1,0 +1,165 @@
+#!/usr/bin/env python3
+"""Documentation checks: link integrity + doc code-snippet syntax.
+
+Two failure classes CI should catch before a reader does:
+
+* **Broken relative links** — every ``[text](target)`` markdown link
+  in the checked files whose target is not an URL or a pure anchor
+  must resolve to an existing file (anchors are stripped before the
+  existence check).
+* **Unparseable code snippets** — every fenced ```` ```python ````
+  block is extracted and byte-compiled (the ``compileall`` treatment,
+  in-process), so documented examples cannot drift into syntax errors.
+
+Checked files: ``README.md``, ``ROADMAP.md``, ``CHANGES.md`` and
+everything under ``docs/``.
+
+Usage::
+
+    python tools/check_docs.py            # exit 1 on any failure
+    python tools/check_docs.py --verbose  # list every link/snippet
+"""
+
+from __future__ import annotations
+
+import argparse
+import re
+import textwrap
+from pathlib import Path
+from typing import Iterator, List, Tuple
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+
+#: Markdown files under doc-check coverage, relative to the repo root.
+DOC_FILES = ("README.md", "ROADMAP.md", "CHANGES.md")
+DOC_TREES = ("docs",)
+
+#: ``[text](target)`` — good enough for the plain links these docs use
+#: (no nested brackets, no reference-style links).
+_LINK = re.compile(r"\[[^\]\[]*\]\(([^)\s]+)\)")
+
+#: Targets that are not files on this filesystem.
+_EXTERNAL = ("http://", "https://", "mailto:")
+
+
+def doc_paths() -> List[Path]:
+    paths = [REPO_ROOT / name for name in DOC_FILES
+             if (REPO_ROOT / name).is_file()]
+    for tree in DOC_TREES:
+        paths.extend(sorted((REPO_ROOT / tree).rglob("*.md")))
+    return paths
+
+
+def strip_fences(text: str) -> str:
+    """Drop fenced code blocks (any language) from markdown text.
+
+    Link checking must not parse code: ``handlers[name](path)`` inside
+    a snippet would otherwise read as a markdown link.
+    """
+    kept = []
+    in_fence = False
+    for line in text.splitlines():
+        if line.strip().startswith("```"):
+            in_fence = not in_fence
+            continue
+        if not in_fence:
+            kept.append(line)
+    return "\n".join(kept)
+
+
+def iter_links(text: str) -> Iterator[str]:
+    for match in _LINK.finditer(strip_fences(text)):
+        yield match.group(1)
+
+
+def check_links(path: Path, targets: List[str]) -> List[str]:
+    """Broken-relative-link messages for one file (empty = clean)."""
+    problems = []
+    for target in targets:
+        resolved = (path.parent / target.partition("#")[0]).resolve()
+        if not resolved.exists():
+            problems.append(
+                f"{path.relative_to(REPO_ROOT)}: broken link -> {target}")
+    return problems
+
+
+def iter_python_snippets(text: str) -> Iterator[Tuple[int, str]]:
+    """``(first line number, code)`` per fenced python block.
+
+    Blocks are dedented before being yielded, so examples nested in
+    markdown lists (indented fences) compile cleanly.
+    """
+    lines = text.splitlines()
+    block: List[str] = []
+    start = 0
+    in_python = False
+    for number, line in enumerate(lines, 1):
+        stripped = line.strip()
+        if not in_python and stripped in ("```python", "```py"):
+            in_python, start, block = True, number + 1, []
+        elif in_python and stripped == "```":
+            in_python = False
+            yield start, textwrap.dedent("\n".join(block))
+        elif in_python:
+            block.append(line)
+    if in_python:
+        # A silently dropped block would go unchecked forever.
+        raise SyntaxError(
+            f"unterminated ```python fence opened at line {start - 1}")
+
+
+def check_snippets(path: Path,
+                   snippets: List[Tuple[int, str]]) -> List[str]:
+    """Snippet syntax-error messages for one file (empty = clean)."""
+    problems = []
+    for lineno, code in snippets:
+        try:
+            compile(code, f"{path.relative_to(REPO_ROOT)}:{lineno}", "exec")
+        except SyntaxError as exc:
+            problems.append(
+                f"{path.relative_to(REPO_ROOT)}:{lineno}: snippet does "
+                f"not compile: {exc.msg} (line {exc.lineno})")
+    return problems
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--verbose", action="store_true",
+                        help="report every checked link and snippet")
+    args = parser.parse_args()
+
+    problems: List[str] = []
+    checked_links = 0
+    checked_snippets = 0
+    for path in doc_paths():
+        text = path.read_text(encoding="utf-8")
+        links = [t for t in iter_links(text)
+                 if not (t.startswith(_EXTERNAL) or t.startswith("#"))]
+        try:
+            snippets = list(iter_python_snippets(text))
+        except SyntaxError as exc:
+            snippets = []
+            problems.append(f"{path.relative_to(REPO_ROOT)}: {exc.msg}")
+        checked_links += len(links)
+        checked_snippets += len(snippets)
+        if args.verbose:
+            for target in links:
+                print(f"  link    {path.relative_to(REPO_ROOT)} "
+                      f"-> {target}")
+            for lineno, _ in snippets:
+                print(f"  snippet {path.relative_to(REPO_ROOT)}:{lineno}")
+        problems.extend(check_links(path, links))
+        problems.extend(check_snippets(path, snippets))
+
+    if problems:
+        print("DOC CHECK FAILURES:")
+        for problem in problems:
+            print(f"  {problem}")
+        return 1
+    print(f"docs ok: {len(doc_paths())} files, {checked_links} relative "
+          f"links, {checked_snippets} python snippets")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
