@@ -32,15 +32,24 @@ from repro.errors import GSuiteError
 __all__ = ["main", "build_parser"]
 
 
-def _parse_batch(value: str) -> int:
-    """``--batch`` values, via the shared vocabulary in
-    :func:`repro.core.config.parse_batch`."""
-    from repro.core.config import parse_batch
+def _knob_type(name: str):
+    """An argparse ``type`` for one shared tri-state knob
+    (:data:`repro.core.config.KNOBS`)."""
+    from repro.core.config import KNOBS
     from repro.errors import ConfigError
-    try:
-        return parse_batch(value)
-    except ConfigError as exc:
-        raise argparse.ArgumentTypeError(str(exc)) from None
+    knob = KNOBS[name]
+
+    def parse(value: str):
+        try:
+            return knob.parse(value)
+        except ConfigError as exc:
+            raise argparse.ArgumentTypeError(str(exc)) from None
+    parse.__name__ = name
+    return parse
+
+
+#: Historical alias (the ``--batch`` flag's original parser).
+_parse_batch = _knob_type("batch")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -80,10 +89,11 @@ def build_parser() -> argparse.ArgumentParser:
                        help="JSON config file with default parameters")
         p.add_argument("--repeats", type=int, default=None,
                        help="timing repeats (default 3)")
-        p.add_argument("--shards", type=int, default=None,
-                       help="destination-range plan shards: 0 lets the "
-                            "planner decide, 1 disables (default), K >= 2 "
-                            "forces K shards")
+        p.add_argument("--shards", type=_knob_type("shards"), default=None,
+                       metavar="auto|off|K",
+                       help="destination-range plan shards: 'auto' (or 0) "
+                            "lets the planner decide, 'off' (or 1, the "
+                            "default) disables, K >= 2 forces K shards")
         p.add_argument("--fuse", default=None,
                        choices=["auto", "off", "force"],
                        help="plan-level operator fusion: 'auto' lets the "
@@ -98,6 +108,14 @@ def build_parser() -> argparse.ArgumentParser:
                             "planner pick the packed sweep width, 'off' "
                             "(default) runs one graph, N >= 2 packs N "
                             "seed-variant graphs into one plan")
+        p.add_argument("--profile-costs", default=None,
+                       metavar="PATH|default|paper",
+                       help="planner cost constants: 'default' consults "
+                            "$GSUITE_COST_PROFILE then this host's "
+                            "calibrated profile then the paper values; "
+                            "'paper' forces the static Fig. 5 constants; "
+                            "a path loads that profile JSON (see "
+                            "'gsuite calibrate')")
 
     for name, help_text in (
             ("run", "run one inference pass"),
@@ -113,6 +131,30 @@ def build_parser() -> argparse.ArgumentParser:
 
     sub.add_parser("datasets", help="show the Table IV dataset registry")
     sub.add_parser("kernels", help="show the Table II kernel registry")
+
+    calibrate = sub.add_parser(
+        "calibrate",
+        help="fit this host's planner cost profile against the cycle "
+             "simulator, or (--check) replay planner decisions against "
+             "measured timings")
+    calibrate.add_argument("--profile", default="ci",
+                           help="benchmark size profile for the sweep / "
+                                "check cells (default ci)")
+    calibrate.add_argument("--out", default=None,
+                           help="where to write the fitted profile JSON "
+                                "(default results/calibration/"
+                                "<host>-<gpu>.json)")
+    calibrate.add_argument("--check", action="store_true",
+                           help="instead of fitting, replay planner "
+                                "decisions under the active cost profile "
+                                "against the measured-best choices in the "
+                                "trace cache; exit 1 on divergence below "
+                                "the paper profile's accuracy")
+    calibrate.add_argument("--profile-costs", default=None,
+                           metavar="PATH|default|paper",
+                           help="with --check: the cost profile to "
+                                "verify (default: the standard "
+                                "resolution order)")
 
     bench = sub.add_parser("bench", help="regenerate every paper table/figure")
     add_bench_arguments(bench)
@@ -132,7 +174,7 @@ _ARG_FIELDS = {
     "compute_model": "compute_model", "framework": "framework",
     "layers": "num_layers", "hidden": "hidden", "scale": "scale",
     "seed": "seed", "repeats": "repeats", "shards": "shards",
-    "fuse": "fuse", "batch": "batch",
+    "fuse": "fuse", "batch": "batch", "profile_costs": "profile_costs",
 }
 
 
@@ -226,49 +268,42 @@ def _cmd_profile(args) -> int:
 def _cmd_plan(args) -> int:
     pipeline = _pipeline_from_args(args)
     built = pipeline.build()
-    plan = getattr(built, "plan", None)
+    # One typed record of everything the build applied; the rendering
+    # below only formats it, so the report can't drift from execution.
+    decisions = pipeline.plan(built)
+    plan = decisions.execution_plan
     if plan is None:
         print(f"backend {args.framework!r} exposes no execution plan")
         return 1
-    formats = ", ".join(plan.layer_formats) or "n/a"
+    formats = ", ".join(decisions.formats) or "n/a"
     # The graph's name, not the dataset flag: a batched plan covers
     # the whole packed sweep (mirrors _cmd_time).
     print(f"{pipeline.figure_label()} {args.model} on "
           f"{pipeline.graph.name}: "
           f"{len(plan.ops)} ops, layer formats [{formats}]")
     print(f"fingerprint: {plan.fingerprint()[:16]}")
-    if getattr(built, "formats", None) is not None and plan.meta.get("dims"):
-        from repro.core.models import get_model_class
-        from repro.plan import GraphStats, explain_choice
-        print(explain_choice(plan.meta["dims"],
-                             GraphStats.from_graph(pipeline.graph),
-                             chosen=built.formats,
-                             width_hook=get_model_class(
-                                 args.model).aggregation_width))
-    # The batch map the plan actually carries (None = single-graph),
-    # read back from the lowered plan so the report can't drift.
-    size, source = pipeline.batch_decision()
+    print(pipeline.cost_profile().describe())
+    if decisions.formats_source == "planner" and decisions.explain:
+        print(decisions.explain)
+    # The batch map the plan actually carries (None = single-graph).
     if plan.batch is not None and plan.batch.num_graphs > 1:
-        print(f"batching: {plan.batch.describe()} ({source})")
-    elif source == "planner" and size <= 1:
+        print(f"batching: {plan.batch.describe()} "
+              f"({decisions.batch_source})")
+    elif decisions.batch_source == "planner" and decisions.batch <= 1:
         print("batching: off (planner declined — packed message "
               "working set or resident footprint past budget)")
     else:
         print("batching: off (1 graph; --batch auto lets the planner "
               "decide)")
-    # The fusion decision build() actually applied (None = unfused),
-    # read back from the built pipeline so the report can't drift.
     from repro.plan import describe_fusion
-    print(describe_fusion(plan, getattr(built, "fusion", None)))
-    # The policy build() chose and applied (None = unsharded), so the
-    # report can't drift from execution and nothing is recomputed.
-    policy = getattr(built, "sharding", None)
-    if policy is not None:
+    print(describe_fusion(plan, decisions.fusion))
+    if decisions.shards > 1:
         from repro.plan import find_shard_groups, shard_ranges
-        ranges = shard_ranges(pipeline.graph.num_nodes, policy.num_shards)
+        ranges = shard_ranges(pipeline.graph.num_nodes, decisions.shards)
         groups = find_shard_groups(plan)
         print(f"sharding: {len(ranges)} destination-range shards "
-              f"({policy.source}) over {len(groups)} aggregation op(s)")
+              f"({decisions.shards_source}) over {len(groups)} "
+              f"aggregation op(s)")
     elif args.shards != 1 and not built.can_shard():
         print(f"sharding: unavailable (backend {args.framework!r} does "
               f"not execute plans shardably)")
@@ -277,6 +312,16 @@ def _cmd_plan(args) -> int:
     print(format_table(("Step", "Op", "Operands", "Result"),
                        plan.describe(), title="Execution plan"))
     return 0
+
+
+def _cmd_calibrate(args) -> int:
+    from repro.plan.calibrate import run_calibration
+    return run_calibration(
+        profile_name=args.profile,
+        out_path=args.out,
+        check=args.check,
+        costs_selector=args.profile_costs,
+    )
 
 
 def _cmd_datasets(args) -> int:
@@ -325,6 +370,7 @@ _COMMANDS = {
     "simulate": _cmd_simulate,
     "profile": _cmd_profile,
     "plan": _cmd_plan,
+    "calibrate": _cmd_calibrate,
     "datasets": _cmd_datasets,
     "kernels": _cmd_kernels,
     "bench": _cmd_bench,

@@ -15,42 +15,104 @@ from __future__ import annotations
 import json
 from dataclasses import asdict, dataclass, fields, replace
 from pathlib import Path
-from typing import Optional
+from typing import Any, Optional, Tuple
 
 from repro.errors import ConfigError
 
-__all__ = ["SuiteConfig", "DEFAULTS", "parse_batch"]
+__all__ = ["SuiteConfig", "DEFAULTS", "KNOBS", "Knob", "parse_batch"]
+
+
+@dataclass(frozen=True)
+class Knob:
+    """One tri-state pipeline knob with the shared vocabulary.
+
+    Every plan-level knob (``shards``, ``fuse``, ``batch``) answers the
+    same three-way question — *planner decides* / *feature off* /
+    *explicit value* — and historically each grew its own parser with
+    its own spellings and error text.  A ``Knob`` is the one shared
+    parser: ``"auto"`` maps to :attr:`auto` (planner decides),
+    ``"off"`` maps to :attr:`off` (feature disabled), knob-specific
+    extra :attr:`spellings` keep old vocabularies working (``fuse
+    force``), and — when :attr:`integer` — plain integers pass through
+    (``shards 0/1/K`` stay valid, so existing configs never break).
+    Everything else refuses with one uniform
+    :class:`~repro.errors.ConfigError` shape.
+    """
+
+    name: str
+    auto: Any                 # canonical value "auto" parses to
+    off: Any                  # canonical value "off" parses to
+    #: Extra accepted ``(spelling, canonical value)`` pairs.
+    spellings: Tuple[Tuple[str, Any], ...] = ()
+    integer: bool = True      # whether plain integers are accepted
+    minimum: int = 0          # smallest accepted integer
+
+    def vocabulary(self) -> str:
+        """The accepted spellings, rendered for error messages."""
+        options = ["'auto'", "'off'"]
+        options += [f"'{spelling}'" for spelling, _ in self.spellings]
+        if self.integer:
+            options.append("an integer")
+        return ", ".join(options[:-1]) + f" or {options[-1]}"
+
+    def _refuse(self, value) -> ConfigError:
+        return ConfigError(
+            f"{self.name} must be {self.vocabulary()}, got {value!r}")
+
+    def parse(self, value):
+        """Parse one knob value, refusing anything off-vocabulary."""
+        if isinstance(value, bool):
+            # bool is an int subclass: {"batch": false} would silently
+            # coerce to 0 = planner auto — the opposite of the likely
+            # intent.  Demand the explicit vocabulary instead.
+            raise self._refuse(value)
+        if isinstance(value, str):
+            lowered = value.strip().lower()
+            if lowered == "auto":
+                return self.auto
+            if lowered == "off":
+                return self.off
+            for spelling, canonical in self.spellings:
+                if lowered == spelling:
+                    return canonical
+            if not self.integer:
+                raise self._refuse(value)
+        elif not self.integer:
+            raise self._refuse(value)
+        try:
+            coerced = int(value)
+        except (TypeError, ValueError):
+            raise self._refuse(value) from None
+        if not isinstance(value, str) and coerced != value:
+            raise self._refuse(value)  # non-integral number, e.g. 4.5
+        if coerced < self.minimum:
+            raise ConfigError(
+                f"{self.name} must be >= {self.minimum} "
+                f"({self.auto!r} = planner decides), got {value!r}")
+        return coerced
+
+
+#: The three plan-level knobs, one vocabulary each.  ``shards`` and
+#: ``batch`` canonicalise to the historical integer encoding (0 =
+#: planner auto, 1 = off, K >= 2 explicit); ``fuse`` keeps its string
+#: values with ``"force"`` as the knob-specific third state.
+KNOBS = {
+    "shards": Knob("shards", auto=0, off=1),
+    "fuse": Knob("fuse", auto="auto", off="off",
+                 spellings=(("force", "force"),), integer=False),
+    "batch": Knob("batch", auto=0, off=1),
+}
 
 
 def parse_batch(value) -> int:
-    """The one ``batch`` vocabulary: ``auto`` -> 0, ``off`` -> 1, else int.
+    """The ``batch`` vocabulary: ``auto`` -> 0, ``off`` -> 1, else int.
 
-    Shared by the CLI flag parser and :class:`SuiteConfig`'s config-file
-    coercion so the two spellings can never diverge.  Raises
+    Kept as the historical entry point; delegates to the shared
+    :data:`KNOBS` parser so the CLI flag and :class:`SuiteConfig`'s
+    config-file coercion can never diverge.  Raises
     :class:`~repro.errors.ConfigError` on anything else.
     """
-    if isinstance(value, bool):
-        # bool is an int subclass: {"batch": false} would silently
-        # coerce to 0 = planner auto — the opposite of the likely
-        # intent.  Demand the explicit vocabulary instead.
-        raise ConfigError(
-            f"batch must be 'auto', 'off' or an integer, got {value!r}"
-        )
-    if isinstance(value, str):
-        spelled = {"auto": 0, "off": 1}.get(value.strip().lower())
-        if spelled is not None:
-            return spelled
-    try:
-        coerced = int(value)
-    except (TypeError, ValueError):
-        raise ConfigError(
-            f"batch must be 'auto', 'off' or an integer, got {value!r}"
-        ) from None
-    if not isinstance(value, str) and coerced != value:
-        raise ConfigError(  # non-integral number, e.g. 4.5
-            f"batch must be 'auto', 'off' or an integer, got {value!r}"
-        )
-    return coerced
+    return KNOBS["batch"].parse(value)
 
 
 @dataclass(frozen=True)
@@ -83,6 +145,12 @@ class SuiteConfig:
                                   # decides the packed sweep width ("auto"),
                                   # 1 = single-graph ("off"), B >= 2 = pack
                                   # B seed-variant graphs into one plan
+    profile_costs: str = "default"  # planner cost constants: "default"
+                                  # (env var > this host's calibrated
+                                  # profile > paper), "paper" (static
+                                  # Fig. 5 constants), or the path of a
+                                  # profile JSON written by
+                                  # `gsuite calibrate`
 
     def __post_init__(self):
         if self.num_layers < 1:
@@ -99,24 +167,19 @@ class SuiteConfig:
             raise ConfigError(f"repeats must be >= 1, got {self.repeats}")
         if self.sample_cap < 1:
             raise ConfigError(f"sample_cap must be >= 1, got {self.sample_cap}")
-        if self.shards < 0:
-            raise ConfigError(
-                f"shards must be >= 0 (0 = planner decides), got {self.shards}"
-            )
         # Config files may use the CLI's vocabulary ("auto"/"off")
         # directly; numbers coerce to int (non-integral ones refuse).
-        object.__setattr__(self, "batch", parse_batch(self.batch))
-        if self.batch < 0:
-            raise ConfigError(
-                f"batch must be >= 0 (0 = planner decides), got {self.batch}"
-            )
+        # One shared parser per knob keeps spellings and errors uniform.
+        for name, knob in KNOBS.items():
+            object.__setattr__(self, name, knob.parse(getattr(self, name)))
         if self.compute_model not in ("MP", "SpMM"):
             raise ConfigError(
                 f"compute_model must be 'MP' or 'SpMM', got {self.compute_model!r}"
             )
-        if self.fuse not in ("auto", "off", "force"):
+        if not isinstance(self.profile_costs, str) or not self.profile_costs:
             raise ConfigError(
-                f"fuse must be 'auto', 'off' or 'force', got {self.fuse!r}"
+                f"profile_costs must be 'default', 'paper' or a profile "
+                f"path, got {self.profile_costs!r}"
             )
 
     # -- construction helpers ----------------------------------------------

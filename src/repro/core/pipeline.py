@@ -58,6 +58,7 @@ class GNNPipeline:
         self._explicit_graph = graph is not None
         self._batch_decision = None
         self._graph_stats = None
+        self._cost_profile = None
         self._backend: Backend = get_backend(config.framework)
         out_features = config.out_features
         if out_features is None:
@@ -81,8 +82,25 @@ class GNNPipeline:
         return cls(SuiteConfig.from_dict(params))
 
     # -- data ---------------------------------------------------------------
+    def cost_profile(self):
+        """The active planner :class:`~repro.plan.costprofile.CostProfile`.
+
+        Resolved once from ``config.profile_costs`` (*explicit path >
+        ``GSUITE_COST_PROFILE`` env var > this host's calibrated default
+        file > paper constants* — see
+        :func:`repro.plan.costprofile.resolve_cost_profile`) and passed
+        to every planner gate this pipeline consults, so one build can
+        never mix constants from two profiles.
+        """
+        if self._cost_profile is None:
+            from repro.plan.costprofile import resolve_cost_profile
+            self._cost_profile = resolve_cost_profile(
+                self.config.profile_costs)
+        return self._cost_profile
+
     def batch_decision(self):
-        """The resolved batched-plan decision: ``(size, source)``.
+        """The resolved batched-plan decision: a
+        :class:`~repro.plan.planner.BatchDecision` ``(size, source)``.
 
         ``source`` is ``"off"`` (single-graph), ``"forced"``
         (``config.batch >= 2``), ``"planner"`` (``config.batch == 0``:
@@ -92,17 +110,19 @@ class GNNPipeline:
         explicitly supplied :class:`~repro.graph.BatchedGraph`
         workload, whose membership wins over the config).
         """
+        from repro.plan.planner import BatchDecision
         if self._batch_decision is not None:
             return self._batch_decision
         if self._explicit_graph:
             if isinstance(self._graph, BatchedGraph):
-                self._batch_decision = (self._graph.num_graphs, "graph")
+                self._batch_decision = BatchDecision(self._graph.num_graphs,
+                                                     "graph")
             else:
-                self._batch_decision = (1, "off")
+                self._batch_decision = BatchDecision(1, "off")
         elif self.config.batch == 1:
-            self._batch_decision = (1, "off")
+            self._batch_decision = BatchDecision(1, "off")
         elif self.config.batch >= 2:
-            self._batch_decision = (self.config.batch, "forced")
+            self._batch_decision = BatchDecision(self.config.batch, "forced")
         else:  # 0 = auto: estimate from the spec, like the format planner
             from repro.core.models import get_model_class
             from repro.core.models.base import layer_dimensions
@@ -119,6 +139,7 @@ class GNNPipeline:
             dims = layer_dimensions(spec.feature_length, self.spec.hidden,
                                     self.spec.out_features,
                                     self.spec.num_layers)
+            profile = self.cost_profile()
             if getattr(self._backend, "name", "") == "gsuite-adaptive":
                 # The adaptive backend will pick its own per-layer
                 # formats; price the batch the same way, so an
@@ -128,13 +149,14 @@ class GNNPipeline:
                     or cls.supported_compute_models
                 formats = list(choose_formats(
                     dims, stats, allowed=allowed,
-                    width_hook=cls.aggregation_width))
+                    width_hook=cls.aggregation_width,
+                    profile=profile))
             else:
                 formats = [self.spec.compute_model] * len(dims)
             chosen = choose_batching(
                 AUTO_BATCH_SWEEP, dims, stats, formats=formats,
-                width_hook=cls.aggregation_width)
-            self._batch_decision = (chosen, "planner")
+                width_hook=cls.aggregation_width, profile=profile)
+            self._batch_decision = BatchDecision(chosen, "planner")
         return self._batch_decision
 
     @property
@@ -217,7 +239,8 @@ class GNNPipeline:
             else [self.spec.compute_model] * len(dims)
         policy = choose_fusion(dims, self.graph_stats(),
                                formats=formats,
-                               width_hook=cls.aggregation_width)
+                               width_hook=cls.aggregation_width,
+                               profile=self.cost_profile())
         return policy if policy.enabled else None
 
     def sharding_policy(self, layer_formats=None, fused=False):
@@ -259,7 +282,8 @@ class GNNPipeline:
             dims, self.graph_stats(),
             formats=formats,
             width_hook=cls.aggregation_width,
-            fused=fused)
+            fused=fused,
+            profile=self.cost_profile())
         if chosen <= 1:
             return None
         return ShardingPolicy(num_shards=chosen, source="planner")
@@ -273,7 +297,8 @@ class GNNPipeline:
         cache entries.
         """
         from dataclasses import replace
-        built = self._backend.build(self.spec, self.graph)
+        built = self._backend.build(self.spec, self.graph,
+                                    cost_profile=self.cost_profile())
         plan = getattr(built, "plan", None)
         fusion = self.fusion_policy(plan)
         if fusion is not None:
@@ -306,14 +331,57 @@ class GNNPipeline:
             policy = replace(policy, use_cache=False)
         return built.configure_sharding(policy)
 
-    def plan(self):
-        """The lowered :class:`~repro.plan.ir.ExecutionPlan`.
+    def plan(self, built=None):
+        """Every decision the planner took, as one typed record.
 
-        Every backend lowers onto the shared IR; this builds the
-        pipeline and returns its plan (``None`` for a hypothetical
-        backend that bypasses the plan layer).
+        Builds the pipeline (or inspects a ``built`` one from
+        :meth:`build`) and returns a
+        :class:`~repro.plan.planner.PlannerDecisions`: per-layer
+        formats, shard count, fusion policy, batch size, the cost
+        profile they were priced under and the explain strings, with
+        the lowered :class:`~repro.plan.ir.ExecutionPlan` on
+        ``.execution_plan`` (``None`` for a backend that bypasses the
+        plan layer).  ``gsuite plan`` and the calibration regression
+        gate both render from this record, so reports can never drift
+        from what the build actually applied.
         """
-        return getattr(self.build(), "plan", None)
+        from repro.plan import fusion_summary
+        from repro.plan.planner import PlannerDecisions, explain_choice
+        if built is None:
+            built = self.build()
+        plan = getattr(built, "plan", None)
+        formats = tuple(plan.layer_formats) if plan is not None else ()
+        # The adaptive backend chose its formats; the fixed backends
+        # execute the spec's compute model as given.
+        formats_source = "planner" \
+            if getattr(built, "formats", None) is not None else "fixed"
+        sharding = getattr(built, "sharding", None)
+        fusion = getattr(built, "fusion", None)
+        fused_sites = dict(fusion_summary(plan)) \
+            if fusion is not None and plan is not None else {}
+        batch = self.batch_decision()
+        explain = ""
+        if plan is not None and plan.meta.get("dims"):
+            from repro.core.models import get_model_class
+            explain = explain_choice(
+                plan.meta["dims"], self.graph_stats(),
+                chosen=formats,
+                width_hook=get_model_class(
+                    self.config.model).aggregation_width,
+                profile=self.cost_profile())
+        return PlannerDecisions(
+            formats=formats,
+            formats_source=formats_source,
+            shards=sharding.num_shards if sharding is not None else 1,
+            shards_source=sharding.source if sharding is not None else "off",
+            fusion=fusion,
+            fused_sites=fused_sites,
+            batch=batch.size,
+            batch_source=batch.source,
+            cost_profile=self.cost_profile().name,
+            explain=explain,
+            execution_plan=plan,
+        )
 
     def run(self, features: Optional[np.ndarray] = None) -> np.ndarray:
         """Build and execute one inference pass.

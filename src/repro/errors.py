@@ -47,3 +47,7 @@ class SimulationError(GSuiteError):
 
 class PlanError(GSuiteError):
     """An execution plan is malformed or was executed with bad bindings."""
+
+
+class CalibrationError(GSuiteError):
+    """A cost profile could not be loaded, fitted or verified."""

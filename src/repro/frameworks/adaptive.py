@@ -39,7 +39,8 @@ from repro.plan import (
 __all__ = ["AdaptiveBackend"]
 
 
-def plan_formats(spec: PipelineSpec, graph: Graph, model=None):
+def plan_formats(spec: PipelineSpec, graph: Graph, model=None,
+                 cost_profile=None):
     """The per-layer formats the planner selects for one pipeline.
 
     ``model`` lets callers that already constructed the reference model
@@ -47,13 +48,16 @@ def plan_formats(spec: PipelineSpec, graph: Graph, model=None):
     hook bounds the choice (the same validation :meth:`lower` applies)
     and its :meth:`~repro.core.models.base.GNNModel.aggregation_width`
     hook calibrates the per-layer cost widths (GCN's transform-first MP
-    path aggregates at the *output* width).
+    path aggregates at the *output* width).  ``cost_profile`` is the
+    :class:`~repro.plan.costprofile.CostProfile` to price with (``None``
+    = the paper constants).
     """
     if model is None:
         model = _reference_model(spec, graph)
     return choose_formats(model.dims, GraphStats.from_graph(graph),
                           allowed=model.supported_lowerings(),
-                          width_hook=model.aggregation_width)
+                          width_hook=model.aggregation_width,
+                          profile=cost_profile)
 
 
 def _reference_model(spec: PipelineSpec, graph: Graph):
@@ -72,10 +76,11 @@ def _reference_model(spec: PipelineSpec, graph: Graph):
 
 
 class _AdaptivePipeline(BuiltPipeline):
-    def __init__(self, spec: PipelineSpec, graph: Graph):
+    def __init__(self, spec: PipelineSpec, graph: Graph, cost_profile=None):
         super().__init__("gSuite-Adaptive", spec, graph)
         self._model = _reference_model(spec, graph)
-        self.formats = plan_formats(spec, graph, model=self._model)
+        self.formats = plan_formats(spec, graph, model=self._model,
+                                    cost_profile=cost_profile)
         try:
             self.plan = cached_plan(
                 "adaptive", spec, graph,
@@ -99,10 +104,14 @@ class AdaptiveBackend(Backend):
     name = "gsuite-adaptive"
     supported_compute_models = ("MP", "SpMM")
 
-    def build(self, spec: PipelineSpec, graph: Graph) -> BuiltPipeline:
+    def build(self, spec: PipelineSpec, graph: Graph,
+              cost_profile=None) -> BuiltPipeline:
         # The spec's compute_model is advisory here: the planner owns
         # the decision, so any spec is accepted (like the DGL path).
-        return _AdaptivePipeline(spec, graph)
+        # The chosen formats flow into the plan-cache key via `extra`,
+        # so two profiles that decide differently can never share a
+        # cached plan.
+        return _AdaptivePipeline(spec, graph, cost_profile=cost_profile)
 
     def figure_label(self, spec: PipelineSpec) -> str:
         return "gSuite-Adaptive"

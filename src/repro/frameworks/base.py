@@ -156,8 +156,16 @@ class Backend:
     name: str = "base"
     supported_compute_models = ("MP", "SpMM")
 
-    def build(self, spec: PipelineSpec, graph: Graph) -> BuiltPipeline:
-        """Construct a pipeline for ``spec`` over ``graph``."""
+    def build(self, spec: PipelineSpec, graph: Graph,
+              cost_profile=None) -> BuiltPipeline:
+        """Construct a pipeline for ``spec`` over ``graph``.
+
+        ``cost_profile`` is the planner's
+        :class:`~repro.plan.costprofile.CostProfile` (``None`` = the
+        paper constants).  Only backends that *plan* consume it — the
+        adaptive path prices its per-layer format choice with it; the
+        fixed paths execute the spec as given and ignore it.
+        """
         raise NotImplementedError
 
     def check_spec(self, spec: PipelineSpec) -> None:

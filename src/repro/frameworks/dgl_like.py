@@ -153,7 +153,8 @@ class DGLLikeBackend(Backend):
     name = "DGL"
     supported_compute_models = ("SpMM",)
 
-    def build(self, spec: PipelineSpec, graph: Graph) -> BuiltPipeline:
+    def build(self, spec: PipelineSpec, graph: Graph,
+              cost_profile=None) -> BuiltPipeline:
         # DGL accepts every model here (its convs are all SpMM-realised);
         # the spec's compute_model is interpreted rather than enforced,
         # because the paper runs DGL on GCN/GIN/SAG alike.

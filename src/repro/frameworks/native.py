@@ -56,7 +56,8 @@ class NativeBackend(Backend):
     name = "gsuite"
     supported_compute_models = ("MP", "SpMM")
 
-    def build(self, spec: PipelineSpec, graph: Graph) -> BuiltPipeline:
+    def build(self, spec: PipelineSpec, graph: Graph,
+              cost_profile=None) -> BuiltPipeline:
         self.check_spec(spec)
         return _NativePipeline(self.figure_label(spec), spec, graph)
 

@@ -334,6 +334,7 @@ class PyGLikeBackend(Backend):
     name = "PyG"
     supported_compute_models = ("MP",)
 
-    def build(self, spec: PipelineSpec, graph: Graph) -> BuiltPipeline:
+    def build(self, spec: PipelineSpec, graph: Graph,
+              cost_profile=None) -> BuiltPipeline:
         self.check_spec(spec)
         return _PyGLikePipeline(spec, graph)

@@ -21,7 +21,15 @@ full dataflow):
     :func:`choose_fusion` (which fusion patterns pay),
     :func:`choose_shards` (destination-range shard count) and
     :func:`choose_batching` (packed sweep width).  All four consume
-    the same :class:`GraphStats` and per-kernel cost constants.
+    the same :class:`GraphStats` and the same :class:`CostProfile` of
+    planner constants.
+:mod:`~repro.plan.costprofile`
+    :class:`CostProfile` — the versioned, persistable set of planner
+    cost constants (``CostProfile.paper()`` is the static default;
+    :func:`resolve_cost_profile` implements the *path > env > default
+    file > paper* precedence) — and :mod:`~repro.plan.calibrate`,
+    the ``gsuite calibrate`` sweep that fits one against the cycle
+    simulator and this host's measured budgets.
 :mod:`~repro.plan.fusion`
     :func:`fuse_plan`, the liveness/single-consumer rewrite merging
     gather+scatter pairs, SGEMM epilogues and elementwise chains, with
@@ -64,9 +72,19 @@ from repro.plan.ir import (
     SpMM,
     ValueRef,
 )
+from repro.plan.costprofile import (
+    CostProfile,
+    PROFILE_SCHEMA_VERSION,
+    calibration_dir,
+    default_profile_path,
+    host_key,
+    resolve_cost_profile,
+)
 from repro.plan.lowering import cached_plan, graph_signature
 from repro.plan.planner import (
+    BatchDecision,
     GraphStats,
+    PlannerDecisions,
     batch_member_bytes,
     batch_member_footprint,
     choose_batching,
@@ -91,7 +109,9 @@ from repro.plan.sharding import (
 
 __all__ = [
     "Activation",
+    "BatchDecision",
     "BatchSegmentMap",
+    "CostProfile",
     "Elementwise",
     "ExecutionPlan",
     "FORMATS",
@@ -102,8 +122,10 @@ __all__ = [
     "GraphStats",
     "NORMALIZE_KINDS",
     "Normalize",
+    "PROFILE_SCHEMA_VERSION",
     "PlanBuilder",
     "PlanExecutor",
+    "PlannerDecisions",
     "SGEMM",
     "ScatterReduce",
     "ShardDispatcher",
@@ -115,10 +137,12 @@ __all__ = [
     "batch_member_footprint",
     "build_shard_subplan",
     "cached_plan",
+    "calibration_dir",
     "choose_batching",
     "choose_formats",
     "choose_fusion",
     "choose_shards",
+    "default_profile_path",
     "describe_fusion",
     "explain_choice",
     "find_shard_groups",
@@ -126,9 +150,11 @@ __all__ = [
     "fusion_gain",
     "fusion_summary",
     "graph_signature",
+    "host_key",
     "legacy_trace",
     "mp_layer_cost",
     "register_normalize",
+    "resolve_cost_profile",
     "shard_ranges",
     "shard_setup_cost",
     "spmm_layer_cost",

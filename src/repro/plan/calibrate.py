@@ -1,0 +1,570 @@
+"""``gsuite calibrate`` — fit this host's planner cost profile.
+
+The planner's gates (:mod:`repro.plan.planner`) price work from a
+:class:`~repro.plan.costprofile.CostProfile` of constants that ship as
+the paper's static Fig. 5 values.  This module replaces them with
+*measured* ones, in two stages:
+
+**Fit** (:func:`fit_profile`).  A sweep of synthetic micro-workloads —
+power-law graphs spanning the degree / width / skew regimes the
+planner discriminates on — drives each aggregation kernel
+(``indexSelect``, ``scatter``, ``spmm``, ``SpGEMM`` and the fused
+gather+scatter) through the instrumentation layer, and every recorded
+launch is replayed on the deterministic cycle simulator
+(:class:`~repro.gpu.simulator.GpuSimulator`).  The planner's cost
+shapes are linear in their constants, so each constant falls out of an
+ordinary least-squares fit of simulated cycles against the model's
+regressors:
+
+* ``cycles = unit * elements * lane + overhead`` per kernel gives the
+  per-element units and the launch overhead (the shared intercept);
+* scatter's two-term shape ``unit * x * (1 + w * log1p(skew))`` is
+  linear in ``(unit, unit * w)``, giving the contention weight;
+* SpMM's ``unit * (E + r * V) * f * lane`` is linear in
+  ``(unit, unit * r)``, giving the row-traversal overhead;
+* the fused kernel's measured saving against the separate pair,
+  plugged back into :func:`~repro.plan.planner.fusion_gain`, solves
+  for the destination-partition unit.
+
+The cache/footprint budgets come from the host itself (last-level
+cache size from sysfs, memory from ``/proc/meminfo``).  Every fitted
+constant is validated; anything non-finite or non-positive falls back
+to the paper value and the fallback is recorded in the profile's
+``fit`` diagnostics — a calibration can degrade *gracefully* but never
+silently.
+
+**Check** (:func:`check_decisions`, CLI ``gsuite calibrate --check``).
+The regression gate replays the planner's MP-vs-SpMM preference under
+the active profile against the *measured-best* side of the cached
+Fig. 3 wall-clock grid (``repro.bench.common.measured_times`` — the
+same trace-cache entries warm benchmark runs read).  A calibrated
+profile must match at least as many measured-best decisions as the
+paper profile, otherwise the gate fails — so a bad fit can never land
+silently either.
+
+Profiles persist as JSON under ``results/calibration/`` keyed by host
+and GPU config (:func:`repro.plan.costprofile.default_profile_path`)
+and load at pipeline-build time via ``--profile-costs`` /
+``SuiteConfig.profile_costs``.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from datetime import datetime, timezone
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.kernels.launch import WARP_SIZE
+from repro.plan.costprofile import (
+    CostProfile,
+    default_profile_path,
+    host_key,
+)
+
+__all__ = [
+    "CheckCell",
+    "MicroCell",
+    "check_decisions",
+    "fit_profile",
+    "host_budgets",
+    "micro_cells",
+    "run_calibration",
+]
+
+
+# ---------------------------------------------------------------------------
+# The micro-workload sweep
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class MicroCell:
+    """One synthetic calibration workload.
+
+    ``num_nodes`` / ``avg_degree`` / ``degree_exponent`` shape the
+    graph; ``feature_width`` the dense operand.  Cells span the regimes
+    the planner discriminates on: sparse vs dense rows (the SpMM
+    row-overhead crossover), narrow vs wide features (the lane
+    penalty), flat vs heavy-tailed degrees (scatter contention).
+    """
+
+    num_nodes: int
+    avg_degree: int
+    feature_width: int
+    degree_exponent: float
+
+    @property
+    def num_edges(self) -> int:
+        return self.num_nodes * self.avg_degree
+
+
+#: The default sweep.  Small enough for CI (the largest cell gathers
+#: ~4M elements), wide enough that every fitted constant sees variation
+#: in its own regressor: degree spans the row-overhead crossover,
+#: width spans the warp, the two exponents separate contention.
+_SWEEP: Tuple[MicroCell, ...] = tuple(
+    MicroCell(num_nodes=v, avg_degree=d, feature_width=f, degree_exponent=g)
+    for (v, d) in ((2000, 2), (2000, 8), (2000, 32), (4000, 16))
+    for f in (4, 64)
+    for g in (2.2, 3.0)
+)
+
+#: The fused-kernel probe: big enough that the per-edge message matrix
+#: (``4 * E * f`` bytes) clearly exceeds twice the streaming block, so
+#: the fused path actually blocks and the partition cost is observable.
+_FUSE_CELL = MicroCell(num_nodes=4000, avg_degree=32, feature_width=32,
+                       degree_exponent=2.5)
+
+
+def micro_cells(profile_name: str = "ci") -> Tuple[MicroCell, ...]:
+    """The sweep cells for one bench size profile.
+
+    The ``ci`` profile keeps the 2000-node cells — still spanning every
+    degree, width and skew regime (the fits need variation in each
+    regressor), at a few seconds of wall clock; ``full`` adds the
+    larger graphs.
+    """
+    if profile_name == "full":
+        return _SWEEP
+    kept = tuple(cell for cell in _SWEEP if cell.num_nodes <= 2000)
+    return kept if len(kept) >= 8 else _SWEEP
+
+
+def _cell_graph(cell: MicroCell):
+    """Materialise one cell's graph (featureless; X is synthesised)."""
+    from repro.datasets.specs import DatasetSpec
+    from repro.datasets.synthetic import generate_graph
+    spec = DatasetSpec(
+        name=f"calib-v{cell.num_nodes}-d{cell.avg_degree}"
+             f"-g{cell.degree_exponent}",
+        short_form="CB",
+        num_nodes=cell.num_nodes,
+        feature_length=cell.feature_width,
+        num_edges=cell.num_edges,
+        degree_exponent=cell.degree_exponent,
+        feature_style="dense",
+        locality=0.5,
+        num_classes=2,
+    )
+    return generate_graph(spec, seed=0, with_features=False)
+
+
+def _lane(width: int) -> float:
+    return WARP_SIZE / min(WARP_SIZE, max(1, width))
+
+
+def _simulated_cycles(simulator, launches) -> Dict[str, float]:
+    """Total estimated cycles per kernel name for one recorded pass."""
+    totals: Dict[str, float] = {}
+    for result in simulator.simulate_all(launches):
+        totals[result.kernel] = (totals.get(result.kernel, 0.0)
+                                 + result.estimated_total_cycles)
+    return totals
+
+
+def _sweep_samples(cells: Sequence[MicroCell], simulator):
+    """Run the micro-kernels over ``cells``; one regressor row per cell.
+
+    Returns a dict of per-kernel ``(X, y)`` sample lists ready for the
+    least-squares fits.
+    """
+    from repro.core.kernels import record_launches
+    from repro.core.kernels.index_select import index_select
+    from repro.core.kernels.scatter import scatter
+    from repro.core.kernels.sparse import spgemm, spmm
+    from repro.plan.planner import GraphStats
+
+    samples: Dict[str, List[Tuple[List[float], float]]] = {
+        "gather": [], "scatter": [], "spmm": [], "spgemm": [],
+    }
+    for cell in cells:
+        graph = _cell_graph(cell)
+        stats = GraphStats.from_graph(graph)
+        rng = np.random.default_rng(0)
+        x = rng.standard_normal(
+            (cell.num_nodes, cell.feature_width)).astype(np.float32)
+        lane = _lane(cell.feature_width)
+        elements = float(cell.num_edges) * cell.feature_width
+
+        with record_launches() as recorder:
+            messages = index_select(x, graph.src, tag="calib")
+            scatter(messages, graph.dst, dim_size=cell.num_nodes,
+                    tag="calib")
+            adjacency = graph.adjacency_csr()
+            spmm(adjacency, x, tag="calib")
+            if cell.avg_degree <= 8:
+                # SpGEMM's partial-product expansion grows with E^2/V;
+                # the sparse cells bound the calibration's runtime while
+                # still spanning an order of magnitude in E + V.
+                spgemm(adjacency, adjacency, tag="calib")
+        cycles = _simulated_cycles(simulator, recorder.launches)
+
+        samples["gather"].append(
+            ([elements * lane, 1.0], cycles["indexSelect"]))
+        samples["scatter"].append(
+            ([elements * lane,
+              elements * lane * math.log1p(stats.degree_skew)],
+             cycles["scatter"]))
+        samples["spmm"].append(
+            ([float(cell.num_edges) * cell.feature_width * lane,
+              float(cell.num_nodes) * cell.feature_width * lane],
+             cycles["spmm"]))
+        if "SpGEMM" in cycles:
+            samples["spgemm"].append(
+                ([float(cell.num_edges + cell.num_nodes), 1.0],
+                 cycles["SpGEMM"]))
+    return samples
+
+
+def _lstsq(rows: Sequence[Tuple[List[float], float]]) -> np.ndarray:
+    matrix = np.array([r[0] for r in rows], dtype=np.float64)
+    target = np.array([r[1] for r in rows], dtype=np.float64)
+    coeffs, *_ = np.linalg.lstsq(matrix, target, rcond=None)
+    return coeffs
+
+
+def _fused_partition_unit(simulator, launch_overhead: float,
+                          fuse_block_bytes: int) -> Tuple[float, float]:
+    """Solve the destination-partition unit from the fused probe.
+
+    Measures the fused kernel against the separate gather+scatter pair
+    on :data:`_FUSE_CELL` and inverts
+    :func:`~repro.plan.planner.fusion_gain` for the one unknown.
+    Returns ``(unit, measured_gain_cycles)``; the unit is ``nan`` when
+    the probe degenerates (caller falls back to the paper value).
+    """
+    from repro.core.kernels import record_launches
+    from repro.core.kernels.index_select import index_select
+    from repro.core.kernels.scatter import scatter
+    from repro.core.kernels.sparse import fused_gather_scatter
+
+    cell = _FUSE_CELL
+    graph = _cell_graph(cell)
+    rng = np.random.default_rng(0)
+    x = rng.standard_normal(
+        (cell.num_nodes, cell.feature_width)).astype(np.float32)
+
+    with record_launches() as rec_pair:
+        messages = index_select(x, graph.src, tag="calib")
+        scatter(messages, graph.dst, dim_size=cell.num_nodes, tag="calib")
+    with record_launches() as rec_fused:
+        fused_gather_scatter(x, graph.src, graph.dst,
+                             dim_size=cell.num_nodes, tag="calib")
+    pair = sum(_simulated_cycles(simulator, rec_pair.launches).values())
+    fused = sum(_simulated_cycles(simulator, rec_fused.launches).values())
+    measured_gain = pair - fused
+
+    elements = float(cell.num_edges) * cell.feature_width
+    intermediate = 4.0 * elements
+    blocks = math.log2(max(2.0, intermediate / fuse_block_bytes))
+    denominator = float(cell.num_edges) * blocks
+    if denominator <= 0:
+        return float("nan"), measured_gain
+    saved_traffic = 2.0 * elements * _lane(cell.feature_width)
+    unit = (saved_traffic + launch_overhead - measured_gain) / denominator
+    return unit, measured_gain
+
+
+# ---------------------------------------------------------------------------
+# Host budgets
+# ---------------------------------------------------------------------------
+
+def host_budgets() -> Dict[str, Optional[int]]:
+    """Measured cache/memory budgets of the executing host.
+
+    ``llc_bytes`` is the last-level-cache size (sysfs; the shard
+    working-set target), ``memory_bytes`` total RAM (``/proc/meminfo``;
+    bounds the batch footprint).  Either is ``None`` when the host does
+    not expose it (macOS, containers) — callers fall back to the paper
+    budgets.
+    """
+    llc = None
+    cache_dir = Path("/sys/devices/system/cpu/cpu0/cache")
+    if cache_dir.is_dir():
+        for index in sorted(cache_dir.glob("index*"), reverse=True):
+            try:
+                size = (index / "size").read_text().strip()
+            except OSError:
+                continue
+            scale = {"K": 1024, "M": 1024 ** 2, "G": 1024 ** 3}.get(
+                size[-1:].upper())
+            if scale and size[:-1].isdigit():
+                llc = int(size[:-1]) * scale
+                break
+    memory = None
+    try:
+        for line in Path("/proc/meminfo").read_text().splitlines():
+            if line.startswith("MemTotal:"):
+                memory = int(line.split()[1]) * 1024
+                break
+    except OSError:
+        pass
+    return {"llc_bytes": llc, "memory_bytes": memory}
+
+
+# ---------------------------------------------------------------------------
+# The fit
+# ---------------------------------------------------------------------------
+
+def fit_profile(profile_name: str = "ci", gpu_config=None,
+                cells: Optional[Sequence[MicroCell]] = None) -> CostProfile:
+    """Calibrate a :class:`CostProfile` on this host.
+
+    Every constant that fails its sanity check falls back to the paper
+    value; the ``fit`` diagnostics record sample counts, the measured
+    fusion gain and one ``fallback_*`` flag per constant (1.0 =
+    fell back), so a profile always documents how it was obtained.
+    ``cells`` overrides the sweep (tests fit on a handful of tiny
+    cells; real calibrations use :func:`micro_cells`).
+    """
+    from repro.gpu.config import v100_config
+    from repro.gpu.simulator import GpuSimulator
+
+    paper = CostProfile.paper()
+    config = gpu_config if gpu_config is not None else v100_config()
+    simulator = GpuSimulator(config=config)
+    if cells is None:
+        cells = micro_cells(profile_name)
+    samples = _sweep_samples(cells, simulator)
+
+    fitted: Dict[str, float] = {}
+    diagnostics: List[Tuple[str, float]] = [
+        ("cells", float(len(cells))),
+    ]
+
+    def accept(name: str, value: float, fallback: float) -> float:
+        ok = math.isfinite(value) and value > 0
+        fitted[name] = value if ok else fallback
+        diagnostics.append((f"fallback_{name}", 0.0 if ok else 1.0))
+        return fitted[name]
+
+    gather = _lstsq(samples["gather"])
+    accept("gather_unit", float(gather[0]), paper.gather_unit)
+    intercepts = [max(0.0, float(gather[1]))]
+
+    scatter_fit = _lstsq(samples["scatter"])
+    unit = accept("scatter_unit", float(scatter_fit[0]), paper.scatter_unit)
+    accept("contention_weight",
+           float(scatter_fit[1]) / unit if unit > 0 else float("nan"),
+           paper.contention_weight)
+
+    spmm_fit = _lstsq(samples["spmm"])
+    unit = accept("spmm_unit", float(spmm_fit[0]), paper.spmm_unit)
+    accept("row_overhead_nnz",
+           float(spmm_fit[1]) / unit if unit > 0 else float("nan"),
+           paper.row_overhead_nnz)
+
+    spgemm_fit = _lstsq(samples["spgemm"])
+    accept("spgemm_unit", float(spgemm_fit[0]), paper.spgemm_unit)
+    intercepts.append(max(0.0, float(spgemm_fit[1])))
+
+    accept("launch_overhead", max(intercepts), paper.launch_overhead)
+
+    partition, measured_gain = _fused_partition_unit(
+        simulator, fitted["launch_overhead"], paper.fuse_stream_block_bytes)
+    accept("fuse_partition_unit", partition, paper.fuse_partition_unit)
+    diagnostics.append(("fused_gain_cycles", float(measured_gain)))
+
+    budgets = host_budgets()
+    llc = budgets["llc_bytes"]
+    working_set = llc if llc else paper.shard_working_set_bytes
+    diagnostics.append(("fallback_shard_working_set_bytes",
+                        0.0 if llc else 1.0))
+    memory = budgets["memory_bytes"]
+    if memory:
+        # A packed batch should never claim more than a sixteenth of
+        # RAM; clamped so tiny containers and huge hosts both land in
+        # a sane band around the paper's 1 GB.
+        footprint = int(min(max(memory // 16, 256 * 1024 ** 2),
+                            4 * 1024 ** 3))
+    else:
+        footprint = paper.batch_footprint_bytes
+    diagnostics.append(("fallback_batch_footprint_bytes",
+                        0.0 if memory else 1.0))
+    # Not yet fitted (would need shard-dispatch probes); paper values.
+    diagnostics.append(("fallback_shard_setup_instructions", 1.0))
+
+    return CostProfile(
+        gather_unit=fitted["gather_unit"],
+        scatter_unit=fitted["scatter_unit"],
+        spmm_unit=fitted["spmm_unit"],
+        spgemm_unit=fitted["spgemm_unit"],
+        row_overhead_nnz=fitted["row_overhead_nnz"],
+        contention_weight=fitted["contention_weight"],
+        fuse_partition_unit=fitted["fuse_partition_unit"],
+        launch_overhead=fitted["launch_overhead"],
+        fuse_stream_block_bytes=paper.fuse_stream_block_bytes,
+        shard_working_set_bytes=int(working_set),
+        shard_setup_instructions=paper.shard_setup_instructions,
+        batch_footprint_bytes=int(footprint),
+        max_auto_batch=paper.max_auto_batch,
+        name=f"calibrated-{host_key()}",
+        source="calibrated",
+        host=host_key(),
+        gpu=config.name,
+        created=datetime.now(timezone.utc).isoformat(timespec="seconds"),
+        fit=tuple(diagnostics),
+    )
+
+
+# ---------------------------------------------------------------------------
+# The regression gate (--check)
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class CheckCell:
+    """One replayed planner decision against the measured grid."""
+
+    model: str
+    dataset: str
+    planner_choice: str      # "MP" | "SpMM"
+    measured_choice: str     # "MP" | "SpMM" | "tie"
+    mp_seconds: float
+    spmm_seconds: float
+
+    @property
+    def correct(self) -> bool:
+        return (self.measured_choice == "tie"
+                or self.planner_choice == self.measured_choice)
+
+
+#: The grid the gate replays: every (model, dataset) of the Fig. 3
+#: comparison that both computational models realise.
+CHECK_MODELS = ("gcn", "gin")
+CHECK_DATASETS = ("cora", "citeseer", "pubmed", "reddit")
+
+#: Measured sides closer than this are a tie — wall-clock noise, not a
+#: decision the cost model could (or should) discriminate.
+CHECK_TOLERANCE = 0.03
+
+
+def _planner_preference(model: str, dataset: str, bench_profile,
+                        cost_profile: CostProfile) -> str:
+    """The planner's uniform MP-vs-SpMM preference for one grid cell.
+
+    Prices both sides exactly as :func:`~repro.plan.planner.choose_formats`
+    does — per-layer aggregation costs at the model's calibrated widths
+    plus SpMM's one-off structure setup — from the *scaled* dataset
+    spec, mirroring the bench grid's workloads.
+    """
+    from repro.core.models import get_model_class
+    from repro.core.models.base import layer_dimensions
+    from repro.datasets import get_spec, scaled_spec
+    from repro.plan.planner import (
+        GraphStats,
+        mp_layer_cost,
+        spmm_layer_cost,
+        spmm_setup_cost,
+    )
+    spec = scaled_spec(get_spec(dataset), bench_profile.scale_of(dataset))
+    stats = GraphStats.from_spec(spec)
+    cls = get_model_class(model)
+    dims = layer_dimensions(spec.feature_length, 16, spec.num_classes, 2)
+    mp_total = sum(
+        mp_layer_cost(stats, cls.aggregation_width("MP", fan_in, fan_out),
+                      profile=cost_profile)
+        for fan_in, fan_out in dims)
+    spmm_total = spmm_setup_cost(stats, profile=cost_profile) + sum(
+        spmm_layer_cost(stats, cls.aggregation_width("SpMM", fan_in,
+                                                     fan_out),
+                        profile=cost_profile)
+        for fan_in, fan_out in dims)
+    return "SpMM" if spmm_total < mp_total else "MP"
+
+
+def check_decisions(cost_profile: CostProfile,
+                    profile_name: str = "ci") -> List[CheckCell]:
+    """Replay the planner's format decisions against measured timings.
+
+    Uses the same cached wall-clock cells the benchmark grids read
+    (cache kind ``"timing"``; cold cells are measured once and cached),
+    so the measured ground truth is shared with every other consumer of
+    the trace cache — and is *profile-independent*, letting the paper
+    and a calibrated profile be scored against identical measurements.
+    """
+    import statistics
+    from repro.bench.common import measured_times
+    from repro.bench.profiles import active_profile
+    bench_profile = active_profile(profile_name)
+    cells = []
+    for model in CHECK_MODELS:
+        for dataset in CHECK_DATASETS:
+            mp_s = statistics.mean(measured_times(
+                model, dataset, "MP", bench_profile))
+            spmm_s = statistics.mean(measured_times(
+                model, dataset, "SpMM", bench_profile))
+            if abs(mp_s - spmm_s) <= CHECK_TOLERANCE * max(mp_s, spmm_s):
+                measured = "tie"
+            else:
+                measured = "MP" if mp_s < spmm_s else "SpMM"
+            cells.append(CheckCell(
+                model=model, dataset=dataset,
+                planner_choice=_planner_preference(
+                    model, dataset, bench_profile, cost_profile),
+                measured_choice=measured,
+                mp_seconds=mp_s, spmm_seconds=spmm_s,
+            ))
+    return cells
+
+
+def _accuracy(cells: Sequence[CheckCell]) -> int:
+    return sum(1 for cell in cells if cell.correct)
+
+
+# ---------------------------------------------------------------------------
+# CLI driver
+# ---------------------------------------------------------------------------
+
+def run_calibration(profile_name: str = "ci",
+                    out_path: Optional[str] = None,
+                    check: bool = False,
+                    costs_selector: Optional[str] = None) -> int:
+    """The ``gsuite calibrate`` command.
+
+    Without ``--check``: fit this host's profile and persist it
+    (``out_path`` or the host-keyed default).  With ``--check``:
+    resolve the active profile (``costs_selector``), replay the
+    decision grid against measured timings, and fail (exit 1) when the
+    active profile matches fewer measured-best decisions than the
+    paper profile does.
+    """
+    from repro.bench.tables import format_table
+    from repro.plan.costprofile import resolve_cost_profile
+
+    if check:
+        active = resolve_cost_profile(costs_selector)
+        cells = check_decisions(active, profile_name)
+        paper_cells = check_decisions(CostProfile.paper(), profile_name)
+        rows = [(c.model, c.dataset, c.planner_choice, c.measured_choice,
+                 f"{c.mp_seconds * 1e3:.1f}", f"{c.spmm_seconds * 1e3:.1f}",
+                 "ok" if c.correct else "DIVERGED")
+                for c in cells]
+        print(active.describe())
+        print(format_table(
+            ("Model", "Dataset", "Planner", "Measured best", "MP ms",
+             "SpMM ms", "Verdict"),
+            rows, title="Planner decisions vs measured best"))
+        active_acc, paper_acc = _accuracy(cells), _accuracy(paper_cells)
+        print(f"decision accuracy: {active_acc}/{len(cells)} "
+              f"(paper profile: {paper_acc}/{len(paper_cells)})")
+        if active_acc < paper_acc:
+            print("FAIL: active profile diverges from measured-best "
+                  "more often than the paper constants")
+            return 1
+        return 0
+
+    fitted = fit_profile(profile_name)
+    path = Path(out_path) if out_path else default_profile_path(fitted.gpu)
+    fitted.save(path)
+    print(fitted.describe())
+    fallbacks = [name[len("fallback_"):] for name, value in fitted.fit
+                 if name.startswith("fallback_") and value]
+    if fallbacks:
+        print(f"paper-value fallbacks: {', '.join(fallbacks)}")
+    print(f"wrote {path}")
+    print(f"activate with: gsuite plan --profile-costs {path}  "
+          f"(or rely on the default resolution order)")
+    return 0

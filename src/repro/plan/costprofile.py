@@ -1,0 +1,283 @@
+"""Planner cost profiles: the constants every ``choose_*`` gate prices with.
+
+The planner's decision procedures (:mod:`repro.plan.planner`) compare
+modelled costs built from a handful of constants — per-kernel
+instructions per unit of logical work, the SpMM row-traversal overhead,
+the scatter contention weight, the fusion partition bookkeeping, and
+the cache/footprint budgets that gate sharding and batching.  Those
+numbers used to live as module globals tuned once against the paper's
+Fig. 5 mixes and one host; :class:`CostProfile` packages them into an
+explicit, versioned value that is
+
+* **constructed** either from the paper's static mixes
+  (:meth:`CostProfile.paper` — bit-for-bit the historical globals, so
+  every pre-profile planner decision is unchanged under the default),
+  or by the calibration sweep (:mod:`repro.plan.calibrate`) fitting
+  against the cycle simulator and measured timings;
+* **persisted** as JSON under ``results/calibration/``, keyed by host
+  and GPU model (:func:`default_profile_path`), with a schema version
+  that refuses to load profiles written by an incompatible planner;
+* **resolved** once per pipeline (:func:`resolve_cost_profile`) with
+  the documented precedence *explicit path > ``GSUITE_COST_PROFILE``
+  env var > calibrated default file > paper constants*.
+
+Every planner entry point takes an optional ``profile``; ``None``
+means :meth:`CostProfile.paper`.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+from dataclasses import MISSING, asdict, dataclass, field, fields, replace
+from pathlib import Path
+from typing import Any, Dict, Mapping, Optional, Tuple, Union
+
+from repro.core.kernels.costmodel import COSTS
+from repro.core.kernels.scatter import STREAM_BLOCK_BYTES
+from repro.errors import CalibrationError
+
+__all__ = [
+    "PROFILE_SCHEMA_VERSION",
+    "CostProfile",
+    "calibration_dir",
+    "default_profile_path",
+    "host_key",
+    "resolve_cost_profile",
+]
+
+#: Bump when :class:`CostProfile` gains/renames fitted fields — loading
+#: refuses a mismatched version instead of silently misreading it.
+PROFILE_SCHEMA_VERSION = 1
+
+#: Environment variable naming a profile file (or the literal
+#: ``"paper"``) used when no explicit ``--profile-costs`` path is given.
+ENV_VAR = "GSUITE_COST_PROFILE"
+
+
+def _instructions_per_unit(kernel: str) -> float:
+    cost = COSTS[kernel]
+    return cost.fp32 + cost.int_ops + cost.ldst + cost.control + cost.other
+
+
+@dataclass(frozen=True)
+class CostProfile:
+    """One complete set of planner cost constants.
+
+    Kernel units are dynamic instructions (paper profile) or fitted
+    simulator cycles (calibrated profiles) per unit of logical work —
+    only consistent *relative* magnitudes matter to the planner, since
+    every gate compares modelled costs against each other.  Budgets are
+    bytes on the executing host.
+    """
+
+    # -- per-kernel units (cost per element of logical work) --------------
+    gather_unit: float
+    scatter_unit: float
+    spmm_unit: float
+    spgemm_unit: float
+    # -- cost-shape constants ---------------------------------------------
+    row_overhead_nnz: float          # SpMM row startup, in nnz per row
+    contention_weight: float         # scatter atomic-collision strength
+    # -- fusion -----------------------------------------------------------
+    fuse_partition_unit: float       # per edge per block-count doubling
+    launch_overhead: float           # cost of one kernel launch
+    fuse_stream_block_bytes: int     # fused kernel's streaming block
+    # -- sharding ---------------------------------------------------------
+    shard_working_set_bytes: int     # per-shard LLC residency target
+    shard_setup_instructions: float  # per-shard slice/dispatch/merge
+    # -- batching ---------------------------------------------------------
+    batch_footprint_bytes: int       # packed resident-state budget
+    max_auto_batch: int              # planner-chosen batch ceiling
+    # -- provenance -------------------------------------------------------
+    name: str = "paper"
+    source: str = "paper"            # "paper" | "calibrated"
+    host: str = ""
+    gpu: str = ""
+    created: str = ""                # ISO timestamp, informational
+    #: Fit diagnostics ((metric, value) pairs — e.g. residuals, sample
+    #: counts, fallback flags).  Excluded from equality so a re-fit
+    #: with identical constants compares equal.
+    fit: Tuple[Tuple[str, float], ...] = field(default=(), compare=False)
+
+    def __post_init__(self):
+        for name in ("gather_unit", "scatter_unit", "spmm_unit",
+                     "spgemm_unit", "row_overhead_nnz",
+                     "fuse_partition_unit", "launch_overhead",
+                     "shard_setup_instructions"):
+            if getattr(self, name) < 0:
+                raise CalibrationError(
+                    f"cost profile {self.name!r}: {name} must be >= 0, "
+                    f"got {getattr(self, name)}")
+        for name in ("fuse_stream_block_bytes", "shard_working_set_bytes",
+                     "batch_footprint_bytes", "max_auto_batch"):
+            if getattr(self, name) < 1:
+                raise CalibrationError(
+                    f"cost profile {self.name!r}: {name} must be >= 1, "
+                    f"got {getattr(self, name)}")
+
+    # -- construction ------------------------------------------------------
+    @classmethod
+    def paper(cls) -> "CostProfile":
+        """The static Fig. 5 constants — the historical module globals.
+
+        Kernel units derive from :data:`repro.core.kernels.costmodel.COSTS`
+        and the streaming block from the fused kernel's own constant, so
+        retuning either retunes this profile with it; everything else is
+        the hand-set value each planner gate shipped with.  Decisions
+        under this profile are bit-for-bit the pre-profile decisions
+        (pinned in ``tests/plan/test_calibrate.py``).
+        """
+        return cls(
+            gather_unit=_instructions_per_unit("indexSelect"),
+            scatter_unit=_instructions_per_unit("scatter"),
+            spmm_unit=_instructions_per_unit("spmm"),
+            spgemm_unit=_instructions_per_unit("SpGEMM"),
+            row_overhead_nnz=8.0,
+            contention_weight=0.05,
+            fuse_partition_unit=48.0,
+            launch_overhead=2.0e5,
+            fuse_stream_block_bytes=STREAM_BLOCK_BYTES,
+            shard_working_set_bytes=32 * 1024 * 1024,
+            shard_setup_instructions=5.0e6,
+            batch_footprint_bytes=1024 ** 3,
+            max_auto_batch=64,
+            name="paper",
+            source="paper",
+        )
+
+    # -- serialisation -----------------------------------------------------
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-serialisable form (round-trips with :meth:`from_dict`)."""
+        payload = asdict(self)
+        payload["fit"] = [list(pair) for pair in self.fit]
+        return {"schema": PROFILE_SCHEMA_VERSION, "profile": payload}
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any],
+                  origin: str = "profile") -> "CostProfile":
+        """Rebuild a profile, refusing version or shape mismatches."""
+        if not isinstance(payload, Mapping) or "profile" not in payload:
+            raise CalibrationError(
+                f"{origin}: not a cost-profile document (expected a JSON "
+                f"object with 'schema' and 'profile' keys)")
+        schema = payload.get("schema")
+        if schema != PROFILE_SCHEMA_VERSION:
+            raise CalibrationError(
+                f"{origin}: schema version {schema!r} is not the supported "
+                f"version {PROFILE_SCHEMA_VERSION}; re-run 'gsuite "
+                f"calibrate' with this build")
+        body = dict(payload["profile"])
+        body["fit"] = tuple(tuple(pair) for pair in body.get("fit", ()))
+        known = {f.name for f in fields(cls)}
+        unknown = set(body) - known
+        missing = {f.name for f in fields(cls)
+                   if f.default is MISSING
+                   and f.default_factory is MISSING} - set(body)
+        if unknown:
+            raise CalibrationError(
+                f"{origin}: unknown cost-profile fields {sorted(unknown)}")
+        if missing:
+            raise CalibrationError(
+                f"{origin}: missing cost-profile fields {sorted(missing)}")
+        try:
+            return cls(**body)
+        except TypeError as exc:
+            raise CalibrationError(f"{origin}: {exc}") from exc
+
+    def save(self, path: Union[str, Path]) -> Path:
+        """Write this profile as JSON; returns the written path."""
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(json.dumps(self.to_dict(), indent=2,
+                                   sort_keys=True) + "\n")
+        return path
+
+    @classmethod
+    def load(cls, path: Union[str, Path]) -> "CostProfile":
+        """Load a profile file, refusing unreadable or mismatched ones."""
+        path = Path(path)
+        try:
+            payload = json.loads(path.read_text())
+        except (OSError, json.JSONDecodeError) as exc:
+            raise CalibrationError(
+                f"cannot load cost profile {path}: {exc}") from exc
+        return cls.from_dict(payload, origin=str(path))
+
+    # -- introspection -----------------------------------------------------
+    def with_overrides(self, **overrides) -> "CostProfile":
+        """A copy with some fields replaced (calibration fallbacks)."""
+        return replace(self, **overrides)
+
+    def describe(self) -> str:
+        """One-line provenance summary for CLI output."""
+        origin = self.source
+        if self.host or self.gpu:
+            origin += f" {self.host or '?'}/{self.gpu or '?'}"
+        return (f"cost profile {self.name!r} ({origin}): "
+                f"units is={self.gather_unit:.3g} sc={self.scatter_unit:.3g} "
+                f"sp={self.spmm_unit:.3g} sg={self.spgemm_unit:.3g}, "
+                f"row-overhead {self.row_overhead_nnz:.3g} nnz, "
+                f"working set {self.shard_working_set_bytes / 2**20:.0f} MB")
+
+
+# ---------------------------------------------------------------------------
+# Resolution: where the active profile comes from
+# ---------------------------------------------------------------------------
+
+def host_key() -> str:
+    """Stable identifier of the executing host for profile file names."""
+    node = platform.node().split(".")[0] or "unknown-host"
+    safe = "".join(ch if ch.isalnum() or ch in "-_" else "-"
+                   for ch in node.lower())
+    return f"{safe}-{platform.machine() or 'any'}"
+
+
+def calibration_dir() -> Path:
+    """``results/calibration`` next to the benchmark tables.
+
+    Override with the ``GSUITE_CALIBRATION_DIR`` environment variable
+    (tests, containers with read-only checkouts).
+    """
+    override = os.environ.get("GSUITE_CALIBRATION_DIR")
+    if override:
+        return Path(override)
+    return Path(__file__).resolve().parents[3] / "results" / "calibration"
+
+
+def default_profile_path(gpu: str = "V100-GPGPUSim") -> Path:
+    """Where ``gsuite calibrate`` persists this host's profile."""
+    return calibration_dir() / f"{host_key()}-{gpu}.json"
+
+
+def resolve_cost_profile(selector: Optional[str] = None) -> CostProfile:
+    """The active :class:`CostProfile` for one pipeline.
+
+    ``selector`` is the ``--profile-costs`` / ``SuiteConfig.profile_costs``
+    value:
+
+    * a **path** — load exactly that file (missing/mismatched refuse);
+    * ``"paper"`` — the static built-in, ignoring env and files;
+    * ``"default"`` or ``None`` — consult ``GSUITE_COST_PROFILE`` (a
+      path or ``"paper"``); failing that, load this host's calibrated
+      profile from :func:`default_profile_path` when one exists;
+      failing that, :meth:`CostProfile.paper`.
+    """
+    if selector is None:
+        selector = "default"
+    selector = str(selector).strip()
+    lowered = selector.lower()
+    if lowered == "paper":
+        return CostProfile.paper()
+    if lowered != "default":
+        return CostProfile.load(selector)
+    env = os.environ.get(ENV_VAR, "").strip()
+    if env:
+        if env.lower() == "paper":
+            return CostProfile.paper()
+        return CostProfile.load(env)
+    default_path = default_profile_path()
+    if default_path.is_file():
+        return CostProfile.load(default_path)
+    return CostProfile.paper()

@@ -1,8 +1,8 @@
 """The cost-model planner: every execution decision a plan can take.
 
 One ``choose_*`` entry point per knob, all consuming the same
-:class:`GraphStats` and the per-kernel instruction costs of
-:mod:`repro.core.kernels.costmodel`:
+:class:`GraphStats` and the same :class:`~repro.plan.costprofile.CostProfile`
+of planner constants:
 
 * :func:`choose_formats` — MP vs fused-SpMM execution per layer;
 * :func:`choose_fusion`  — which fusion patterns pay
@@ -11,6 +11,13 @@ One ``choose_*`` entry point per knob, all consuming the same
   (:mod:`repro.plan.sharding`);
 * :func:`choose_batching` — how many sweep members pack into one
   batched multi-graph plan (:mod:`repro.graph.batch`).
+
+Every entry point takes an optional ``profile``; ``None`` means the
+paper's static Fig. 5 constants (:meth:`CostProfile.paper`), under
+which all decisions are bit-for-bit the historical ones.  Calibrated
+profiles (``gsuite calibrate`` — :mod:`repro.plan.calibrate`) replace
+the constants with values fitted against the cycle simulator and the
+host's measured timings.
 
 The founding observation is the format split: the same GNN layer can
 execute as message passing (gather + scatter over an edge list) or as
@@ -49,16 +56,17 @@ preserve average degree, hence also preserve the decision.
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass
-from typing import Callable, Optional, Sequence, Tuple
+from dataclasses import dataclass, field
+from typing import (Any, Callable, Dict, NamedTuple, Optional, Sequence,
+                    Tuple)
 
-from repro.core.kernels.costmodel import COSTS
 from repro.core.kernels.launch import WARP_SIZE
-from repro.core.kernels.scatter import STREAM_BLOCK_BYTES
 from repro.datasets.specs import DatasetSpec
 from repro.graph import Graph
+from repro.plan.costprofile import CostProfile
 
-__all__ = ["GraphStats", "batch_member_bytes", "batch_member_footprint",
+__all__ = ["BatchDecision", "GraphStats", "PlannerDecisions",
+           "batch_member_bytes", "batch_member_footprint",
            "choose_batching", "choose_formats", "choose_fusion",
            "choose_shards", "explain_choice", "fusion_gain",
            "mp_layer_cost", "shard_setup_cost", "spmm_layer_cost",
@@ -75,27 +83,16 @@ WidthHook = Callable[[str, int, int], int]
 def _default_width(fmt: str, fan_in: int, fan_out: int) -> int:
     return fan_in
 
+#: The paper's static constants — the fallback for ``profile=None``
+#: everywhere below, so unparameterised calls price exactly as the
+#: pre-profile module globals did.
+_PAPER = CostProfile.paper()
 
-def _instructions_per_unit(kernel: str) -> float:
-    cost = COSTS[kernel]
-    return cost.fp32 + cost.int_ops + cost.ldst + cost.control + cost.other
+_FLOAT_BYTES = 4
 
 
-#: Dynamic instructions per element of logical work, from the Fig. 5
-#: calibrated kernel cost models.
-_GATHER_UNIT = _instructions_per_unit("indexSelect")
-_SCATTER_UNIT = _instructions_per_unit("scatter")
-_SPMM_UNIT = _instructions_per_unit("spmm")
-_SPGEMM_UNIT = _instructions_per_unit("SpGEMM")
-
-#: SpMM row-traversal overhead, in equivalent nonzeros per matrix row
-#: (indptr loads, row startup, short-row warp underutilisation).  Sets
-#: the average-degree crossover: rows sparser than roughly this many
-#: nonzeros leave the fused kernel waiting on structure walks.
-_ROW_OVERHEAD_NNZ = 8.0
-
-#: Strength of the atomic-contention penalty on scatter (log-damped).
-_CONTENTION_WEIGHT = 0.05
+def _resolve(profile: Optional[CostProfile]) -> CostProfile:
+    return profile if profile is not None else _PAPER
 
 
 @dataclass(frozen=True)
@@ -147,6 +144,79 @@ class GraphStats:
         )
 
 
+class BatchDecision(NamedTuple):
+    """The resolved batched-plan decision of one pipeline.
+
+    A named tuple (not a loose pair): ``size`` is the packed member
+    count (1 = unbatched) and ``source`` records who decided —
+    ``"off"`` / ``"forced"`` / ``"planner"`` / ``"graph"`` (see
+    :meth:`repro.core.pipeline.GNNPipeline.batch_decision`).  Tuple
+    equality and unpacking keep working for existing callers.
+    """
+
+    size: int
+    source: str
+
+
+@dataclass(frozen=True)
+class PlannerDecisions:
+    """Every decision the planner took for one built pipeline.
+
+    The machine-readable surface behind ``gsuite plan`` and the
+    calibration regression gate (``gsuite calibrate --check``):
+    instead of scraping loose tuples and report strings, consumers get
+    one typed record of what the build actually applied — per-layer
+    formats, shard count, fusion policy, batch size, the cost-profile
+    name they were priced under, and the human-readable explain
+    strings.
+
+    ``fusion`` is the applied :class:`~repro.plan.fusion.FusionPolicy`
+    (``None`` = unfused); ``execution_plan`` the lowered
+    :class:`~repro.plan.ir.ExecutionPlan` (``None`` for backends that
+    bypass the plan layer).  Sources mirror the policy objects:
+    ``"planner"`` / ``"forced"`` / ``"off"`` (plus ``"fixed"`` for
+    formats pinned by the compute model and ``"graph"`` for explicit
+    batched workloads).
+    """
+
+    formats: Tuple[str, ...]
+    formats_source: str
+    shards: int
+    shards_source: str
+    fusion: Optional[Any]            # FusionPolicy | None
+    fused_sites: Dict[str, int] = field(default_factory=dict)
+    batch: int = 1
+    batch_source: str = "off"
+    cost_profile: str = "paper"
+    explain: str = ""
+    execution_plan: Optional[Any] = None   # ExecutionPlan | None
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-serialisable form (what the regression gate records)."""
+        fusion = None
+        if self.fusion is not None:
+            fusion = {
+                "gather_scatter": self.fusion.gather_scatter,
+                "sgemm_epilogue": self.fusion.sgemm_epilogue,
+                "elementwise_chain": self.fusion.elementwise_chain,
+                "source": self.fusion.source,
+            }
+        return {
+            "formats": list(self.formats),
+            "formats_source": self.formats_source,
+            "shards": self.shards,
+            "shards_source": self.shards_source,
+            "fusion": fusion,
+            "fused_sites": dict(self.fused_sites),
+            "batch": self.batch,
+            "batch_source": self.batch_source,
+            "cost_profile": self.cost_profile,
+            "explain": self.explain,
+            "plan_fingerprint": self.execution_plan.fingerprint()
+            if self.execution_plan is not None else None,
+        }
+
+
 def _lane_penalty(feature_width: int) -> float:
     """Warp-lane underutilisation of the sparse row-copy inner loops.
 
@@ -158,38 +228,47 @@ def _lane_penalty(feature_width: int) -> float:
     return WARP_SIZE / min(WARP_SIZE, max(1, feature_width))
 
 
-def _contention(stats: GraphStats) -> float:
+def _contention(stats: GraphStats, profile: CostProfile) -> float:
     """Atomic-collision multiplier on scatter (1 for a flat graph)."""
-    return 1.0 + _CONTENTION_WEIGHT * math.log1p(stats.degree_skew)
+    return 1.0 + profile.contention_weight * math.log1p(stats.degree_skew)
 
 
-def mp_layer_cost(stats: GraphStats, feature_width: int) -> float:
-    """Estimated instructions for one MP layer (gather + scatter)."""
+def mp_layer_cost(stats: GraphStats, feature_width: int,
+                  profile: Optional[CostProfile] = None) -> float:
+    """Estimated cost of one MP layer (gather + scatter)."""
+    profile = _resolve(profile)
     elements = float(stats.num_edges) * max(1, feature_width)
-    gather = _GATHER_UNIT * elements
-    scatter = _SCATTER_UNIT * elements * _contention(stats)
+    gather = profile.gather_unit * elements
+    scatter = (profile.scatter_unit * elements
+               * _contention(stats, profile))
     return (gather + scatter) * _lane_penalty(feature_width)
 
 
-def spmm_layer_cost(stats: GraphStats, feature_width: int) -> float:
-    """Estimated instructions for one fused SpMM layer."""
-    effective_nnz = stats.num_edges + _ROW_OVERHEAD_NNZ * stats.num_nodes
-    return (_SPMM_UNIT * effective_nnz * max(1, feature_width)
+def spmm_layer_cost(stats: GraphStats, feature_width: int,
+                    profile: Optional[CostProfile] = None) -> float:
+    """Estimated cost of one fused SpMM layer."""
+    profile = _resolve(profile)
+    effective_nnz = (stats.num_edges
+                     + profile.row_overhead_nnz * stats.num_nodes)
+    return (profile.spmm_unit * effective_nnz * max(1, feature_width)
             * _lane_penalty(feature_width))
 
 
-def spmm_setup_cost(stats: GraphStats) -> float:
+def spmm_setup_cost(stats: GraphStats,
+                    profile: Optional[CostProfile] = None) -> float:
     """One-off cost of materialising the SpMM structure per run.
 
     Models the CSR build plus the normalisation chain (for GCN, two
     SpGEMM launches whose expansion is ``E + V`` partial products).
     """
-    return _SPGEMM_UNIT * (stats.num_edges + stats.num_nodes)
+    profile = _resolve(profile)
+    return profile.spgemm_unit * (stats.num_edges + stats.num_nodes)
 
 
 def choose_formats(dims: Sequence[Tuple[int, int]], stats: GraphStats,
                    allowed: Sequence[str] = ("MP", "SpMM"),
                    width_hook: Optional[WidthHook] = None,
+                   profile: Optional[CostProfile] = None,
                    ) -> Tuple[str, ...]:
     """Per-layer execution format for a stack with layer ``dims``.
 
@@ -204,6 +283,7 @@ def choose_formats(dims: Sequence[Tuple[int, int]], stats: GraphStats,
     plan stays MP-only.
     """
     width = width_hook or _default_width
+    profile = _resolve(profile)
     if "SpMM" not in allowed:
         return tuple("MP" for _ in dims)
     if "MP" not in allowed:
@@ -212,14 +292,17 @@ def choose_formats(dims: Sequence[Tuple[int, int]], stats: GraphStats,
     decisions = []
     saving = 0.0
     for fan_in, fan_out in dims:
-        mp = mp_layer_cost(stats, width("MP", fan_in, fan_out))
-        sp = spmm_layer_cost(stats, width("SpMM", fan_in, fan_out))
+        mp = mp_layer_cost(stats, width("MP", fan_in, fan_out),
+                           profile=profile)
+        sp = spmm_layer_cost(stats, width("SpMM", fan_in, fan_out),
+                             profile=profile)
         if sp < mp:
             decisions.append("SpMM")
             saving += mp - sp
         else:
             decisions.append("MP")
-    if "SpMM" in decisions and saving <= spmm_setup_cost(stats):
+    if "SpMM" in decisions and saving <= spmm_setup_cost(stats,
+                                                         profile=profile):
         return tuple("MP" for _ in dims)
     return tuple(decisions)
 
@@ -228,55 +311,39 @@ def choose_formats(dims: Sequence[Tuple[int, int]], stats: GraphStats,
 # Fusion decisions
 # ---------------------------------------------------------------------------
 
-#: Streaming-block budget of the fused gather-scatter kernel — the
-#: kernel's own constant, so retuning the block size retunes the
-#: planner's pricing with it.  One destination block's messages stay
-#: cache-resident between gather and reduce.
-_FUSE_STREAM_BLOCK_BYTES = STREAM_BLOCK_BYTES
-
-#: Modelled one-off cost of the fused kernel's destination blocking
-#: (the stable partition of edge positions by destination block), in
-#: instructions per edge per doubling of the block count.  Charged only
-#: when the kernel actually blocks.  Calibrated against the measured
-#: control cell (BENCH_fusion.json: GCN-MP on scaled Reddit, whose
-#: width-16 transform-first messages run *slower* fused): the partition
-#: is per-edge while the traffic saving is per-element, so narrow
-#: messages never amortise the sort and stay unfused, wide ones
-#: (GIN/SAGE aggregate at the raw feature width) clearly do.
-_FUSE_PARTITION_UNIT = 48.0
-
-#: Modelled instruction overhead of one kernel launch (driver +
-#: scheduling).  The per-launch saving every fusion pattern banks.
-_LAUNCH_OVERHEAD_INSTRUCTIONS = 2.0e5
-
-
-def fusion_gain(stats: GraphStats, feature_width: int) -> float:
-    """Modelled instruction saving of fusing one Gather+ScatterReduce.
+def fusion_gain(stats: GraphStats, feature_width: int,
+                profile: Optional[CostProfile] = None) -> float:
+    """Modelled saving of fusing one Gather+ScatterReduce.
 
     The fused kernel keeps the per-edge message block on-chip, saving
     the intermediate's store (gather side) and reload (scatter side) —
     one ldst each per element — plus one launch overhead, and paying
-    the destination-partition bookkeeping when the matrix is big
-    enough to need blocking.  When the whole message matrix fits the
-    stream block there is no traffic to save (it was cache-resident
-    anyway); the leftover launch-overhead saving sits below the
-    decision threshold, so the gain is modelled as zero — matching
-    :func:`choose_fusion`, which leaves such layers unfused.
+    the destination-partition bookkeeping
+    (``profile.fuse_partition_unit`` per edge per doubling of the
+    block count) when the matrix is big enough to need blocking.  When
+    the whole message matrix fits the stream block there is no traffic
+    to save (it was cache-resident anyway); the leftover
+    launch-overhead saving sits below the decision threshold, so the
+    gain is modelled as zero — matching :func:`choose_fusion`, which
+    leaves such layers unfused.
     """
+    profile = _resolve(profile)
     width = max(1, feature_width)
     elements = float(stats.num_edges) * width
     intermediate_bytes = _FLOAT_BYTES * elements
-    if intermediate_bytes <= _FUSE_STREAM_BLOCK_BYTES:
+    if intermediate_bytes <= profile.fuse_stream_block_bytes:
         return 0.0
     saved_traffic = 2.0 * elements * _lane_penalty(width)
-    partition = _FUSE_PARTITION_UNIT * float(stats.num_edges) * math.log2(
-        max(2.0, intermediate_bytes / _FUSE_STREAM_BLOCK_BYTES))
-    return saved_traffic + _LAUNCH_OVERHEAD_INSTRUCTIONS - partition
+    partition = (profile.fuse_partition_unit * float(stats.num_edges)
+                 * math.log2(max(2.0, intermediate_bytes
+                                 / profile.fuse_stream_block_bytes)))
+    return saved_traffic + profile.launch_overhead - partition
 
 
 def choose_fusion(dims: Sequence[Tuple[int, int]], stats: GraphStats,
                   formats: Sequence[str] = (),
-                  width_hook: Optional[WidthHook] = None):
+                  width_hook: Optional[WidthHook] = None,
+                  profile: Optional[CostProfile] = None):
     """The :class:`~repro.plan.fusion.FusionPolicy` for one plan.
 
     * **gather+scatter** fusion streams the per-edge message matrix
@@ -294,10 +361,11 @@ def choose_fusion(dims: Sequence[Tuple[int, int]], stats: GraphStats,
       store, the chain is pure dispatch elimination — so they are
       always profitable and always on.
 
-    ``formats``/``width_hook`` follow :func:`choose_formats`.
+    ``formats``/``width_hook``/``profile`` follow :func:`choose_formats`.
     """
     from repro.plan.fusion import FusionPolicy
     width = width_hook or _default_width
+    profile = _resolve(profile)
     formats = list(formats) or ["MP"] * len(dims)
     best_gain = 0.0
     for (fan_in, fan_out), fmt in zip(dims, formats):
@@ -308,48 +376,47 @@ def choose_fusion(dims: Sequence[Tuple[int, int]], stats: GraphStats,
         # 2x hysteresis on the stream-block budget, mirroring
         # choose_shards: borderline matrices gain less from blocking
         # than the partition bookkeeping costs.
-        if intermediate <= 2 * _FUSE_STREAM_BLOCK_BYTES:
+        if intermediate <= 2 * profile.fuse_stream_block_bytes:
             continue
-        best_gain = max(best_gain, fusion_gain(stats, layer_width))
+        best_gain = max(best_gain, fusion_gain(stats, layer_width,
+                                               profile=profile))
     return FusionPolicy(gather_scatter=best_gain > 0.0,
                         sgemm_epilogue=True,
                         elementwise_chain=True,
                         source="planner")
 
 
-#: Per-shard working-set target for sharded aggregation: one shard's
-#: message slice should fit a last-level-cache-sized budget, so the
-#: gather's output is still resident when the scatter consumes it.
-_SHARD_WORKING_SET_BYTES = 32 * 1024 * 1024
+def shard_setup_cost(stats: GraphStats,
+                     profile: Optional[CostProfile] = None) -> float:
+    """Modelled per-shard overhead (slice + dispatch + merge share).
 
-#: One-off cost charged per shard, in modelled instructions: edge-range
-#: slicing, sub-plan dispatch and the merge's row pass.  Gates shard
-#: counts the same way ``spmm_setup_cost`` gates format flips — tiny
-#: workloads never amortise it, so they stay unsharded.
-_SHARD_SETUP_INSTRUCTIONS = 5.0e6
-
-_FLOAT_BYTES = 4
-
-
-def shard_setup_cost(stats: GraphStats) -> float:
-    """Modelled per-shard overhead (slice + dispatch + merge share)."""
-    return _SHARD_SETUP_INSTRUCTIONS + _SCATTER_UNIT * stats.num_nodes
+    ``profile.shard_setup_instructions`` covers edge-range slicing and
+    sub-plan dispatch; the merge's row pass scales with the node count
+    at the scatter unit cost.  Gates shard counts the same way
+    :func:`spmm_setup_cost` gates format flips — tiny workloads never
+    amortise it, so they stay unsharded.
+    """
+    profile = _resolve(profile)
+    return (profile.shard_setup_instructions
+            + profile.scatter_unit * stats.num_nodes)
 
 
 def choose_shards(dims: Sequence[Tuple[int, int]], stats: GraphStats,
                   formats: Sequence[str] = (),
                   width_hook: Optional[WidthHook] = None,
-                  max_shards: int = 32, fused: bool = False) -> int:
+                  max_shards: int = 32, fused: bool = False,
+                  profile: Optional[CostProfile] = None) -> int:
     """Destination-range shard count for one plan.
 
     Two terms, both from the graph statistics:
 
     * the **working-set** target — the widest *MP* layer's per-edge
-      message matrix (``4 * E * width`` bytes) divided into LLC-sized
-      slices sets the shard count that keeps gather output resident for
-      the scatter.  SpMM layers never materialise that intermediate
-      (the fused kernel streams CSR rows), so they contribute no
-      sharding pressure — an all-SpMM plan stays at ``K = 1``;
+      message matrix (``4 * E * width`` bytes) divided into slices of
+      ``profile.shard_working_set_bytes`` (an LLC-sized budget) sets
+      the shard count that keeps gather output resident for the
+      scatter.  SpMM layers never materialise that intermediate (the
+      fused kernel streams CSR rows), so they contribute no sharding
+      pressure — an all-SpMM plan stays at ``K = 1``;
     * the **setup amortisation** gate — each shard must carry more
       modelled aggregation work than :func:`shard_setup_cost`, which is
       what keeps Cora-class workloads (and narrow-feature giants whose
@@ -367,6 +434,7 @@ def choose_shards(dims: Sequence[Tuple[int, int]], stats: GraphStats,
     residency fix).
     """
     width = width_hook or _default_width
+    profile = _resolve(profile)
     formats = list(formats) or ["MP"] * len(dims)
     peak_bytes = 0.0
     aggregation = 0.0
@@ -377,17 +445,18 @@ def choose_shards(dims: Sequence[Tuple[int, int]], stats: GraphStats,
                 peak_bytes,
                 _FLOAT_BYTES * float(stats.num_edges) * layer_width)
         cost = spmm_layer_cost if fmt == "SpMM" else mp_layer_cost
-        aggregation += cost(stats, layer_width)
+        aggregation += cost(stats, layer_width, profile=profile)
     # 2x hysteresis: a message matrix barely past the target gains less
     # from residency than the per-shard dispatch costs, so only shard
     # once the working set clearly exceeds it.
-    if peak_bytes <= 2 * _SHARD_WORKING_SET_BYTES:
+    if peak_bytes <= 2 * profile.shard_working_set_bytes:
         return 1
-    wanted = math.ceil(peak_bytes / _SHARD_WORKING_SET_BYTES)
+    wanted = math.ceil(peak_bytes / profile.shard_working_set_bytes)
     # cost(K) = aggregation / K + K * setup is minimised at
     # sqrt(aggregation / setup); past that, extra shards cost more in
     # setup than they save in working set.
-    amortised = math.sqrt(aggregation / shard_setup_cost(stats))
+    amortised = math.sqrt(aggregation
+                          / shard_setup_cost(stats, profile=profile))
     k = min(wanted, int(amortised), max_shards, stats.num_nodes)
     return max(1, k)
 
@@ -395,19 +464,6 @@ def choose_shards(dims: Sequence[Tuple[int, int]], stats: GraphStats,
 # ---------------------------------------------------------------------------
 # Batching decisions
 # ---------------------------------------------------------------------------
-
-#: Ceiling on planner-chosen batch sizes.  Past this the per-plan
-#: amortisation is already >96% captured (overhead scales as 1/B) while
-#: every extra member keeps growing the packed operands linearly.
-_MAX_AUTO_BATCH = 64
-
-#: Resident-footprint budget for one packed batch: member state
-#: (feature slabs, compressed structures) multiplies by ``B`` no
-#: matter which formats the layers run, so even plans with no message
-#: working set (all-SpMM) must not pack Table-IV-scale members whose
-#: combined slabs reach gigabytes.
-_BATCH_FOOTPRINT_BYTES = 1024 ** 3
-
 
 def batch_member_bytes(dims: Sequence[Tuple[int, int]], stats: GraphStats,
                        formats: Sequence[str] = (),
@@ -449,7 +505,8 @@ def batch_member_footprint(stats: GraphStats) -> float:
 def choose_batching(num_graphs: int, dims: Sequence[Tuple[int, int]],
                     stats: GraphStats, formats: Sequence[str] = (),
                     width_hook: Optional[WidthHook] = None,
-                    max_batch: int = _MAX_AUTO_BATCH) -> int:
+                    max_batch: Optional[int] = None,
+                    profile: Optional[CostProfile] = None) -> int:
     """Packed batch size for a sweep of ``num_graphs`` same-spec graphs.
 
     Batching always *saves* fixed per-graph overhead — one lowering /
@@ -464,17 +521,17 @@ def choose_batching(num_graphs: int, dims: Sequence[Tuple[int, int]],
 
     * **message working set** — ``B *`` :func:`batch_member_bytes`
       stays within the LLC-sized residency target the shard planner
-      also prices (``_SHARD_WORKING_SET_BYTES``).  Note the *absence*
-      of the 2x hysteresis :func:`choose_shards` applies: sharding
-      pays a real per-shard setup cost, so it waits until the working
-      set clearly exceeds the target — batching costs nothing to
-      decline, and a borderline pack (measured: two ~31 MB GIN/Cora
+      also prices (``profile.shard_working_set_bytes``).  Note the
+      *absence* of the 2x hysteresis :func:`choose_shards` applies:
+      sharding pays a real per-shard setup cost, so it waits until the
+      working set clearly exceeds the target — batching costs nothing
+      to decline, and a borderline pack (measured: two ~31 MB GIN/Cora
       members) loses more residency than it amortises.  Batching and
       sharding can therefore never fight over the same plan: a
       planner-packed batch always sits below the point where
       ``choose_shards`` would start slicing it back up.
     * **resident footprint** — ``B *`` :func:`batch_member_footprint`
-      stays within a RAM-scale budget (``_BATCH_FOOTPRINT_BYTES``).
+      stays within a RAM-scale budget (``profile.batch_footprint_bytes``).
       Feature slabs and structures multiply by ``B`` whatever the
       layer formats, so an all-SpMM plan — which exerts no message
       pressure at all — is still bounded: scaled social-graph sweeps
@@ -483,8 +540,11 @@ def choose_batching(num_graphs: int, dims: Sequence[Tuple[int, int]],
     Citation-scale members pack wholesale; a full-size Reddit member
     exceeds both budgets on its own and the sweep stays unbatched
     (``1``).  ``stats`` describes one representative member (sweep
-    members share a spec); ``formats`` / ``width_hook`` follow
-    :func:`choose_formats`.
+    members share a spec); ``formats`` / ``width_hook`` / ``profile``
+    follow :func:`choose_formats`.  ``max_batch`` defaults to
+    ``profile.max_auto_batch`` — past it the per-plan amortisation is
+    already >96% captured (overhead scales as 1/B) while every extra
+    member keeps growing the packed operands linearly.
 
     Unlike :func:`choose_shards`, there is deliberately no ``fused``
     relaxation: the fused kernel bounds the message working set, but
@@ -494,38 +554,49 @@ def choose_batching(num_graphs: int, dims: Sequence[Tuple[int, int]],
     """
     if num_graphs <= 1:
         return 1
+    profile = _resolve(profile)
+    if max_batch is None:
+        max_batch = profile.max_auto_batch
     ceiling = min(int(num_graphs), int(max_batch))
     per_member = batch_member_bytes(dims, stats, formats=formats,
                                     width_hook=width_hook)
     if per_member > 0.0:
-        ceiling = min(ceiling, int(_SHARD_WORKING_SET_BYTES // per_member))
+        ceiling = min(ceiling,
+                      int(profile.shard_working_set_bytes // per_member))
     footprint = batch_member_footprint(stats)
     if footprint > 0.0:
-        ceiling = min(ceiling, int(_BATCH_FOOTPRINT_BYTES // footprint))
+        ceiling = min(ceiling,
+                      int(profile.batch_footprint_bytes // footprint))
     return max(1, ceiling)
 
 
 def explain_choice(dims: Sequence[Tuple[int, int]], stats: GraphStats,
                    chosen: Sequence[str] = (),
-                   width_hook: Optional[WidthHook] = None) -> str:
+                   width_hook: Optional[WidthHook] = None,
+                   profile: Optional[CostProfile] = None) -> str:
     """Human-readable per-layer cost breakdown (CLI ``gsuite plan``).
 
     ``chosen`` is the planner's *final* per-layer selection; when given,
     each line reports it (the raw cost comparison alone can differ from
     the outcome once the model's allowed lowerings and the SpMM
-    setup-amortisation gate apply).
+    setup-amortisation gate apply).  ``profile`` must be the profile
+    the decision was priced under — the reported costs come from it,
+    so the breakdown can never disagree with the decision actually
+    taken.
     """
     width = width_hook or _default_width
+    profile = _resolve(profile)
     lines = [
         f"avg degree {stats.avg_degree:.1f}, skew {stats.degree_skew:.1f}, "
         f"feature width {stats.feature_width}, "
-        f"setup {spmm_setup_cost(stats):.3g} instr"
+        f"setup {spmm_setup_cost(stats, profile=profile):.3g} instr "
+        f"[costs: {profile.name}]"
     ]
     for layer, (fan_in, fan_out) in enumerate(dims):
         w_mp = width("MP", fan_in, fan_out)
         w_sp = width("SpMM", fan_in, fan_out)
-        mp = mp_layer_cost(stats, w_mp)
-        sp = spmm_layer_cost(stats, w_sp)
+        mp = mp_layer_cost(stats, w_mp, profile=profile)
+        sp = spmm_layer_cost(stats, w_sp, profile=profile)
         picked = chosen[layer] if layer < len(chosen) \
             else ("SpMM" if sp < mp else "MP")
         lines.append(

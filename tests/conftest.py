@@ -1,8 +1,13 @@
-"""Shared fixtures: isolate the persistent trace cache per test.
+"""Shared fixtures: isolate persistent state per test.
 
-Every test gets a private cache root under ``tmp_path`` so nothing the
-suite records or simulates ever lands in the repository's
+Every test gets a private trace-cache root under ``tmp_path`` so
+nothing the suite records or simulates ever lands in the repository's
 ``results/.cache`` (and no stale repo cache can leak into a test).
+The planner's cost-profile resolution is isolated the same way: a
+calibrated profile under ``results/calibration/`` (or a
+``GSUITE_COST_PROFILE`` in the developer's shell) must never steer the
+suite's pinned planner decisions, so tests resolve against an empty
+calibration dir unless they opt in.
 """
 
 import pytest
@@ -13,6 +18,8 @@ from repro import cache as trace_cache
 @pytest.fixture(autouse=True)
 def _isolated_trace_cache(tmp_path, monkeypatch):
     monkeypatch.setenv("GSUITE_CACHE_DIR", str(tmp_path / "trace-cache"))
+    monkeypatch.setenv("GSUITE_CALIBRATION_DIR", str(tmp_path / "calib"))
+    monkeypatch.delenv("GSUITE_COST_PROFILE", raising=False)
     trace_cache.reset_cache()
     yield
     trace_cache.reset_cache()

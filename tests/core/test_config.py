@@ -4,7 +4,7 @@ import json
 
 import pytest
 
-from repro.core.config import DEFAULTS, SuiteConfig
+from repro.core.config import DEFAULTS, KNOBS, SuiteConfig, parse_batch
 from repro.errors import ConfigError
 
 
@@ -88,3 +88,66 @@ class TestImmutability:
     def test_to_dict_round_trips(self):
         cfg = SuiteConfig(model="gin", scale=0.5)
         assert SuiteConfig.from_dict(cfg.to_dict()) == cfg
+
+
+class TestKnobs:
+    """The shared tri-state knob vocabulary (shards / fuse / batch)."""
+
+    def test_registry_covers_the_plan_knobs(self):
+        assert set(KNOBS) == {"shards", "fuse", "batch"}
+
+    @pytest.mark.parametrize("name,auto,off", [
+        ("shards", 0, 1),
+        ("batch", 0, 1),
+        ("fuse", "auto", "off"),
+    ])
+    def test_uniform_auto_off_vocabulary(self, name, auto, off):
+        knob = KNOBS[name]
+        assert knob.parse("auto") == auto
+        assert knob.parse("AUTO") == auto       # case-insensitive
+        assert knob.parse("off") == off
+
+    def test_integer_knobs_accept_ints_and_digit_strings(self):
+        assert KNOBS["shards"].parse(4) == 4
+        assert KNOBS["shards"].parse("4") == 4
+        assert KNOBS["batch"].parse(16) == 16
+        assert KNOBS["batch"].parse(16.0) == 16  # integral float ok
+
+    def test_fuse_keeps_its_force_spelling(self):
+        assert KNOBS["fuse"].parse("force") == "force"
+        with pytest.raises(ConfigError):
+            KNOBS["fuse"].parse(2)              # fuse takes no integer
+
+    @pytest.mark.parametrize("name,bad", [
+        ("shards", "some"), ("shards", 2.5),
+        ("shards", True), ("batch", "many"), ("batch", False),
+        ("fuse", "maybe"),
+    ])
+    def test_uniform_refusal(self, name, bad):
+        knob = KNOBS[name]
+        with pytest.raises(ConfigError) as err:
+            knob.parse(bad)
+        assert str(err.value) == \
+            f"{name} must be {knob.vocabulary()}, got {bad!r}"
+
+    @pytest.mark.parametrize("name", ["shards", "batch"])
+    def test_below_minimum_refused_with_range_message(self, name):
+        with pytest.raises(ConfigError, match="must be >= 0"):
+            KNOBS[name].parse(-1)
+
+    def test_parse_batch_is_the_batch_knob(self):
+        assert parse_batch("auto") == 0
+        assert parse_batch("off") == 1
+        assert parse_batch(3) == 3
+
+    def test_config_fields_parse_through_knobs(self):
+        cfg = SuiteConfig(shards="auto", fuse="force", batch="off")
+        assert cfg.shards == 0
+        assert cfg.fuse == "force"
+        assert cfg.batch == 1
+
+    def test_profile_costs_field(self):
+        assert SuiteConfig().profile_costs == "default"
+        assert SuiteConfig(profile_costs="paper").profile_costs == "paper"
+        with pytest.raises(ConfigError):
+            SuiteConfig(profile_costs="")

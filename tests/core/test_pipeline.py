@@ -92,9 +92,15 @@ class TestExecution:
         assert pipe.run().shape == (pipe.graph.num_nodes, 7)
 
     def test_plan_accessor_exposes_lowered_ir(self, pipeline):
-        plan = pipeline.plan()
-        assert plan is not None
-        assert plan.op_counts()  # non-empty op stream
+        decisions = pipeline.plan()
+        assert decisions.execution_plan is not None
+        assert decisions.execution_plan.op_counts()  # non-empty op stream
+        # The typed decision record reflects the defaults the build
+        # actually applied.
+        assert decisions.shards == 1 and decisions.shards_source == "off"
+        assert decisions.batch == 1 and decisions.batch_source == "off"
+        assert decisions.cost_profile == "paper"
+        assert "plan_fingerprint" in decisions.to_dict()
 
 
 class TestPersistentCacheUse:

@@ -1,0 +1,267 @@
+"""Tests for the CostProfile subsystem and ``gsuite calibrate``.
+
+Three contracts:
+
+* **Persistence** — profiles round-trip through JSON exactly; wrong
+  schema versions, unknown fields and invalid constants *refuse* to
+  load (a stale or hand-mangled profile must never silently steer the
+  planner).
+* **Paper parity** — the default profile is the paper's static
+  constants bit-for-bit: every gate decision with ``profile=None`` is
+  identical to an explicit :meth:`CostProfile.paper`, across the same
+  dataset grid the planner acceptance tests pin.
+* **Calibration** — a fit on tiny synthetic cells produces a loadable,
+  validated profile with documented fallbacks, and the ``--check``
+  replay scores decisions against measured timings.
+"""
+
+import math
+
+import pytest
+
+from repro.datasets import get_spec
+from repro.errors import CalibrationError
+from repro.plan import (
+    CostProfile,
+    GraphStats,
+    choose_batching,
+    choose_formats,
+    choose_fusion,
+    choose_shards,
+    default_profile_path,
+    explain_choice,
+    resolve_cost_profile,
+)
+from repro.plan.calibrate import (
+    MicroCell,
+    check_decisions,
+    fit_profile,
+    host_budgets,
+    micro_cells,
+)
+from repro.plan.planner import (
+    fusion_gain,
+    mp_layer_cost,
+    spmm_layer_cost,
+    spmm_setup_cost,
+)
+
+#: Mirrors tests/plan/test_planner.py — the decisions the paper profile
+#: must keep making.
+EXPECTED = {
+    "cora": "MP",
+    "citeseer": "MP",
+    "pubmed": "MP",
+    "reddit": "SpMM",
+    "livejournal": "SpMM",
+}
+
+
+def _dims(spec):
+    return [(spec.feature_length, 16), (16, spec.num_classes)]
+
+
+class TestProfilePersistence:
+    def test_round_trip(self, tmp_path):
+        profile = CostProfile.paper().with_overrides(
+            name="host-fit", source="calibrated", host="testhost",
+            gather_unit=0.123, fit=(("cells", 4.0),))
+        path = tmp_path / "profile.json"
+        profile.save(path)
+        loaded = CostProfile.load(path)
+        assert loaded == profile
+        assert loaded.gather_unit == 0.123
+        assert loaded.fit == (("cells", 4.0),)
+        assert loaded.source == "calibrated"
+
+    def test_version_mismatch_refused(self, tmp_path):
+        import json
+        payload = CostProfile.paper().to_dict()
+        payload["schema"] = 99
+        path = tmp_path / "stale.json"
+        path.write_text(json.dumps(payload))
+        with pytest.raises(CalibrationError, match="schema"):
+            CostProfile.load(path)
+
+    def test_unknown_field_refused(self, tmp_path):
+        import json
+        payload = CostProfile.paper().to_dict()
+        payload["profile"]["warp_tax"] = 1.0
+        path = tmp_path / "unknown.json"
+        path.write_text(json.dumps(payload))
+        with pytest.raises(CalibrationError):
+            CostProfile.load(path)
+
+    def test_missing_field_refused(self, tmp_path):
+        import json
+        payload = CostProfile.paper().to_dict()
+        del payload["profile"]["gather_unit"]
+        path = tmp_path / "partial.json"
+        path.write_text(json.dumps(payload))
+        with pytest.raises(CalibrationError):
+            CostProfile.load(path)
+
+    def test_invalid_constant_refused(self):
+        with pytest.raises(CalibrationError):
+            CostProfile.paper().with_overrides(gather_unit=-1.0)
+
+    def test_missing_file_refused(self, tmp_path):
+        with pytest.raises(CalibrationError):
+            CostProfile.load(tmp_path / "nope.json")
+
+
+class TestResolution:
+    def test_paper_selector(self):
+        assert resolve_cost_profile("paper") == CostProfile.paper()
+
+    def test_default_without_host_file_is_paper(self):
+        assert resolve_cost_profile(None) == CostProfile.paper()
+        assert resolve_cost_profile("default") == CostProfile.paper()
+
+    def test_explicit_path(self, tmp_path):
+        profile = CostProfile.paper().with_overrides(name="explicit")
+        path = tmp_path / "p.json"
+        profile.save(path)
+        assert resolve_cost_profile(str(path)).name == "explicit"
+
+    def test_env_var_path(self, tmp_path, monkeypatch):
+        profile = CostProfile.paper().with_overrides(name="from-env")
+        path = tmp_path / "env.json"
+        profile.save(path)
+        monkeypatch.setenv("GSUITE_COST_PROFILE", str(path))
+        assert resolve_cost_profile(None).name == "from-env"
+        # An explicit path still beats the environment.
+        other = tmp_path / "other.json"
+        CostProfile.paper().with_overrides(name="explicit").save(other)
+        assert resolve_cost_profile(str(other)).name == "explicit"
+        # And "paper" ignores the environment entirely.
+        assert resolve_cost_profile("paper").name == "paper"
+
+    def test_host_default_file(self):
+        path = default_profile_path()
+        path.parent.mkdir(parents=True, exist_ok=True)
+        CostProfile.paper().with_overrides(name="host-default").save(path)
+        assert resolve_cost_profile(None).name == "host-default"
+        assert resolve_cost_profile("paper").name == "paper"
+
+
+class TestPaperParity:
+    """``profile=None`` must be bit-identical to an explicit paper()."""
+
+    PAPER = CostProfile.paper()
+
+    @pytest.mark.parametrize("dataset", sorted(EXPECTED))
+    def test_gate_decisions_identical(self, dataset):
+        spec = get_spec(dataset)
+        stats = GraphStats.from_spec(spec)
+        dims = _dims(spec)
+        assert choose_formats(dims, stats) == \
+            choose_formats(dims, stats, profile=self.PAPER)
+        assert choose_fusion(dims, stats) == \
+            choose_fusion(dims, stats, profile=self.PAPER)
+        assert choose_shards(dims, stats) == \
+            choose_shards(dims, stats, profile=self.PAPER)
+        assert choose_batching(8, dims, stats) == \
+            choose_batching(8, dims, stats, profile=self.PAPER)
+        assert explain_choice(dims, stats) == \
+            explain_choice(dims, stats, profile=self.PAPER)
+
+    @pytest.mark.parametrize("dataset", sorted(EXPECTED))
+    def test_costs_identical(self, dataset):
+        stats = GraphStats.from_spec(get_spec(dataset))
+        for width in (4, 64, 1433):
+            assert mp_layer_cost(stats, width) == \
+                mp_layer_cost(stats, width, profile=self.PAPER)
+            assert spmm_layer_cost(stats, width) == \
+                spmm_layer_cost(stats, width, profile=self.PAPER)
+            assert fusion_gain(stats, width) == \
+                fusion_gain(stats, width, profile=self.PAPER)
+        assert spmm_setup_cost(stats) == \
+            spmm_setup_cost(stats, profile=self.PAPER)
+
+    @pytest.mark.parametrize("dataset,expected", sorted(EXPECTED.items()))
+    def test_paper_decisions_pinned(self, dataset, expected):
+        # The acceptance decisions themselves, under the default profile.
+        spec = get_spec(dataset)
+        formats = choose_formats(_dims(spec), GraphStats.from_spec(spec))
+        assert formats == (expected, expected)
+
+    def test_perturbed_profile_flips_a_decision(self):
+        # The profile parameter is live: pricing scatter traffic three
+        # orders of magnitude higher must push a citation graph to SpMM.
+        spec = get_spec("cora")
+        stats = GraphStats.from_spec(spec)
+        expensive_mp = self.PAPER.with_overrides(
+            name="perturbed", scatter_unit=self.PAPER.scatter_unit * 1e3)
+        assert choose_formats(_dims(spec), stats) == ("MP", "MP")
+        assert set(choose_formats(_dims(spec), stats,
+                                  profile=expensive_mp)) == {"SpMM"}
+
+
+#: Tiny cells: seconds of fit, yet every regressor still varies.
+TINY_CELLS = (
+    MicroCell(num_nodes=400, avg_degree=2, feature_width=4,
+              degree_exponent=3.0),
+    MicroCell(num_nodes=400, avg_degree=8, feature_width=16,
+              degree_exponent=2.2),
+    MicroCell(num_nodes=300, avg_degree=4, feature_width=8,
+              degree_exponent=2.5),
+)
+
+
+class TestCalibration:
+    def test_fit_produces_valid_profile(self):
+        profile = fit_profile(cells=TINY_CELLS)
+        assert profile.source == "calibrated"
+        assert profile.gpu == "V100-GPGPUSim"
+        for unit in (profile.gather_unit, profile.scatter_unit,
+                     profile.spmm_unit, profile.spgemm_unit):
+            assert math.isfinite(unit) and unit > 0
+        diagnostics = dict(profile.fit)
+        assert diagnostics["cells"] == len(TINY_CELLS)
+        # Every constant documents whether it was fitted or fell back.
+        assert "fallback_gather_unit" in diagnostics
+        assert diagnostics["fallback_shard_setup_instructions"] == 1.0
+
+    def test_fit_round_trips_and_resolves(self, tmp_path):
+        profile = fit_profile(cells=TINY_CELLS)
+        path = tmp_path / "fitted.json"
+        profile.save(path)
+        assert resolve_cost_profile(str(path)) == profile
+
+    def test_fit_is_deterministic(self):
+        first = fit_profile(cells=TINY_CELLS)
+        second = fit_profile(cells=TINY_CELLS)
+        # Identical constants and diagnostics; only the timestamp moves.
+        assert first.with_overrides(created="") == \
+            second.with_overrides(created="")
+        assert first.fit == second.fit
+
+    def test_micro_cells_profiles(self):
+        ci, full = micro_cells("ci"), micro_cells("full")
+        assert len(ci) >= 8                      # enough lstsq samples
+        assert set(ci) <= set(full)
+        # The sweep must vary each regressor the fits depend on.
+        assert len({c.avg_degree for c in ci}) >= 2
+        assert len({c.feature_width for c in ci}) >= 2
+        assert len({c.degree_exponent for c in ci}) >= 2
+
+    def test_host_budgets_shape(self):
+        budgets = host_budgets()
+        assert set(budgets) == {"llc_bytes", "memory_bytes"}
+        for value in budgets.values():
+            assert value is None or value > 0
+
+
+class TestCheckGate:
+    def test_replay_scores_against_measured(self, monkeypatch):
+        from repro.plan import calibrate
+        monkeypatch.setattr(calibrate, "CHECK_MODELS", ("gcn",))
+        monkeypatch.setattr(calibrate, "CHECK_DATASETS", ("cora",))
+        cells = check_decisions(CostProfile.paper(), "ci")
+        assert len(cells) == 1
+        cell = cells[0]
+        assert cell.planner_choice == "MP"       # the pinned cora decision
+        assert cell.mp_seconds > 0 and cell.spmm_seconds > 0
+        assert cell.measured_choice in ("MP", "SpMM", "tie")
+        assert isinstance(cell.correct, bool)

@@ -124,3 +124,52 @@ class TestCommands:
                      "--framework", "pyg", "--shards", "0"])
         assert code == 0
         assert "output shape" in capsys.readouterr().out
+
+    def test_profile_costs_flag(self, tmp_path, capsys):
+        code = main(["plan", "--dataset", "cora", "--scale", "0.1",
+                     "--profile-costs", "paper"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "cost profile 'paper'" in out
+        # An explicit profile path is loaded and named in the output.
+        from repro.plan import CostProfile
+        path = tmp_path / "custom.json"
+        CostProfile.paper().with_overrides(name="custom").save(path)
+        code = main(["plan", "--dataset", "cora", "--scale", "0.1",
+                     "--profile-costs", str(path)])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "cost profile 'custom'" in out
+        # A missing file refuses cleanly.
+        assert main(["plan", "--dataset", "cora", "--scale", "0.1",
+                     "--profile-costs", str(tmp_path / "nope.json")]) == 2
+
+    def test_shards_accepts_knob_spellings(self, capsys):
+        code = main(["run", "--dataset", "cora", "--scale", "0.1",
+                     "--shards", "off"])
+        assert code == 0
+        code = main(["plan", "--dataset", "cora", "--scale", "0.1",
+                     "--shards", "auto"])
+        assert code == 0
+        assert "sharding:" in capsys.readouterr().out
+
+    def test_calibrate_writes_and_checks(self, tmp_path, capsys,
+                                         monkeypatch):
+        from repro.plan import calibrate
+        from repro.plan.calibrate import MicroCell
+        tiny = (MicroCell(num_nodes=300, avg_degree=2, feature_width=4,
+                          degree_exponent=3.0),
+                MicroCell(num_nodes=300, avg_degree=8, feature_width=16,
+                          degree_exponent=2.2))
+        monkeypatch.setattr(calibrate, "micro_cells", lambda name: tiny)
+        monkeypatch.setattr(calibrate, "CHECK_MODELS", ("gcn",))
+        monkeypatch.setattr(calibrate, "CHECK_DATASETS", ("cora",))
+        out_path = tmp_path / "fitted.json"
+        assert main(["calibrate", "--out", str(out_path)]) == 0
+        out = capsys.readouterr().out
+        assert out_path.is_file()
+        assert "calibrated" in out
+        assert main(["calibrate", "--check",
+                     "--profile-costs", str(out_path)]) == 0
+        out = capsys.readouterr().out
+        assert "decision accuracy" in out

@@ -10,6 +10,9 @@ Two failure classes CI should catch before a reader does:
 * **Unparseable code snippets** — every fenced ```` ```python ````
   block is extracted and byte-compiled (the ``compileall`` treatment,
   in-process), so documented examples cannot drift into syntax errors.
+* **Invalid JSON examples** — every fenced ```` ```json ```` block
+  must parse with :func:`json.loads` (documented schemas — the cost
+  profile, config files — cannot drift into invalid JSON).
 
 Checked files: ``README.md``, ``ROADMAP.md``, ``CHANGES.md`` and
 everything under ``docs/``.
@@ -23,6 +26,7 @@ Usage::
 from __future__ import annotations
 
 import argparse
+import json
 import re
 import textwrap
 from pathlib import Path
@@ -83,8 +87,9 @@ def check_links(path: Path, targets: List[str]) -> List[str]:
     return problems
 
 
-def iter_python_snippets(text: str) -> Iterator[Tuple[int, str]]:
-    """``(first line number, code)`` per fenced python block.
+def iter_snippets(text: str,
+                  fences: Tuple[str, ...]) -> Iterator[Tuple[int, str]]:
+    """``(first line number, code)`` per fenced block opened by ``fences``.
 
     Blocks are dedented before being yielded, so examples nested in
     markdown lists (indented fences) compile cleanly.
@@ -92,20 +97,28 @@ def iter_python_snippets(text: str) -> Iterator[Tuple[int, str]]:
     lines = text.splitlines()
     block: List[str] = []
     start = 0
-    in_python = False
+    in_block = False
     for number, line in enumerate(lines, 1):
         stripped = line.strip()
-        if not in_python and stripped in ("```python", "```py"):
-            in_python, start, block = True, number + 1, []
-        elif in_python and stripped == "```":
-            in_python = False
+        if not in_block and stripped in fences:
+            in_block, start, block = True, number + 1, []
+        elif in_block and stripped == "```":
+            in_block = False
             yield start, textwrap.dedent("\n".join(block))
-        elif in_python:
+        elif in_block:
             block.append(line)
-    if in_python:
+    if in_block:
         # A silently dropped block would go unchecked forever.
         raise SyntaxError(
-            f"unterminated ```python fence opened at line {start - 1}")
+            f"unterminated {fences[0]} fence opened at line {start - 1}")
+
+
+def iter_python_snippets(text: str) -> Iterator[Tuple[int, str]]:
+    return iter_snippets(text, ("```python", "```py"))
+
+
+def iter_json_snippets(text: str) -> Iterator[Tuple[int, str]]:
+    return iter_snippets(text, ("```json",))
 
 
 def check_snippets(path: Path,
@@ -119,6 +132,20 @@ def check_snippets(path: Path,
             problems.append(
                 f"{path.relative_to(REPO_ROOT)}:{lineno}: snippet does "
                 f"not compile: {exc.msg} (line {exc.lineno})")
+    return problems
+
+
+def check_json_snippets(path: Path,
+                        snippets: List[Tuple[int, str]]) -> List[str]:
+    """JSON-parse-error messages for one file (empty = clean)."""
+    problems = []
+    for lineno, code in snippets:
+        try:
+            json.loads(code)
+        except ValueError as exc:
+            problems.append(
+                f"{path.relative_to(REPO_ROOT)}:{lineno}: json snippet "
+                f"does not parse: {exc}")
     return problems
 
 
@@ -137,11 +164,12 @@ def main() -> int:
                  if not (t.startswith(_EXTERNAL) or t.startswith("#"))]
         try:
             snippets = list(iter_python_snippets(text))
+            json_snippets = list(iter_json_snippets(text))
         except SyntaxError as exc:
-            snippets = []
+            snippets, json_snippets = [], []
             problems.append(f"{path.relative_to(REPO_ROOT)}: {exc.msg}")
         checked_links += len(links)
-        checked_snippets += len(snippets)
+        checked_snippets += len(snippets) + len(json_snippets)
         if args.verbose:
             for target in links:
                 print(f"  link    {path.relative_to(REPO_ROOT)} "
@@ -150,6 +178,7 @@ def main() -> int:
                 print(f"  snippet {path.relative_to(REPO_ROOT)}:{lineno}")
         problems.extend(check_links(path, links))
         problems.extend(check_snippets(path, snippets))
+        problems.extend(check_json_snippets(path, json_snippets))
 
     if problems:
         print("DOC CHECK FAILURES:")
@@ -157,7 +186,7 @@ def main() -> int:
             print(f"  {problem}")
         return 1
     print(f"docs ok: {len(doc_paths())} files, {checked_links} relative "
-          f"links, {checked_snippets} python snippets")
+          f"links, {checked_snippets} python/json snippets")
     return 0
 
 
