@@ -94,6 +94,14 @@ def build_parser() -> argparse.ArgumentParser:
                        help="destination-range plan shards: 'auto' (or 0) "
                             "lets the planner decide, 'off' (or 1, the "
                             "default) disables, K >= 2 forces K shards")
+        p.add_argument("--partitioner", type=_knob_type("partitioner"),
+                       default=None, metavar="auto|rows|edges|degree",
+                       help="shard partitioner: 'auto' (default) lets the "
+                            "planner's skew gate decide, 'rows' (= 'off') "
+                            "splits even row ranges, 'edges' balances "
+                            "edges over contiguous ranges, 'degree' "
+                            "groups degree-sorted rows (explicit opt-in; "
+                            "incompatible with batched plans)")
         p.add_argument("--fuse", default=None,
                        choices=["auto", "off", "force"],
                        help="plan-level operator fusion: 'auto' lets the "
@@ -174,7 +182,8 @@ _ARG_FIELDS = {
     "compute_model": "compute_model", "framework": "framework",
     "layers": "num_layers", "hidden": "hidden", "scale": "scale",
     "seed": "seed", "repeats": "repeats", "shards": "shards",
-    "fuse": "fuse", "batch": "batch", "profile_costs": "profile_costs",
+    "partitioner": "partitioner", "fuse": "fuse", "batch": "batch",
+    "profile_costs": "profile_costs",
 }
 
 
@@ -298,12 +307,30 @@ def _cmd_plan(args) -> int:
     from repro.plan import describe_fusion
     print(describe_fusion(plan, decisions.fusion))
     if decisions.shards > 1:
-        from repro.plan import find_shard_groups, shard_ranges
-        ranges = shard_ranges(pipeline.graph.num_nodes, decisions.shards)
+        import numpy as np
+        from repro.plan import (
+            degree_grouped_rows,
+            edge_balanced_ranges,
+            find_shard_groups,
+            shard_ranges,
+        )
+        graph = pipeline.graph
+        row_edges = np.bincount(graph.dst, minlength=graph.num_nodes)
+        if decisions.partitioner == "edges":
+            shards = edge_balanced_ranges(row_edges, decisions.shards)
+            counts = [int(row_edges[lo:hi].sum()) for lo, hi in shards]
+        elif decisions.partitioner == "degree":
+            shards = degree_grouped_rows(row_edges, decisions.shards)
+            counts = [int(row_edges[rows].sum()) for rows in shards]
+        else:
+            shards = shard_ranges(graph.num_nodes, decisions.shards)
+            counts = [int(row_edges[lo:hi].sum()) for lo, hi in shards]
         groups = find_shard_groups(plan)
-        print(f"sharding: {len(ranges)} destination-range shards "
+        print(f"sharding: {len(shards)} destination-range shards "
               f"({decisions.shards_source}) over {len(groups)} "
               f"aggregation op(s)")
+        print(f"partitioner: {decisions.partitioner}; per-shard edges "
+              f"{counts}")
     elif args.shards != 1 and not built.can_shard():
         print(f"sharding: unavailable (backend {args.framework!r} does "
               f"not execute plans shardably)")

@@ -92,15 +92,21 @@ class Knob:
         return coerced
 
 
-#: The three plan-level knobs, one vocabulary each.  ``shards`` and
+#: The plan-level knobs, one vocabulary each.  ``shards`` and
 #: ``batch`` canonicalise to the historical integer encoding (0 =
 #: planner auto, 1 = off, K >= 2 explicit); ``fuse`` keeps its string
-#: values with ``"force"`` as the knob-specific third state.
+#: values with ``"force"`` as the knob-specific third state;
+#: ``partitioner`` names how destinations split into shards (``"off"``
+#: is the free even-row split, and ``"degree"`` is CLI-opt-in only —
+#: the planner never picks a row-permuting mode on its own).
 KNOBS = {
     "shards": Knob("shards", auto=0, off=1),
     "fuse": Knob("fuse", auto="auto", off="off",
                  spellings=(("force", "force"),), integer=False),
     "batch": Knob("batch", auto=0, off=1),
+    "partitioner": Knob("partitioner", auto="auto", off="rows",
+                        spellings=(("rows", "rows"), ("edges", "edges"),
+                                   ("degree", "degree")), integer=False),
 }
 
 
@@ -138,6 +144,11 @@ class SuiteConfig:
     sample_cap: int = 1_000_000   # memory-trace sampling budget
     shards: int = 1               # plan sharding: 0 = planner decides,
                                   # 1 = unsharded, K >= 2 = force K shards
+    partitioner: str = "auto"     # shard partitioner: "auto" = planner
+                                  # decides (skew gate), "rows" = even
+                                  # row ranges, "edges" = edge-balanced
+                                  # ranges, "degree" = degree-sorted row
+                                  # grouping (explicit opt-in only)
     fuse: str = "auto"            # plan fusion: "auto" = planner decides,
                                   # "off" = never (--no-fuse), "force" =
                                   # every legal site

@@ -15,7 +15,12 @@ from repro.core.kernels.launch import (
 from repro.core.kernels.registry import KERNELS, KernelSpec, get_kernel, kernel_table
 from repro.core.kernels.scatter import REDUCE_OPS, scatter, streaming_reduce
 from repro.core.kernels.sgemm import sgemm
-from repro.core.kernels.sparse import fused_gather_scatter, spgemm, spmm
+from repro.core.kernels.sparse import (
+    fused_gather_scatter,
+    spgemm,
+    spmm,
+    transform_spmm,
+)
 
 __all__ = [
     "CTA_SIZE",
@@ -39,4 +44,5 @@ __all__ = [
     "spgemm",
     "spmm",
     "streaming_reduce",
+    "transform_spmm",
 ]

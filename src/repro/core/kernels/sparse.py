@@ -2,34 +2,43 @@
 message-passing aggregate ``fusedGatherScatter``.
 
 ``spmm`` multiplies a sparse adjacency (CSR) by a dense feature matrix —
-the fused aggregate of DGL-style execution.  ``SpGEMM`` multiplies two
+the fused aggregate of DGL-style execution — with an optional epilogue
+(row-broadcast bias, then activation) folded in the way ``sgemm``'s
+cuBLAS-style epilogue folds its stages.  ``SpGEMM`` multiplies two
 sparse matrices — the adjacency-normalisation chain of the paper's
 Fig. 2 (``D^-1/2 * A * D^-1/2``).  ``fused_gather_scatter`` is the
 plan-level-fusion entry point for the MP side: one launch that streams
 per-edge messages from gather straight into the scatter reduction
 (:func:`repro.core.kernels.scatter.streaming_reduce`) instead of
 materialising the ``[E, f]`` intermediate between two launches.
+``transform_spmm`` is the cross-layer entry point: the dense layer
+transform (``sgemm`` arithmetic, epilogue included) feeding straight
+into the next layer's aggregation ``adjacency @ h`` without the
+transformed features round-tripping through DRAM between launches.
 """
 
 from __future__ import annotations
 
+import math
 import time
 from typing import Optional
 
 import numpy as np
 
 from repro.core.kernels import launch as L
-from repro.core.kernels.costmodel import mix_for
+from repro.core.kernels.costmodel import EPILOGUE_FP32_PER_ELEMENT, mix_for
 from repro.core.kernels.scatter import REDUCE_OPS, STREAM_BLOCK_BYTES, \
     streaming_reduce
 from repro.errors import KernelError
 from repro.graph.formats import CSRMatrix
 
-__all__ = ["spmm", "spgemm", "fused_gather_scatter"]
+__all__ = ["spmm", "spgemm", "fused_gather_scatter", "transform_spmm"]
 
 
-def spmm(adjacency: CSRMatrix, dense: np.ndarray, tag: str = "") -> np.ndarray:
-    """Sparse x dense product ``adjacency @ dense``.
+def spmm(adjacency: CSRMatrix, dense: np.ndarray,
+         bias: Optional[np.ndarray] = None, tag: str = "",
+         activation: Optional[str] = None) -> np.ndarray:
+    """Sparse x dense product ``adjacency @ dense``, optional epilogue.
 
     Parameters
     ----------
@@ -37,8 +46,18 @@ def spmm(adjacency: CSRMatrix, dense: np.ndarray, tag: str = "") -> np.ndarray:
         CSR matrix ``[n, n]`` (row = destination node).
     dense:
         Float matrix ``[n, f]`` of node features.
+    bias:
+        Optional length-``f`` vector added to every output row inside
+        this launch (cuBLAS-epilogue style, mirroring ``sgemm``).
     tag:
         Optional label copied onto the emitted :class:`KernelLaunch`.
+    activation:
+        Optional epilogue activation applied to the finished output
+        inside this launch, *after* the float32 cast — bit-for-bit what
+        a separate bias-add + activation over the plain product would
+        produce.  The launch record carries the epilogue's extra
+        arithmetic and a ``replaces`` entry naming the plain spmm
+        launch it stands in for.
     """
     if not isinstance(adjacency, CSRMatrix):
         raise KernelError(
@@ -51,20 +70,33 @@ def spmm(adjacency: CSRMatrix, dense: np.ndarray, tag: str = "") -> np.ndarray:
         raise KernelError(
             f"spmm dimension mismatch: {adjacency.shape} x {dense.shape}"
         )
+    if bias is not None:
+        bias = np.asarray(bias, dtype=np.float32)
+        if bias.shape != (dense.shape[1],):
+            raise KernelError(
+                f"bias must have shape ({dense.shape[1]},), got {bias.shape}"
+            )
 
     start = time.perf_counter()
     out = adjacency.matmul(dense)
+    if bias is not None:
+        out = out + bias
+    out = out.astype(np.float32, copy=False)
+    if activation:
+        from repro.core.models.activations import get_activation
+        out = get_activation(activation)(out)
     duration = time.perf_counter() - start
 
     recorder = L.active_recorder()
     if recorder is not None:
-        _emit_spmm(recorder, adjacency, dense, out, duration, tag)
+        _emit_spmm(recorder, adjacency, dense, out, duration, tag,
+                   epilogue=activation or "")
     return out
 
 
 def _emit_spmm(recorder: L.LaunchRecorder, adjacency: CSRMatrix,
                dense: np.ndarray, out: np.ndarray, duration: float,
-               tag: str) -> None:
+               tag: str, epilogue: str = "") -> None:
     nnz = adjacency.nnz
     f = dense.shape[1]
     row_bytes = f * L.FLOAT_BYTES
@@ -87,21 +119,155 @@ def _emit_spmm(recorder: L.LaunchRecorder, adjacency: CSRMatrix,
     ])
     stores = L.sequential_lines(out_base, out.size * L.FLOAT_BYTES, cap)
 
+    mix = mix_for("spmm", units)
+    if epilogue:
+        # Epilogue stages run in registers before the store (the sgemm
+        # emitter's convention): arithmetic joins the mix, no traffic.
+        mix.fp32 += EPILOGUE_FP32_PER_ELEMENT * out.size
     recorder.emit(L.KernelLaunch(
         kernel="spmm",
         short_form="sp",
         model="SpMM",
         threads=max(1, out.size),
-        mix=mix_for("spmm", units),
+        mix=mix,
         loads=loads,
         stores=stores,
-        flops=2.0 * units,
+        flops=2.0 * units + (float(out.size) if epilogue else 0.0),
         bytes_read=float(L.FLOAT_BYTES) * (nnz * (2 + f) + adjacency.indptr.size),
         bytes_written=float(out.size * L.FLOAT_BYTES),
         duration_s=duration,
         sample_fraction=fraction,
         active_lanes=min(L.WARP_SIZE, max(1, f)),
         tag=tag,
+        replaces=(f"spmm:{tag}",) if epilogue else (),
+        epilogue=epilogue,
+    ))
+
+
+def transform_spmm(a: np.ndarray, b: np.ndarray, adjacency: CSRMatrix,
+                   bias: Optional[np.ndarray] = None,
+                   activation: Optional[str] = None,
+                   sgemm_tag: str = "", tag: str = "") -> np.ndarray:
+    """Cross-layer fusion: ``adjacency @ act(a @ b + bias)`` in one launch.
+
+    The dense layer transform — exactly ``sgemm``'s arithmetic,
+    epilogue included, so the intermediate is bit-for-bit the unfused
+    transform output — feeds straight into the next layer's SpMM
+    aggregation; the transformed feature matrix stays on-chip instead
+    of round-tripping through DRAM between two launches.  ``sgemm_tag``
+    / ``tag`` name the replaced sgemm / spmm launches for the fusion
+    trace mapping.
+    """
+    a = np.asarray(a, dtype=np.float32)
+    b = np.asarray(b, dtype=np.float32)
+    if a.ndim != 2 or b.ndim != 2:
+        raise KernelError(
+            f"transformSpmm expects 2-D dense operands, got {a.ndim}-D "
+            f"and {b.ndim}-D")
+    if a.shape[1] != b.shape[0]:
+        raise KernelError(
+            f"transformSpmm dimension mismatch: {a.shape} x {b.shape}")
+    if not isinstance(adjacency, CSRMatrix):
+        raise KernelError(
+            f"transformSpmm expects a CSRMatrix, got "
+            f"{type(adjacency).__name__}")
+    if adjacency.shape[1] != a.shape[0]:
+        raise KernelError(
+            f"transformSpmm dimension mismatch: {adjacency.shape} x "
+            f"[{a.shape[0]}, {b.shape[1]}]")
+    if bias is not None:
+        bias = np.asarray(bias, dtype=np.float32)
+        if bias.shape != (b.shape[1],):
+            raise KernelError(
+                f"bias must have shape ({b.shape[1]},), got {bias.shape}")
+
+    start = time.perf_counter()
+    # Replicate the sgemm kernel's exact operation order (product, bias,
+    # float32 cast, activation) so the on-chip intermediate is bitwise
+    # the unfused transform output, then aggregate it.
+    h = a @ b
+    if bias is not None:
+        h = h + bias
+    h = h.astype(np.float32, copy=False)
+    if activation:
+        from repro.core.models.activations import get_activation
+        h = get_activation(activation)(h)
+    out = adjacency.matmul(h)
+    duration = time.perf_counter() - start
+
+    recorder = L.active_recorder()
+    if recorder is not None:
+        _emit_transform_spmm(recorder, a, b, adjacency, h, out, duration,
+                             sgemm_tag, tag, epilogue=activation or "")
+    return out
+
+
+def _emit_transform_spmm(recorder: L.LaunchRecorder, a, b,
+                         adjacency: CSRMatrix, h, out, duration: float,
+                         sgemm_tag: str, tag: str,
+                         epilogue: str = "") -> None:
+    """Launch record of one cross-layer transform+SpMM.
+
+    Operands may be geometry-only stand-ins.  The instruction mix is
+    the sum of the two stages it fuses; the memory trace carries the
+    GEMM operand sweeps and the adjacency structure/values, but not the
+    transformed feature rows — the intermediate stays on-chip, which is
+    exactly the traffic this fusion eliminates.  ``replaces`` restores
+    the legacy two-launch sequence for the trace mapping.
+    """
+    n, k = a.shape
+    m = b.shape[1]
+    fmas = float(n) * k * m
+    nnz = adjacency.nnz
+    units = float(nnz) * m
+
+    a_base = recorder.new_region()
+    b_base = recorder.new_region()
+    structure_base = recorder.new_region()
+    values_base = recorder.new_region()
+    out_base = recorder.new_region()
+    cap = recorder.sample_cap
+    loads = np.concatenate([
+        L.sequential_lines(a_base, a.size * L.FLOAT_BYTES, cap),
+        L.sequential_lines(b_base, b.size * L.FLOAT_BYTES, cap),
+        L.sequential_lines(structure_base,
+                           (adjacency.indptr.size + nnz) * L.FLOAT_BYTES,
+                           cap),
+        L.sequential_lines(values_base, nnz * L.FLOAT_BYTES, cap),
+    ])
+    stores = L.sequential_lines(out_base, out.size * L.FLOAT_BYTES, cap)
+
+    mix = mix_for("sgemm", fmas)
+    spmm_mix = mix_for("spmm", units)
+    mix.fp32 += spmm_mix.fp32
+    mix.int_ops += spmm_mix.int_ops
+    mix.ldst += spmm_mix.ldst
+    mix.control += spmm_mix.control
+    mix.other += spmm_mix.other
+    if epilogue:
+        mix.fp32 += EPILOGUE_FP32_PER_ELEMENT * h.size
+    row_tiles = math.ceil(n / 32)
+    col_tiles = math.ceil(m / 32)
+    recorder.emit(L.KernelLaunch(
+        kernel="transformSpmm",
+        short_form="ts",
+        model="SpMM",
+        threads=max(1, out.size),
+        mix=mix,
+        loads=loads,
+        stores=stores,
+        flops=2.0 * fmas + 2.0 * units
+            + (float(h.size) if epilogue else 0.0),
+        bytes_read=float(L.FLOAT_BYTES) * (
+            a.size * col_tiles + b.size * row_tiles
+            + nnz * 2 + adjacency.indptr.size),
+        bytes_written=float(out.size * L.FLOAT_BYTES),
+        duration_s=duration,
+        sample_fraction=1.0,
+        active_lanes=min(L.WARP_SIZE, max(1, m)),
+        tag=tag,
+        replaces=(f"sgemm:{sgemm_tag}", f"spmm:{tag}"),
+        epilogue=epilogue,
     ))
 
 

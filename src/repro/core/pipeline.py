@@ -243,6 +243,22 @@ class GNNPipeline:
                                profile=self.cost_profile())
         return policy if policy.enabled else None
 
+    def shard_partitioner(self, num_shards: int) -> str:
+        """The shard partitioner ``config.partitioner`` implies.
+
+        An explicit value (``"rows"`` / ``"edges"`` / ``"degree"``)
+        passes through; ``"auto"`` (the default) asks the planner,
+        whose skew gate (:func:`repro.plan.planner.choose_partitioner`)
+        keeps flat graphs on the free even-row split and balances edges
+        only past :attr:`~repro.plan.costprofile.CostProfile.shard_skew_threshold`
+        — it never picks the row-permuting ``"degree"`` mode.
+        """
+        if self.config.partitioner != "auto":
+            return self.config.partitioner
+        from repro.plan.planner import choose_partitioner
+        return choose_partitioner(self.graph_stats(), num_shards,
+                                  profile=self.cost_profile())
+
     def sharding_policy(self, layer_formats=None, fused=False):
         """The sharded-execution policy ``config.shards`` implies.
 
@@ -261,14 +277,17 @@ class GNNPipeline:
         ``fused`` declares that the plan's gather/scatter pairs were
         fused: the streaming kernel already bounds the working set, so
         MP layers stop exerting sharding pressure (see
-        :func:`~repro.plan.planner.choose_shards`).
+        :func:`~repro.plan.planner.choose_shards`).  Either way the
+        policy carries the partitioner :meth:`shard_partitioner`
+        resolves for the decided shard count.
         """
         from repro.plan.sharding import ShardingPolicy
         shards = self.config.shards
         if shards == 1:
             return None
         if shards >= 2:
-            return ShardingPolicy(num_shards=shards, source="forced")
+            return ShardingPolicy(num_shards=shards, source="forced",
+                                  partitioner=self.shard_partitioner(shards))
         from repro.core.models import get_model_class
         from repro.core.models.base import layer_dimensions
         from repro.plan.planner import choose_shards
@@ -286,7 +305,8 @@ class GNNPipeline:
             profile=self.cost_profile())
         if chosen <= 1:
             return None
-        return ShardingPolicy(num_shards=chosen, source="planner")
+        return ShardingPolicy(num_shards=chosen, source="planner",
+                              partitioner=self.shard_partitioner(chosen))
 
     def build(self, shard_cache: bool = True):
         """Construct the backend pipeline (framework init included).
@@ -374,6 +394,8 @@ class GNNPipeline:
             formats_source=formats_source,
             shards=sharding.num_shards if sharding is not None else 1,
             shards_source=sharding.source if sharding is not None else "off",
+            partitioner=sharding.partitioner
+            if sharding is not None else "rows",
             fusion=fusion,
             fused_sites=fused_sites,
             batch=batch.size,

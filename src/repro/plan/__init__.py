@@ -64,6 +64,7 @@ from repro.plan.ir import (
     FORMATS,
     FusedElementwise,
     FusedGatherScatter,
+    FusedTransformSpMM,
     Gather,
     Normalize,
     PlanBuilder,
@@ -90,19 +91,24 @@ from repro.plan.planner import (
     choose_batching,
     choose_formats,
     choose_fusion,
+    choose_partitioner,
     choose_shards,
     explain_choice,
     fusion_gain,
     mp_layer_cost,
+    partition_balance_cost,
     shard_setup_cost,
     spmm_layer_cost,
     spmm_setup_cost,
 )
 from repro.plan.sharding import (
+    PARTITIONERS,
     ShardDispatcher,
     ShardGroup,
     ShardingPolicy,
     build_shard_subplan,
+    degree_grouped_rows,
+    edge_balanced_ranges,
     find_shard_groups,
     shard_ranges,
 )
@@ -117,11 +123,13 @@ __all__ = [
     "FORMATS",
     "FusedElementwise",
     "FusedGatherScatter",
+    "FusedTransformSpMM",
     "FusionPolicy",
     "Gather",
     "GraphStats",
     "NORMALIZE_KINDS",
     "Normalize",
+    "PARTITIONERS",
     "PROFILE_SCHEMA_VERSION",
     "PlanBuilder",
     "PlanExecutor",
@@ -141,9 +149,12 @@ __all__ = [
     "choose_batching",
     "choose_formats",
     "choose_fusion",
+    "choose_partitioner",
     "choose_shards",
     "default_profile_path",
+    "degree_grouped_rows",
     "describe_fusion",
+    "edge_balanced_ranges",
     "explain_choice",
     "find_shard_groups",
     "fuse_plan",
@@ -153,6 +164,7 @@ __all__ = [
     "host_key",
     "legacy_trace",
     "mp_layer_cost",
+    "partition_balance_cost",
     "register_normalize",
     "resolve_cost_profile",
     "shard_ranges",

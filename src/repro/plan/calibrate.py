@@ -24,7 +24,13 @@ regressors:
   ``(unit, unit * r)``, giving the row-traversal overhead;
 * the fused kernel's measured saving against the separate pair,
   plugged back into :func:`~repro.plan.planner.fusion_gain`, solves
-  for the destination-partition unit.
+  for the destination-partition unit;
+* real shard-dispatch probes — the gather/scatter micro-plan run
+  through a sharded :class:`~repro.plan.executor.PlanExecutor` on
+  degree-sorted layouts — give the per-shard setup constant (the
+  sharded-minus-unsharded cycle overhead, net of the modelled merge
+  share) and the skew threshold at which the edge-balanced
+  partitioner's makespan win becomes meaningful.
 
 The cache/footprint budgets come from the host itself (last-level
 cache size from sysfs, memory from ``/proc/meminfo``).  Every fitted
@@ -117,6 +123,27 @@ _SWEEP: Tuple[MicroCell, ...] = tuple(
 #: the fused path actually blocks and the partition cost is observable.
 _FUSE_CELL = MicroCell(num_nodes=4000, avg_degree=32, feature_width=32,
                        degree_exponent=2.5)
+
+#: The shard-dispatch probes.  ``_SHARD_CELL`` measures per-shard
+#: overhead (slice + dispatch + merge) for ``shard_setup_instructions``;
+#: the flat/skewed pair brackets the regime where edge balancing starts
+#: to pay, for ``shard_skew_threshold``.  All three run degree-sorted
+#: (hub rows first — the worst-case export layout the edge-balanced
+#: partitioner exists for).
+_SHARD_CELL = MicroCell(num_nodes=2000, avg_degree=16, feature_width=32,
+                        degree_exponent=2.6)
+_SKEW_FLAT_CELL = MicroCell(num_nodes=2000, avg_degree=16, feature_width=32,
+                            degree_exponent=6.0)
+_SKEW_HEAVY_CELL = MicroCell(num_nodes=2000, avg_degree=16, feature_width=32,
+                             degree_exponent=2.2)
+
+#: Shard count of the dispatch probes.
+_SHARD_PROBE_K = 4
+
+#: Minimum rows-vs-edges makespan ratio that counts as a *meaningful*
+#: balance win — below it the difference is dispatch jitter, not
+#: imbalance the partitioner should chase.
+_SKEW_WIN_MARGIN = 1.3
 
 
 def micro_cells(profile_name: str = "ci") -> Tuple[MicroCell, ...]:
@@ -268,6 +295,142 @@ def _fused_partition_unit(simulator, launch_overhead: float,
     return unit, measured_gain
 
 
+def _degree_sorted(graph):
+    """Relabel ``graph`` with hub rows first (in-degree descending).
+
+    The adversarial layout for even-row sharding: every synthetic cell
+    places its hubs uniformly, so random layouts average out the very
+    imbalance the probes must observe.  Degree-sorted export order —
+    common in real dataset dumps — concentrates it instead.
+    """
+    from repro.graph import Graph
+    degrees = graph.in_degrees()
+    rank = np.empty(graph.num_nodes, dtype=np.int64)
+    rank[np.argsort(-degrees, kind="stable")] = np.arange(graph.num_nodes)
+    edge_index = np.stack([rank[graph.src], rank[graph.dst]])
+    return Graph(edge_index, num_nodes=graph.num_nodes)
+
+
+def _shard_probe_plan():
+    """The minimal shardable plan: one gather -> scatter group."""
+    from repro.plan.ir import PlanBuilder
+    builder = PlanBuilder("calib", "shard-probe")
+    x = builder.input("X", "dense")
+    src = builder.input("src", "edge")
+    dst = builder.input("dst", "edge")
+    messages = builder.gather(x, src, tag="calib")
+    out = builder.scatter_reduce(messages, dst, tag="calib")
+    return builder.build(out)
+
+
+def _shard_probe_cycles(simulator, cell: MicroCell, partitioner: str,
+                        num_shards: int) -> Tuple[float, float]:
+    """Run the shard probe; returns ``(total, makespan)`` cycles.
+
+    ``num_shards <= 1`` runs unsharded (total == makespan).  Sharded
+    runs simulate the executor's *shard-local* trace — the canonical
+    (ambient) trace is bit-identical across partitioners by contract,
+    so only the shard trace can expose dispatch overhead or imbalance.
+    The makespan models ``jobs > 1``: the heaviest shard's cycles plus
+    the serial (merge) launches.
+    """
+    import re
+    from repro.core.kernels import record_launches
+    from repro.plan.executor import PlanExecutor
+    from repro.plan.sharding import ShardingPolicy
+
+    graph = _degree_sorted(_cell_graph(cell))
+    rng = np.random.default_rng(0)
+    x = rng.standard_normal(
+        (cell.num_nodes, cell.feature_width)).astype(np.float32)
+    plan = _shard_probe_plan()
+    inputs = {"X": x, "src": graph.src, "dst": graph.dst}
+    if num_shards <= 1:
+        executor = PlanExecutor()
+        with record_launches() as recorder:
+            executor.run(plan, graph, inputs)
+        total = sum(result.estimated_total_cycles
+                    for result in simulator.simulate_all(recorder.launches))
+        return total, total
+    executor = PlanExecutor(sharding=ShardingPolicy(
+        num_shards=num_shards, use_cache=False, partitioner=partitioner))
+    with record_launches():
+        executor.run(plan, graph, inputs)
+    per_shard: Dict[int, float] = {}
+    serial = 0.0
+    for launch, result in zip(executor.shard_trace,
+                              simulator.simulate_all(executor.shard_trace)):
+        match = re.search(r"@shard(\d+)/", launch.tag)
+        if match:
+            shard = int(match.group(1))
+            per_shard[shard] = (per_shard.get(shard, 0.0)
+                                + result.estimated_total_cycles)
+        else:
+            serial += result.estimated_total_cycles
+    total = sum(per_shard.values()) + serial
+    makespan = (max(per_shard.values()) if per_shard else 0.0) + serial
+    return total, makespan
+
+
+def _shard_setup_fit(simulator, scatter_unit: float,
+                     ) -> Tuple[float, float]:
+    """Solve ``shard_setup_instructions`` from the dispatch probe.
+
+    The probe's sharded-minus-unsharded cycle overhead, split over the
+    ``K`` shards, is the planner's :func:`~repro.plan.planner.shard_setup_cost`
+    shape ``setup + scatter_unit * V`` — subtracting the modelled merge
+    share leaves the per-shard setup constant.  Returns ``(setup,
+    total_overhead)``; ``setup`` goes non-positive (caller falls back)
+    when the probe degenerates.
+    """
+    cell = _SHARD_CELL
+    unsharded, _ = _shard_probe_cycles(simulator, cell, "rows", 1)
+    sharded, _ = _shard_probe_cycles(simulator, cell, "rows",
+                                     _SHARD_PROBE_K)
+    overhead = sharded - unsharded
+    setup = overhead / _SHARD_PROBE_K - scatter_unit * cell.num_nodes
+    return setup, overhead
+
+
+def _skew_threshold_fit(simulator) -> Tuple[float, float, float]:
+    """Solve ``shard_skew_threshold`` from the flat/skewed probe pair.
+
+    Measures the rows-vs-edges *makespan* ratio on a flat and a
+    heavy-tailed cell (both degree-sorted).  A ratio past
+    :data:`_SKEW_WIN_MARGIN` means edge balancing meaningfully shortens
+    the critical path at that cell's :attr:`GraphStats.degree_skew`:
+
+    * wins on the skewed cell only — the crossover sits between the two
+      skews; take their geometric mean;
+    * wins on both — even near-flat graphs pay; halve the flat skew;
+    * wins on neither — the probe saw no exploitable imbalance; return
+      ``nan`` so the caller keeps the paper threshold.
+
+    Returns ``(threshold, flat_ratio, skewed_ratio)``.
+    """
+    from repro.plan.planner import GraphStats
+
+    def ratio(cell: MicroCell) -> Tuple[float, float]:
+        _, rows = _shard_probe_cycles(simulator, cell, "rows",
+                                      _SHARD_PROBE_K)
+        _, edges = _shard_probe_cycles(simulator, cell, "edges",
+                                       _SHARD_PROBE_K)
+        skew = GraphStats.from_graph(_cell_graph(cell)).degree_skew
+        return (rows / edges if edges > 0 else float("nan")), skew
+
+    flat_ratio, flat_skew = ratio(_SKEW_FLAT_CELL)
+    heavy_ratio, heavy_skew = ratio(_SKEW_HEAVY_CELL)
+    flat_wins = flat_ratio >= _SKEW_WIN_MARGIN
+    heavy_wins = heavy_ratio >= _SKEW_WIN_MARGIN
+    if heavy_wins and not flat_wins:
+        threshold = math.sqrt(flat_skew * heavy_skew)
+    elif heavy_wins and flat_wins:
+        threshold = flat_skew / 2.0
+    else:
+        threshold = float("nan")
+    return threshold, flat_ratio, heavy_ratio
+
+
 # ---------------------------------------------------------------------------
 # Host budgets
 # ---------------------------------------------------------------------------
@@ -384,8 +547,17 @@ def fit_profile(profile_name: str = "ci", gpu_config=None,
         footprint = paper.batch_footprint_bytes
     diagnostics.append(("fallback_batch_footprint_bytes",
                         0.0 if memory else 1.0))
-    # Not yet fitted (would need shard-dispatch probes); paper values.
-    diagnostics.append(("fallback_shard_setup_instructions", 1.0))
+
+    setup, shard_overhead = _shard_setup_fit(
+        simulator, fitted["scatter_unit"])
+    accept("shard_setup_instructions", setup,
+           paper.shard_setup_instructions)
+    diagnostics.append(("shard_overhead_cycles", float(shard_overhead)))
+
+    threshold, flat_ratio, heavy_ratio = _skew_threshold_fit(simulator)
+    accept("shard_skew_threshold", threshold, paper.shard_skew_threshold)
+    diagnostics.append(("shard_skew_win_flat", float(flat_ratio)))
+    diagnostics.append(("shard_skew_win_skewed", float(heavy_ratio)))
 
     return CostProfile(
         gather_unit=fitted["gather_unit"],
@@ -398,7 +570,12 @@ def fit_profile(profile_name: str = "ci", gpu_config=None,
         launch_overhead=fitted["launch_overhead"],
         fuse_stream_block_bytes=paper.fuse_stream_block_bytes,
         shard_working_set_bytes=int(working_set),
-        shard_setup_instructions=paper.shard_setup_instructions,
+        shard_setup_instructions=fitted["shard_setup_instructions"],
+        shard_skew_threshold=fitted["shard_skew_threshold"],
+        # The O(V) prefix-sum bookkeeping runs host-side, outside the
+        # simulator's view — the paper constant stands, like the
+        # streaming block size.
+        shard_balance_unit=paper.shard_balance_unit,
         batch_footprint_bytes=int(footprint),
         max_auto_batch=paper.max_auto_batch,
         name=f"calibrated-{host_key()}",

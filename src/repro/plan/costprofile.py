@@ -49,7 +49,9 @@ __all__ = [
 
 #: Bump when :class:`CostProfile` gains/renames fitted fields — loading
 #: refuses a mismatched version instead of silently misreading it.
-PROFILE_SCHEMA_VERSION = 1
+#: Version 2 added the skew-aware partitioner constants
+#: (``shard_skew_threshold``, ``shard_balance_unit``).
+PROFILE_SCHEMA_VERSION = 2
 
 #: Environment variable naming a profile file (or the literal
 #: ``"paper"``) used when no explicit ``--profile-costs`` path is given.
@@ -87,6 +89,10 @@ class CostProfile:
     # -- sharding ---------------------------------------------------------
     shard_working_set_bytes: int     # per-shard LLC residency target
     shard_setup_instructions: float  # per-shard slice/dispatch/merge
+    shard_skew_threshold: float      # degree skew above which the
+                                     # edge-balanced partitioner pays
+    shard_balance_unit: float        # per-row prefix-sum/boundary cost
+                                     # of the edge-balanced partition
     # -- batching ---------------------------------------------------------
     batch_footprint_bytes: int       # packed resident-state budget
     max_auto_batch: int              # planner-chosen batch ceiling
@@ -105,7 +111,8 @@ class CostProfile:
         for name in ("gather_unit", "scatter_unit", "spmm_unit",
                      "spgemm_unit", "row_overhead_nnz",
                      "fuse_partition_unit", "launch_overhead",
-                     "shard_setup_instructions"):
+                     "shard_setup_instructions", "shard_skew_threshold",
+                     "shard_balance_unit"):
             if getattr(self, name) < 0:
                 raise CalibrationError(
                     f"cost profile {self.name!r}: {name} must be >= 0, "
@@ -141,6 +148,8 @@ class CostProfile:
             fuse_stream_block_bytes=STREAM_BLOCK_BYTES,
             shard_working_set_bytes=32 * 1024 * 1024,
             shard_setup_instructions=5.0e6,
+            shard_skew_threshold=8.0,
+            shard_balance_unit=2.0,
             batch_footprint_bytes=1024 ** 3,
             max_auto_batch=64,
             name="paper",

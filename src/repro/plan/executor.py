@@ -40,6 +40,7 @@ from repro.core.kernels import (
     scatter,
     sgemm,
     spmm,
+    transform_spmm,
 )
 from repro.core.models.activations import get_activation
 from repro.errors import PlanError
@@ -50,6 +51,7 @@ from repro.plan.ir import (
     ExecutionPlan,
     FusedElementwise,
     FusedGatherScatter,
+    FusedTransformSpMM,
     Gather,
     Normalize,
     ScatterReduce,
@@ -307,6 +309,19 @@ class PlanExecutor:
                     f"{plan.batch.node_offsets} do not match the bound "
                     f"graph's packing {tuple(int(o) for o in offsets)}"
                 )
+            if (self.sharding is not None
+                    and self.sharding.num_shards > 1
+                    and self.sharding.partitioner == "degree"):
+                # The degree partitioner regroups rows by in-degree —
+                # shard row lists cut across member boundaries in an
+                # order the segment map does not describe.  Refuse at
+                # bind time rather than silently merging packed
+                # segments under a permuted row order.
+                raise PlanError(
+                    "the 'degree' partitioner permutes shard row order "
+                    "and does not compose with a batched plan's packed "
+                    "member segments; use the 'rows' or 'edges' "
+                    "partitioner for batched execution")
             if plan.batch.num_graphs > 1:
                 self._segments = plan.batch.node_segments()
         env: Dict[int, Any] = dict(plan.constants)
@@ -403,7 +418,17 @@ class PlanExecutor:
             env[op.out.vid] = out
             return out
         if isinstance(op, SpMM):
-            out = spmm(env[op.matrix.vid], env[op.dense.vid], tag=op.tag)
+            bias = env[op.bias.vid] if op.bias is not None else None
+            out = spmm(env[op.matrix.vid], env[op.dense.vid], bias=bias,
+                       tag=op.tag, activation=op.activation or None)
+            env[op.out.vid] = out
+            return out
+        if isinstance(op, FusedTransformSpMM):
+            bias = env[op.bias.vid] if op.bias is not None else None
+            out = transform_spmm(
+                env[op.a.vid], env[op.b.vid], env[op.matrix.vid],
+                bias=bias, activation=op.activation or None,
+                sgemm_tag=op.sgemm_tag, tag=op.tag)
             env[op.out.vid] = out
             return out
         if isinstance(op, FusedGatherScatter):

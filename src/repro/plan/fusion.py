@@ -17,7 +17,17 @@ liveness/single-consumer analysis over the SSA op stream and merges
   and/or an ``Activation`` into one epilogue-carrying ``SGEMM``
   (cuBLAS-epilogue style: bias and activation fold into the launch);
 * **(c)** chains of ``Elementwise`` / ``Activation`` ops into one
-  :class:`~repro.plan.ir.FusedElementwise` traversal.
+  :class:`~repro.plan.ir.FusedElementwise` traversal;
+* **(d)** ``SpMM`` followed by a constant-vector ``add_bias`` and/or
+  an ``Activation`` into one epilogue-carrying ``SpMM`` — the SpMM
+  side of the epilogue contract (b);
+* **(e)** *cross-layer*: an epilogue-complete ``SGEMM`` whose output
+  feeds only the next layer's ``SpMM`` merges into one
+  :class:`~repro.plan.ir.FusedTransformSpMM` launch — legal only for
+  unbatched plans whose aggregation format is stable ``SpMM`` across
+  layers (``layer_formats`` is the IR's legality fact), so the
+  transformed features never round-trip through DRAM at the layer
+  boundary.
 
 **Legality.**  A producer fuses into its consumer only when the
 intermediate value has *exactly one* consumer and is not the plan
@@ -55,10 +65,12 @@ from repro.plan.ir import (
     ExecutionPlan,
     FusedElementwise,
     FusedGatherScatter,
+    FusedTransformSpMM,
     Gather,
     PlanOp,
     ScatterReduce,
     SGEMM,
+    SpMM,
 )
 
 __all__ = [
@@ -70,12 +82,20 @@ __all__ = [
 ]
 
 #: The fusion pattern names, in report order.
-PATTERNS = ("gather_scatter", "sgemm_epilogue", "elementwise_chain")
+PATTERNS = ("gather_scatter", "sgemm_epilogue", "spmm_epilogue",
+            "elementwise_chain", "cross_layer")
 
 
 @dataclass(frozen=True)
 class FusionPolicy:
     """Which fusion patterns :func:`fuse_plan` may apply.
+
+    ``cross_layer`` defaults *off* — unlike the per-op patterns it
+    merges work across a layer boundary, so the planner enables it
+    only for plans whose aggregation format is stable ``SpMM``
+    (:func:`repro.plan.planner.choose_fusion`); :func:`fuse_plan`
+    additionally refuses it on batched plans, whose dense transforms
+    must stay segment-local.
 
     ``source`` records where the decision came from (``"planner"`` /
     ``"forced"``) — reporting only, like
@@ -85,13 +105,16 @@ class FusionPolicy:
     gather_scatter: bool = True
     sgemm_epilogue: bool = True
     elementwise_chain: bool = True
+    spmm_epilogue: bool = True
+    cross_layer: bool = False
     source: str = "forced"
 
     @property
     def enabled(self) -> bool:
         """Whether any pattern is active."""
         return (self.gather_scatter or self.sgemm_epilogue
-                or self.elementwise_chain)
+                or self.elementwise_chain or self.spmm_epilogue
+                or self.cross_layer)
 
 
 def structure_digest(plan: ExecutionPlan) -> str:
@@ -180,6 +203,74 @@ def _try_sgemm_epilogue(ops: Sequence[PlanOp], i: int, uses: Dict[int, int],
     return fused, consumed
 
 
+def _try_spmm_epilogue(ops: Sequence[PlanOp], i: int, uses: Dict[int, int],
+                       constants: Dict[int, object],
+                       ) -> Optional[Tuple[SpMM, int]]:
+    """Pattern (d): fold a trailing bias add and/or activation into SpMM.
+
+    The SpMM mirror of :func:`_try_sgemm_epilogue`: same legality
+    (constant-vector bias, single consumer at every folded step), same
+    return convention.
+    """
+    op = ops[i]
+    if not isinstance(op, SpMM) or op.activation or op.bias is not None:
+        return None
+    fused = op
+    consumed = 1
+    j = i + 1
+    if (j < len(ops) and isinstance(ops[j], Elementwise)
+            and ops[j].kind == "add_bias"
+            and ops[j].a.vid == fused.out.vid
+            and ops[j].b.vid in constants
+            and ops[j].b.format == "vec"
+            and _single_consumer(uses, fused.out.vid)):
+        fused = replace(fused, bias=ops[j].b, out=ops[j].out)
+        consumed += 1
+        j += 1
+    if (j < len(ops) and isinstance(ops[j], Activation)
+            and ops[j].source.vid == fused.out.vid
+            and _single_consumer(uses, fused.out.vid)):
+        fused = replace(fused, activation=ops[j].function, out=ops[j].out)
+        consumed += 1
+    if consumed == 1:
+        return None
+    return fused, consumed
+
+
+def _try_cross_layer(ops: Sequence[PlanOp], i: int, uses: Dict[int, int],
+                     constants: Dict[int, object], policy: "FusionPolicy",
+                     ) -> Optional[Tuple[FusedTransformSpMM, int]]:
+    """Pattern (e): an epilogue-complete SGEMM feeding the next SpMM.
+
+    The transform (with any epilogue the policy would fold — pattern
+    (b) runs implicitly here so the boundary is epilogue-complete)
+    must have the following ``SpMM`` as its *only* consumer; the pair
+    merges into one :class:`~repro.plan.ir.FusedTransformSpMM`.  The
+    caller gates on format stability and on the plan being unbatched.
+    """
+    op = ops[i]
+    if not isinstance(op, SGEMM):
+        return None
+    folded, consumed = op, 1
+    if policy.sgemm_epilogue:
+        result = _try_sgemm_epilogue(ops, i, uses, constants)
+        if result is not None:
+            folded, consumed = result
+    j = i + consumed
+    if j >= len(ops) or not isinstance(ops[j], SpMM):
+        return None
+    successor = ops[j]
+    if (successor.dense.vid != folded.out.vid
+            or successor.bias is not None or successor.activation
+            or not _single_consumer(uses, folded.out.vid)):
+        return None
+    return FusedTransformSpMM(
+        a=folded.a, b=folded.b, matrix=successor.matrix,
+        out=successor.out, bias=folded.bias,
+        activation=folded.activation, sgemm_tag=folded.tag,
+        tag=successor.tag), consumed + 1
+
+
 def _try_elementwise_chain(ops: Sequence[PlanOp], i: int,
                            uses: Dict[int, int],
                            ) -> Optional[FusedElementwise]:
@@ -222,8 +313,22 @@ def fuse_plan(plan: ExecutionPlan, policy: FusionPolicy) -> ExecutionPlan:
     ops = plan.ops
     fused_ops: List[PlanOp] = []
     counts = {pattern: 0 for pattern in PATTERNS}
+    # Cross-layer legality is a plan-level fact: every layer must
+    # aggregate as SpMM (the boundary pattern is transform -> next
+    # layer's SpMM) and the plan must be unbatched (batched dense
+    # transforms run segment-local, which a merged launch cannot).
+    cross_layer_ok = (policy.cross_layer and plan.batch is None
+                      and len(plan.layer_formats) >= 2
+                      and all(fmt == "SpMM" for fmt in plan.layer_formats))
     i = 0
     while i < len(ops):
+        if cross_layer_ok:
+            merged = _try_cross_layer(ops, i, uses, plan.constants, policy)
+            if merged is not None:
+                fused_ops.append(merged[0])
+                counts["cross_layer"] += 1
+                i += merged[1]
+                continue
         if policy.gather_scatter:
             fused = _try_gather_scatter(ops, i, uses)
             if fused is not None:
@@ -236,6 +341,13 @@ def fuse_plan(plan: ExecutionPlan, policy: FusionPolicy) -> ExecutionPlan:
             if folded is not None:
                 fused_ops.append(folded[0])
                 counts["sgemm_epilogue"] += 1
+                i += folded[1]
+                continue
+        if policy.spmm_epilogue:
+            folded = _try_spmm_epilogue(ops, i, uses, plan.constants)
+            if folded is not None:
+                fused_ops.append(folded[0])
+                counts["spmm_epilogue"] += 1
                 i += folded[1]
                 continue
         if policy.elementwise_chain:
@@ -280,7 +392,9 @@ def describe_fusion(plan: ExecutionPlan,
         return "fusion: off"
     labels = {"gather_scatter": "gather+scatter",
               "sgemm_epilogue": "sgemm-epilogue",
-              "elementwise_chain": "elementwise-chain"}
+              "spmm_epilogue": "spmm-epilogue",
+              "elementwise_chain": "elementwise-chain",
+              "cross_layer": "cross-layer"}
     counts = fusion_summary(plan)
     applied = [f"{labels[pattern]} x{counts[pattern]}"
                for pattern in PATTERNS if counts.get(pattern)]

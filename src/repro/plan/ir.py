@@ -26,11 +26,13 @@ glue every GNN stack needs):
   *run* time, so plans record exactly the kernel launches — SpGEMM
   chains included — that the legacy direct paths emitted.
 
-The fusion pass (:mod:`repro.plan.fusion`) adds two derived ops —
+The fusion pass (:mod:`repro.plan.fusion`) adds three derived ops —
 :class:`FusedGatherScatter` (one streaming launch for a
-gather + scatter pair) and :class:`FusedElementwise` (an
-elementwise/activation chain collapsed to one dispatch) — written only
-by plan rewrites, never by direct lowering.
+gather + scatter pair), :class:`FusedElementwise` (an
+elementwise/activation chain collapsed to one dispatch) and
+:class:`FusedTransformSpMM` (a cross-layer boundary — dense transform
+plus epilogue feeding the next layer's ``SpMM`` — in one launch) —
+written only by plan rewrites, never by direct lowering.
 
 Plans are pure data: value references plus constants (the layer
 weights).  The workload graph is bound at execution time by the
@@ -70,6 +72,7 @@ __all__ = [
     "Normalize",
     "FusedGatherScatter",
     "FusedElementwise",
+    "FusedTransformSpMM",
     "PlanOp",
     "ExecutionPlan",
     "PlanBuilder",
@@ -204,17 +207,28 @@ class ScatterReduce:
 
 @dataclass(frozen=True)
 class SpMM:
-    """Fused sparse x dense product ``out = matrix @ dense``."""
+    """Fused sparse x dense product ``out = matrix @ dense``, optional
+    epilogue.
+
+    ``bias`` / ``activation`` name an epilogue (row-broadcast bias add,
+    then activation) folded into the same launch, mirroring
+    :class:`SGEMM`'s epilogue contract — written by the fusion pass
+    (:mod:`repro.plan.fusion`), never by direct lowering, so unfused
+    plans are untouched.
+    """
 
     matrix: ValueRef
     dense: ValueRef
     out: ValueRef
+    bias: Optional[ValueRef] = None
     tag: str = ""
+    activation: str = ""
 
     opcode = "spmm"
 
     def operands(self) -> Tuple[ValueRef, ...]:
-        return (self.matrix, self.dense)
+        refs = (self.matrix, self.dense)
+        return refs + ((self.bias,) if self.bias is not None else ())
 
 
 @dataclass(frozen=True)
@@ -395,8 +409,39 @@ class FusedElementwise:
             for stage in self.stages)
 
 
+@dataclass(frozen=True)
+class FusedTransformSpMM:
+    """Cross-layer fusion: ``out = matrix @ act(a @ b + bias)``.
+
+    One launch covering a layer boundary — the dense transform (plus
+    its epilogue bias/activation, exactly :class:`SGEMM`'s arithmetic)
+    feeding the *next* layer's ``SpMM`` aggregation.  Legal only when
+    the transform output has that single consumer and the plan's
+    aggregation format is stable across the boundary (both layers
+    SpMM); produced by the fusion pass, never by direct lowering.
+    ``sgemm_tag`` / ``tag`` keep the replaced launches' labels for the
+    fused launch's ``replaces`` mapping.
+    """
+
+    a: ValueRef
+    b: ValueRef
+    matrix: ValueRef
+    out: ValueRef
+    bias: Optional[ValueRef] = None
+    activation: str = ""
+    sgemm_tag: str = ""
+    tag: str = ""
+
+    opcode = "fused_transform_spmm"
+
+    def operands(self) -> Tuple[ValueRef, ...]:
+        refs = (self.a, self.b, self.matrix)
+        return refs + ((self.bias,) if self.bias is not None else ())
+
+
 PlanOp = Union[Gather, ScatterReduce, SpMM, SGEMM, Activation, Elementwise,
-               Normalize, FusedGatherScatter, FusedElementwise]
+               Normalize, FusedGatherScatter, FusedElementwise,
+               FusedTransformSpMM]
 
 
 def _op_outputs(op: PlanOp) -> Tuple[ValueRef, ...]:
@@ -560,9 +605,12 @@ class PlanBuilder:
                                        tag=tag))
         return out
 
-    def spmm(self, matrix: ValueRef, dense: ValueRef, tag: str = "") -> ValueRef:
+    def spmm(self, matrix: ValueRef, dense: ValueRef,
+             bias: Optional[ValueRef] = None, tag: str = "",
+             activation: str = "") -> ValueRef:
         out = self._new("dense")
-        self._ops.append(SpMM(matrix, dense, out, tag=tag))
+        self._ops.append(SpMM(matrix, dense, out, bias=bias, tag=tag,
+                              activation=activation))
         return out
 
     def sgemm(self, a: ValueRef, b: ValueRef,

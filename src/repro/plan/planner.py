@@ -68,9 +68,9 @@ from repro.plan.costprofile import CostProfile
 __all__ = ["BatchDecision", "GraphStats", "PlannerDecisions",
            "batch_member_bytes", "batch_member_footprint",
            "choose_batching", "choose_formats", "choose_fusion",
-           "choose_shards", "explain_choice", "fusion_gain",
-           "mp_layer_cost", "shard_setup_cost", "spmm_layer_cost",
-           "spmm_setup_cost"]
+           "choose_partitioner", "choose_shards", "explain_choice",
+           "fusion_gain", "mp_layer_cost", "partition_balance_cost",
+           "shard_setup_cost", "spmm_layer_cost", "spmm_setup_cost"]
 
 #: ``fn(fmt, fan_in, fan_out) -> width`` — the feature width a layer's
 #: aggregation actually runs at under execution format ``fmt``.  The
@@ -190,6 +190,9 @@ class PlannerDecisions:
     cost_profile: str = "paper"
     explain: str = ""
     execution_plan: Optional[Any] = None   # ExecutionPlan | None
+    partitioner: str = "rows"        # shard partitioner ("rows"/"edges"/
+                                     # "degree"; only meaningful when
+                                     # shards > 1)
 
     def to_dict(self) -> Dict[str, Any]:
         """JSON-serialisable form (what the regression gate records)."""
@@ -198,7 +201,9 @@ class PlannerDecisions:
             fusion = {
                 "gather_scatter": self.fusion.gather_scatter,
                 "sgemm_epilogue": self.fusion.sgemm_epilogue,
+                "spmm_epilogue": self.fusion.spmm_epilogue,
                 "elementwise_chain": self.fusion.elementwise_chain,
+                "cross_layer": self.fusion.cross_layer,
                 "source": self.fusion.source,
             }
         return {
@@ -206,6 +211,7 @@ class PlannerDecisions:
             "formats_source": self.formats_source,
             "shards": self.shards,
             "shards_source": self.shards_source,
+            "partitioner": self.partitioner,
             "fusion": fusion,
             "fused_sites": dict(self.fused_sites),
             "batch": self.batch,
@@ -380,9 +386,18 @@ def choose_fusion(dims: Sequence[Tuple[int, int]], stats: GraphStats,
             continue
         best_gain = max(best_gain, fusion_gain(stats, layer_width,
                                                profile=profile))
+    # Cross-layer fusion (merging a layer's epilogue-carrying transform
+    # with the next layer's aggregation into one launch) is legal only
+    # when the aggregation format is stable across every adjacent layer
+    # pair — the plan then reuses one adjacency structure end to end and
+    # the transform->aggregate boundary is a pure SSA edge.  It saves a
+    # launch per boundary at no modelled cost, so legality is the gate.
+    stable_spmm = len(formats) >= 2 and all(f == "SpMM" for f in formats)
     return FusionPolicy(gather_scatter=best_gain > 0.0,
                         sgemm_epilogue=True,
+                        spmm_epilogue=True,
                         elementwise_chain=True,
+                        cross_layer=stable_spmm,
                         source="planner")
 
 
@@ -459,6 +474,55 @@ def choose_shards(dims: Sequence[Tuple[int, int]], stats: GraphStats,
                           / shard_setup_cost(stats, profile=profile))
     k = min(wanted, int(amortised), max_shards, stats.num_nodes)
     return max(1, k)
+
+
+def partition_balance_cost(stats: GraphStats,
+                           profile: Optional[CostProfile] = None) -> float:
+    """Modelled one-off bookkeeping of the edge-balanced partition.
+
+    The prefix sum over the per-row in-edge counts plus the boundary
+    search is an O(V) host-side pass
+    (``profile.shard_balance_unit`` per row); the even-row split is
+    O(1).  Compared against one aggregation pass in
+    :func:`choose_partitioner` so degenerate workloads (near-edgeless
+    graphs) keep the free split.
+    """
+    profile = _resolve(profile)
+    return profile.shard_balance_unit * float(stats.num_nodes)
+
+
+def choose_partitioner(stats: GraphStats, num_shards: int = 0,
+                       profile: Optional[CostProfile] = None) -> str:
+    """The shard partitioner for one plan: ``"rows"`` or ``"edges"``.
+
+    Even-row destination ranges (``"rows"``) are free to compute but
+    bound each shard's *row* count, not its *edge* count: on a
+    power-law graph whose hub rows cluster (degree-sorted export
+    layouts), the heaviest shard can carry several times ``E / K``
+    edges — it blows the per-shard residency budget in-process and
+    bounds the pool's makespan under ``jobs > 1``.  The edge-balanced
+    partitioner (``"edges"``) splits by prefix sum over the CSR row
+    pointer so every shard carries ~``E / K`` edges at ragged row
+    counts.
+
+    The gate is :attr:`~repro.plan.costprofile.CostProfile.shard_skew_threshold`
+    on :attr:`GraphStats.degree_skew` — flat graphs cannot be
+    meaningfully imbalanced, so they keep the free split — plus the
+    :func:`partition_balance_cost` amortisation against one aggregation
+    pass.  The row-permuting ``"degree"`` mode (degree-sorted row
+    grouping) is opt-in via the CLI knob only; the planner never picks
+    it.  ``num_shards <= 1`` always returns ``"rows"`` (nothing to
+    balance).
+    """
+    profile = _resolve(profile)
+    if num_shards <= 1:
+        return "rows"
+    if stats.degree_skew <= profile.shard_skew_threshold:
+        return "rows"
+    aggregation = mp_layer_cost(stats, stats.feature_width, profile=profile)
+    if partition_balance_cost(stats, profile=profile) >= aggregation:
+        return "rows"
+    return "edges"
 
 
 # ---------------------------------------------------------------------------
@@ -590,7 +654,14 @@ def explain_choice(dims: Sequence[Tuple[int, int]], stats: GraphStats,
         f"avg degree {stats.avg_degree:.1f}, skew {stats.degree_skew:.1f}, "
         f"feature width {stats.feature_width}, "
         f"setup {spmm_setup_cost(stats, profile=profile):.3g} instr "
-        f"[costs: {profile.name}]"
+        f"[costs: {profile.name}]",
+        # The skew gate's inputs and hypothetical outcome (what the
+        # partitioner would be *if* the plan shards), priced under the
+        # same profile as everything else.
+        f"shard partitioner: degree skew {stats.degree_skew:.1f} vs "
+        f"threshold {profile.shard_skew_threshold:.1f} -> "
+        f"{choose_partitioner(stats, num_shards=2, profile=profile)} "
+        f"when sharded [costs: {profile.name}]",
     ]
     for layer, (fan_in, fan_out) in enumerate(dims):
         w_mp = width("MP", fan_in, fan_out)

@@ -55,6 +55,31 @@ per-destination and never refers to graph boundaries.  The executor's
 segment-local ``SGEMM`` handling applies to the non-group ops of a
 sharded walk unchanged; only ``local_tails`` sub-plans run their tail
 ``SGEMM`` over shard rows (the already-documented non-bitwise opt-in).
+
+**Partitioners.**  *How* destinations split into shards is the
+policy's :attr:`ShardingPolicy.partitioner`:
+
+* ``"rows"`` — :func:`shard_ranges`, equal *row* counts.  On power-law
+  graphs most edges land in the few hub-row shards, so K-way dispatch
+  is bottlenecked by its heaviest shard.
+* ``"edges"`` — :func:`edge_balanced_ranges`, a prefix-sum split over
+  the per-row edge counts (for ``SpMM`` groups literally the CSR row
+  pointer) placing each boundary on the first row whose cumulative
+  edge count reaches ``E * k / K``.  Shards stay *contiguous* row
+  ranges — every exactness property above carries over verbatim —
+  but carry ~``E/K`` edges each with ragged row counts.
+* ``"degree"`` — :func:`degree_grouped_rows`, the edge-balanced split
+  applied to rows *sorted by descending in-degree*, so hub rows spread
+  across shards.  Shards are non-contiguous row **lists**; the merge
+  scatters each shard's rows to their original positions (the
+  permutation-aware merge), and edges partition with the same stable
+  sort keyed on the row→shard assignment, so per-destination reduction
+  order — hence bitwise output parity — is preserved.
+
+All three share the canonical-trace machinery, so recorded logical
+traces stay partitioner-independent; shard-*local* tags and cache keys
+carry the partitioner so shard traces and cached shard results never
+alias across partitioners.
 """
 
 from __future__ import annotations
@@ -95,14 +120,20 @@ _sgemm_mod = import_module("repro.core.kernels.sgemm")
 _sparse_mod = import_module("repro.core.kernels.sparse")
 
 __all__ = [
+    "PARTITIONERS",
     "ShardingPolicy",
     "ShardGroup",
     "ShardDispatch",
     "shard_ranges",
+    "edge_balanced_ranges",
+    "degree_grouped_rows",
     "find_shard_groups",
     "build_shard_subplan",
     "ShardDispatcher",
 ]
+
+#: The recognised :attr:`ShardingPolicy.partitioner` values.
+PARTITIONERS = ("rows", "edges", "degree")
 
 
 @dataclass(frozen=True)
@@ -143,6 +174,12 @@ class ShardingPolicy:
         policy still match each other bit-for-bit (they issue
         identical per-shard kernel calls), which is the fusion parity
         contract.
+    partitioner:
+        How destinations split into shards: ``"rows"`` (equal row
+        counts), ``"edges"`` (edge-balanced contiguous ranges) or
+        ``"degree"`` (edge-balanced over degree-sorted row lists with
+        a permutation-aware merge).  See the module docstring; all
+        three are bit-for-bit against unsharded execution.
     """
 
     num_shards: int
@@ -150,6 +187,13 @@ class ShardingPolicy:
     use_cache: bool = True
     source: str = "forced"
     local_tails: bool = False
+    partitioner: str = "rows"
+
+    def __post_init__(self):
+        if self.partitioner not in PARTITIONERS:
+            raise PlanError(
+                f"unknown shard partitioner {self.partitioner!r}; "
+                f"expected one of {PARTITIONERS}")
 
 
 @dataclass(frozen=True)
@@ -227,6 +271,7 @@ class ShardDispatch:
     edges_per_shard: Tuple[int, ...]
     seconds: float
     cache_hits: int = 0
+    partitioner: str = "rows"
 
 
 def shard_ranges(num_nodes: int, num_shards: int) -> List[Tuple[int, int]]:
@@ -247,6 +292,143 @@ def shard_ranges(num_nodes: int, num_shards: int) -> List[Tuple[int, int]]:
         ranges.append((lo, hi))
         lo = hi
     return ranges
+
+
+def _edge_balanced_bounds(counts: np.ndarray, num_shards: int) -> List[int]:
+    """Row boundaries splitting ``counts`` into ~equal-sum segments.
+
+    Returns ``K + 1`` ascending bounds over ``[0, len(counts)]``.  Each
+    interior boundary lands on the first row whose cumulative count
+    reaches the ``total * k / K`` target, then is clamped so every
+    segment keeps at least one row (mirroring :func:`shard_ranges`'s
+    no-empty-shard guarantee).  An all-zero ``counts`` falls back to
+    the even-row split — there is nothing to balance.
+    """
+    num_rows = int(counts.size)
+    k = max(1, min(int(num_shards), max(1, num_rows)))
+    if num_rows == 0:
+        return [0, 0]
+    total = int(counts.sum())
+    if k == 1:
+        return [0, num_rows]
+    if total == 0:
+        return [lo for lo, _ in shard_ranges(num_rows, k)] + [num_rows]
+    csum = np.cumsum(counts, dtype=np.int64)
+    targets = total * np.arange(1, k, dtype=np.float64) / k
+    cuts = np.searchsorted(csum, targets, side="left") + 1
+    bounds = [0]
+    for i, cut in enumerate(cuts):
+        lo = bounds[-1] + 1
+        hi = num_rows - (k - 1 - i)
+        bounds.append(int(min(max(int(cut), lo), hi)))
+    bounds.append(num_rows)
+    return bounds
+
+
+def edge_balanced_ranges(row_edges: np.ndarray,
+                         num_shards: int) -> List[Tuple[int, int]]:
+    """Contiguous destination ranges carrying ~``E/K`` edges each.
+
+    The prefix-sum split over the per-row edge counts (for CSR
+    operands, literally over the row pointer): shard boundaries land
+    where the cumulative edge count crosses each ``E * k / K`` target,
+    so row counts go ragged but per-shard edge work evens out.  Same
+    clamping contract as :func:`shard_ranges` — never more shards than
+    rows, never an empty shard.
+    """
+    bounds = _edge_balanced_bounds(
+        np.asarray(row_edges, dtype=np.int64), num_shards)
+    return list(zip(bounds[:-1], bounds[1:]))
+
+
+def degree_grouped_rows(row_edges: np.ndarray,
+                        num_shards: int) -> List[np.ndarray]:
+    """Edge-balanced shard row *lists* over degree-sorted rows.
+
+    Rows sort by descending edge count (stable, so ties keep ascending
+    row order), the edge-balanced boundaries split the sorted
+    sequence, and each shard's rows then re-sort ascending — intra-
+    shard row order is free because the merge places rows by explicit
+    slot ids.  Spreading hubs across shards beats contiguous
+    edge-balancing when a single hub row dominates a range.
+    """
+    row_edges = np.asarray(row_edges, dtype=np.int64)
+    order = np.argsort(-row_edges, kind="stable")
+    bounds = _edge_balanced_bounds(row_edges[order], num_shards)
+    return [np.sort(order[lo:hi])
+            for lo, hi in zip(bounds[:-1], bounds[1:])]
+
+
+def _group_row_edges(group: "ShardGroup", env: Dict[int, object],
+                     num_nodes: int) -> np.ndarray:
+    """Per-destination-row edge counts of one shard group.
+
+    ``SpMM`` groups read the CSR row pointer directly; mp/fused groups
+    count destination-index occurrences — both are exactly the per-row
+    work the edge-balanced boundaries equalise.
+    """
+    if group.kind == "spmm":
+        matrix = env[group.spmm.matrix.vid]
+        if not isinstance(matrix, CSRMatrix):
+            raise PlanError(
+                f"sharded spmm expects a CSRMatrix operand, got "
+                f"{type(matrix).__name__}")
+        return np.diff(np.asarray(matrix.indptr))
+    _, _, dst_ref, _ = group.mp_refs
+    dst = np.asarray(env[dst_ref.vid])
+    return np.bincount(dst, minlength=num_nodes)
+
+
+def _list_partition(row_lists: List[np.ndarray], dst: np.ndarray,
+                    num_nodes: int):
+    """Stable partition of edge positions by shard row *list*.
+
+    The row-list analogue of
+    :func:`repro.core.kernels.scatter.destination_partition`, with the
+    same ``(order, counts, offsets)`` contract and the same stability
+    guarantee: one stable sort on the row→shard assignment keeps every
+    destination's in-edges in original edge order, which is what keeps
+    degree-grouped sharding bit-for-bit.
+    """
+    shard_of = np.zeros(num_nodes, dtype=np.int64)
+    for k, rows in enumerate(row_lists):
+        shard_of[rows] = k
+    keys = shard_of[dst]
+    order = np.argsort(keys, kind="stable")
+    counts = np.bincount(keys, minlength=len(row_lists))
+    offsets = np.concatenate([np.zeros(1, dtype=np.int64),
+                              np.cumsum(counts)])
+    return order, counts, offsets
+
+
+def _csr_row_select(matrix: CSRMatrix, rows: np.ndarray) -> CSRMatrix:
+    """The CSR sub-matrix of an arbitrary row subset, order-preserving.
+
+    The row-list analogue of ``CSRMatrix.row_slice``: selected rows
+    keep their per-row entry order (a gather of whole row extents), so
+    per-row SpMM reduction sequences are unchanged — the CSR half of
+    the degree-grouped exactness argument.
+    """
+    indptr = np.asarray(matrix.indptr)
+    lengths = np.diff(indptr)[rows]
+    out_indptr = np.zeros(rows.size + 1, dtype=np.int64)
+    np.cumsum(lengths, out=out_indptr[1:])
+    total = int(out_indptr[-1])
+    starts = indptr[rows].astype(np.int64)
+    pos = np.repeat(starts - out_indptr[:-1], lengths) \
+        + np.arange(total, dtype=np.int64)
+    return CSRMatrix(out_indptr, np.asarray(matrix.indices)[pos],
+                     np.asarray(matrix.data)[pos],
+                     shape=(int(rows.size), matrix.shape[1]))
+
+
+def _shard_suffix(shard_index: int, num_shards: int,
+                  partitioner: str = "rows") -> str:
+    """The shard-local tag marker — carries non-default partitioners."""
+    suffix = f"@shard{shard_index + 1}/{num_shards}"
+    if partitioner != "rows":
+        suffix += f"+{partitioner}"
+    return suffix
 
 
 def _collect_tail(ops, start: int, value_vid: int, uses: Dict[int, int],
@@ -399,17 +581,19 @@ def _append_tail(builder: PlanBuilder, group: ShardGroup, out,
 def build_shard_subplan(group: ShardGroup, lo: int, hi: int,
                         shard_index: int, num_shards: int,
                         constants: Optional[Dict[int, np.ndarray]] = None,
-                        ) -> ExecutionPlan:
+                        partitioner: str = "rows") -> ExecutionPlan:
     """The self-contained sub-plan computing one shard of ``group``.
 
     Sub-plans bind their operands as runtime inputs (the dispatcher
     slices them), carry shard-annotated tags so shard-local traces stay
     distinguishable, and record their destination range in ``meta``.
     Tail-carrying groups re-emit their tail ops after the aggregation
-    (``constants`` supplies the tail's weight/bias payloads).
+    (``constants`` supplies the tail's weight/bias payloads).  Under
+    the ``"degree"`` partitioner ``lo``/``hi`` are shard-local row
+    coordinates (``0``/row count) — the row list lives dispatcher-side.
     """
     builder = PlanBuilder(model="shard", flavor="shard")
-    suffix = f"@shard{shard_index + 1}/{num_shards}"
+    suffix = _shard_suffix(shard_index, num_shards, partitioner)
     if group.kind == "mp":
         source = builder.input("source", "dense")
         src = builder.input("src", "edge")
@@ -434,7 +618,11 @@ def build_shard_subplan(group: ShardGroup, lo: int, hi: int,
     elif group.kind == "spmm":
         matrix = builder.input("matrix", "csr")
         dense = builder.input("dense", "dense")
-        out = builder.spmm(matrix, dense, tag=group.spmm.tag + suffix)
+        bias = builder.input("bias", "vec") \
+            if group.spmm.bias is not None else None
+        out = builder.spmm(matrix, dense, bias=bias,
+                           activation=group.spmm.activation,
+                           tag=group.spmm.tag + suffix)
     else:  # pragma: no cover - guarded by find_shard_groups
         raise PlanError(f"unknown shard group kind {group.kind!r}")
     if group.tail:
@@ -444,6 +632,7 @@ def build_shard_subplan(group: ShardGroup, lo: int, hi: int,
     return builder.build(out, meta={
         "kind": group.kind, "lo": int(lo), "hi": int(hi),
         "shard": int(shard_index), "num_shards": int(num_shards),
+        "partitioner": partitioner,
     })
 
 
@@ -580,30 +769,73 @@ class ShardDispatcher:
                       graph, pool, recorder) -> np.ndarray:
         """Shard, dispatch, merge and canonically trace one group."""
         start = time.perf_counter()
-        ranges = shard_ranges(graph.num_nodes, self.policy.num_shards)
+        shards = self._partition(group, env, graph.num_nodes)
         capture = recorder is not None
         if group.kind == "fused" and self.policy.jobs == 1:
             return self._execute_fused_inprocess(
-                group, env, graph, ranges, recorder, start)
+                group, env, graph, shards, recorder, start)
         prepare = self._prepare_spmm if group.kind == "spmm" \
             else self._prepare_mp
-        tasks, edges, emit_canonical = prepare(group, env, ranges, capture)
+        tasks, edges, emit_canonical = prepare(group, env, shards,
+                                               graph.num_nodes, capture)
         outcomes = pool.map(_execute_shard_task, tasks)
         merged = self._merge_rows([o[0] for o in outcomes], graph.num_nodes,
-                                  group.tag, capture)
+                                  group.tag, capture,
+                                  slots=self._merge_slots(shards))
         for outcome in outcomes:
             self.trace.extend(outcome[1])
         if recorder is not None:
             emit_canonical(recorder, merged, outcomes)
         self.report.append(ShardDispatch(
-            tag=group.tag, kind=group.kind, num_shards=len(ranges),
+            tag=group.tag, kind=group.kind, num_shards=len(shards),
             edges_per_shard=tuple(edges),
             seconds=time.perf_counter() - start,
-            cache_hits=sum(1 for o in outcomes if o[3])))
+            cache_hits=sum(1 for o in outcomes if o[3]),
+            partitioner=self.policy.partitioner))
         return merged
 
+    def _partition(self, group: ShardGroup, env: Dict[int, object],
+                   num_nodes: int) -> List[Tuple[int, int, int,
+                                                 Optional[np.ndarray]]]:
+        """Per-group shard descriptors ``(k, lo, hi, rows)``.
+
+        Contiguous partitioners (``rows``/``edges``) yield real
+        ``[lo, hi)`` destination ranges with ``rows is None``; the
+        ``degree`` partitioner yields shard-local coordinates
+        ``(0, len(rows))`` plus the ascending original-row list.
+        """
+        k = self.policy.num_shards
+        partitioner = self.policy.partitioner
+        if partitioner == "rows":
+            ranges = shard_ranges(num_nodes, k)
+        elif partitioner == "edges":
+            ranges = edge_balanced_ranges(
+                _group_row_edges(group, env, num_nodes), k)
+        else:  # "degree"
+            row_lists = degree_grouped_rows(
+                _group_row_edges(group, env, num_nodes), k)
+            return [(i, 0, int(rows.size), rows)
+                    for i, rows in enumerate(row_lists)]
+        return [(i, lo, hi, None) for i, (lo, hi) in enumerate(ranges)]
+
+    @staticmethod
+    def _merge_slots(shards) -> Optional[np.ndarray]:
+        """Explicit merge slot ids — only the degree mode needs them."""
+        if shards and shards[0][3] is not None:
+            return np.concatenate([rows for _, _, _, rows in shards])
+        return None
+
+    def _edge_partition(self, shards, dst: np.ndarray, num_nodes: int):
+        """``(order, counts, offsets)`` of edge positions by shard."""
+        if shards and shards[0][3] is not None:
+            return _list_partition([rows for _, _, _, rows in shards],
+                                   dst, num_nodes)
+        starts = np.fromiter((lo for _, lo, _, _ in shards),
+                             dtype=np.int64, count=len(shards))
+        return _scatter_mod.destination_partition(starts, dst)
+
     def _execute_fused_inprocess(self, group: ShardGroup, env, graph,
-                                 ranges, recorder, start) -> np.ndarray:
+                                 shards, recorder, start) -> np.ndarray:
         """Fused slice-dispatch-merge: the ``jobs == 1`` fast path.
 
         A :class:`~repro.plan.ir.FusedGatherScatter` group needs none
@@ -626,21 +858,22 @@ class ShardDispatcher:
         scale = None if op.scale is None else np.asarray(env[op.scale.vid])
         capture = recorder is not None
 
-        starts = np.fromiter((lo for lo, _ in ranges), dtype=np.int64,
-                             count=len(ranges))
-        order, counts, offsets = _scatter_mod.destination_partition(
-            starts, dst)
+        order, counts, offsets = self._edge_partition(
+            shards, dst, graph.num_nodes)
 
         shard_outputs = []
         outcomes = []
-        for k, (lo, hi) in enumerate(ranges):
-            suffix = f"@shard{k + 1}/{len(ranges)}"
+        for k, lo, hi, rows_k in shards:
+            suffix = _shard_suffix(k, len(shards), self.policy.partitioner)
             selection = order[offsets[k]:offsets[k + 1]]
+            dst_sel = dst[selection]
+            local_dst = dst_sel - lo if rows_k is None \
+                else np.searchsorted(rows_k, dst_sel)
             shard_start = time.perf_counter()
 
             def _run_shard():
                 rows = fused_gather_scatter(
-                    source, src[selection], dst[selection] - lo,
+                    source, src[selection], local_dst,
                     dim_size=hi - lo,
                     scale=None if scale is None else scale[selection],
                     reduce=op.reduce, tag=op.tag + suffix,
@@ -659,7 +892,8 @@ class ShardDispatcher:
                              time.perf_counter() - shard_start, False))
 
         merged = self._merge_rows(shard_outputs, graph.num_nodes,
-                                  group.tag, capture)
+                                  group.tag, capture,
+                                  slots=self._merge_slots(shards))
         for outcome in outcomes:
             self.trace.extend(outcome[1])
         if recorder is not None:
@@ -674,12 +908,13 @@ class ShardDispatcher:
                 recorder, group, env, graph.num_nodes,
                 source.shape[1] if source.ndim == 2 else 1, outcomes)
         self.report.append(ShardDispatch(
-            tag=group.tag, kind=group.kind, num_shards=len(ranges),
+            tag=group.tag, kind=group.kind, num_shards=len(shards),
             edges_per_shard=tuple(counts.tolist()),
-            seconds=time.perf_counter() - start))
+            seconds=time.perf_counter() - start,
+            partitioner=self.policy.partitioner))
         return merged
 
-    def _prepare_mp(self, group, env, ranges, capture):
+    def _prepare_mp(self, group, env, shards, num_nodes, capture):
         """Slice one Gather+ScatterReduce (or fused) group into tasks."""
         source_ref, src_ref, dst_ref, scale_ref = group.mp_refs
         source = np.asarray(env[source_ref.vid])
@@ -691,10 +926,7 @@ class ShardDispatcher:
         # sort, preserving original edge order inside every shard — the
         # property that keeps per-destination reduction sequences (and
         # therefore float results) bit-for-bit identical.
-        starts = np.fromiter((lo for lo, _ in ranges), dtype=np.int64,
-                             count=len(ranges))
-        order, counts, offsets = _scatter_mod.destination_partition(
-            starts, dst)
+        order, counts, offsets = self._edge_partition(shards, dst, num_nodes)
 
         compact = self.policy.jobs > 1
         caching = self._caching()
@@ -704,10 +936,12 @@ class ShardDispatcher:
         shared = {} if (compact or not caching) \
             else {"source": _binding_digest(source)}
         tasks = []
-        for k, (lo, hi) in enumerate(ranges):
+        for k, lo, hi, rows_k in shards:
             selection = order[offsets[k]:offsets[k + 1]]
             src_k = src[selection]
-            bindings = {"dst": dst[selection] - lo}
+            dst_sel = dst[selection]
+            bindings = {"dst": dst_sel - lo if rows_k is None
+                        else np.searchsorted(rows_k, dst_sel)}
             if compact:
                 # Ship only the source rows this shard dereferences, so
                 # worker memory scales with the shard, not the graph.
@@ -719,11 +953,9 @@ class ShardDispatcher:
                 bindings["src"] = src_k
             if scale is not None:
                 bindings["scale"] = scale[selection]
-            tasks.append(self._task(group, bindings, lo, hi, k, len(ranges),
+            tasks.append(self._task(group, bindings, lo, hi, k, len(shards),
                                     caching, shared, capture,
                                     constants=env if group.tail else None))
-
-        num_nodes = int(ranges[-1][1]) if ranges else 0
 
         def emit_canonical(recorder, merged, outcomes):
             width = source.shape[1] if source.ndim == 2 else 1
@@ -750,7 +982,7 @@ class ShardDispatcher:
 
         return tasks, counts.tolist(), emit_canonical
 
-    def _prepare_spmm(self, group, env, ranges, capture):
+    def _prepare_spmm(self, group, env, shards, num_nodes, capture):
         """Slice one SpMM op's row range into shard tasks."""
         op = group.spmm
         matrix = env[op.matrix.vid]
@@ -759,6 +991,7 @@ class ShardDispatcher:
             raise PlanError(
                 f"sharded spmm expects a CSRMatrix operand, got "
                 f"{type(matrix).__name__}")
+        bias = None if op.bias is None else np.asarray(env[op.bias.vid])
 
         compact = self.policy.jobs > 1
         caching = self._caching()
@@ -768,8 +1001,9 @@ class ShardDispatcher:
             else {"dense": _binding_digest(dense)}
         tasks = []
         edges = []
-        for k, (lo, hi) in enumerate(ranges):
-            sliced = matrix.row_slice(lo, hi)
+        for k, lo, hi, rows_k in shards:
+            sliced = matrix.row_slice(lo, hi) if rows_k is None \
+                else _csr_row_select(matrix, rows_k)
             edges.append(sliced.nnz)
             if compact:
                 # Column-compact the slice so each worker receives only
@@ -781,17 +1015,20 @@ class ShardDispatcher:
                 bindings = {"matrix": sliced, "dense": dense[needed]}
             else:
                 bindings = {"matrix": sliced, "dense": dense}
-            tasks.append(self._task(group, bindings, lo, hi, k, len(ranges),
+            if bias is not None:
+                # The epilogue bias is row-broadcast, so every shard
+                # binds the same (small) vector.
+                bindings["bias"] = bias
+            tasks.append(self._task(group, bindings, lo, hi, k, len(shards),
                                     caching, shared, capture,
                                     constants=env if group.tail else None))
-
-        num_nodes = int(ranges[-1][1]) if ranges else 0
 
         def emit_canonical(recorder, merged, outcomes):
             agg_shape = _OperandShape((num_nodes, dense.shape[1]))
             _sparse_mod._emit_spmm(
                 recorder, matrix, dense, agg_shape,
-                self._kernel_seconds(outcomes, "spmm"), op.tag)
+                self._kernel_seconds(outcomes, "spmm"), op.tag,
+                epilogue=op.activation or "")
             self._emit_tail_canonical(recorder, group, env, num_nodes,
                                       dense.shape[1], outcomes)
 
@@ -812,12 +1049,14 @@ class ShardDispatcher:
         tail ops' weight/bias payloads for tail-carrying groups.
         """
         subplan = build_shard_subplan(group, lo, hi, shard_index, num_shards,
-                                      constants=constants)
+                                      constants=constants,
+                                      partitioner=self.policy.partitioner)
         key = None
         if caching:
             key = compute_key("shard", {
                 "subplan": subplan.fingerprint(),
                 "rows": int(hi - lo),
+                "partitioner": self.policy.partitioner,
                 "bindings": {
                     name: shared_digests.get(name) or _binding_digest(value)
                     for name, value in sorted(bindings.items())},
@@ -826,19 +1065,25 @@ class ShardDispatcher:
 
     # -- helpers -----------------------------------------------------------
     def _merge_rows(self, shard_outputs: List[np.ndarray], num_nodes: int,
-                    tag: str, capture: bool) -> np.ndarray:
+                    tag: str, capture: bool,
+                    slots: Optional[np.ndarray] = None) -> np.ndarray:
         """Merge disjoint shard row blocks through the scatter kernel.
 
-        The ranges partition ``[0, num_nodes)`` in order, so the merge
-        is a pure row placement (one contribution per slot — float
-        exact).  It runs under a private recorder: the merge launch is
+        The shards partition ``[0, num_nodes)``, so the merge is a pure
+        row placement (one contribution per slot — float exact).  For
+        contiguous partitioners the stacked rows are already in order
+        (``slots is None`` → identity); the degree partitioner passes
+        the concatenated shard row lists, and scattering to those slot
+        ids is the permutation-aware merge that restores bitwise row
+        order.  It runs under a private recorder: the merge launch is
         sharded-runtime bookkeeping, captured on :attr:`trace` when an
         ambient recorder is active, never part of the canonical logical
         trace.
         """
         stacked = shard_outputs[0] if len(shard_outputs) == 1 \
             else np.concatenate(shard_outputs, axis=0)
-        slots = np.arange(num_nodes, dtype=np.int64)
+        if slots is None:
+            slots = np.arange(num_nodes, dtype=np.int64)
         if not capture:
             # No ambient recorder (capture mirrors its presence): the
             # kernel skips all trace synthesis on its own.

@@ -91,10 +91,11 @@ class TestImmutability:
 
 
 class TestKnobs:
-    """The shared tri-state knob vocabulary (shards / fuse / batch)."""
+    """The shared knob vocabulary (shards / fuse / batch /
+    partitioner)."""
 
     def test_registry_covers_the_plan_knobs(self):
-        assert set(KNOBS) == {"shards", "fuse", "batch"}
+        assert set(KNOBS) == {"shards", "fuse", "batch", "partitioner"}
 
     @pytest.mark.parametrize("name,auto,off", [
         ("shards", 0, 1),

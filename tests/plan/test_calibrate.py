@@ -221,7 +221,12 @@ class TestCalibration:
         assert diagnostics["cells"] == len(TINY_CELLS)
         # Every constant documents whether it was fitted or fell back.
         assert "fallback_gather_unit" in diagnostics
-        assert diagnostics["fallback_shard_setup_instructions"] == 1.0
+        # The shard-dispatch probes fit the setup constant for real now
+        # and record what they measured.
+        assert diagnostics["fallback_shard_setup_instructions"] == 0.0
+        assert diagnostics["shard_overhead_cycles"] > 0
+        assert "fallback_shard_skew_threshold" in diagnostics
+        assert diagnostics["shard_skew_win_skewed"] > 1.0
 
     def test_fit_round_trips_and_resolves(self, tmp_path):
         profile = fit_profile(cells=TINY_CELLS)

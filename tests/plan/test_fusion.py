@@ -136,6 +136,126 @@ class TestFusionPass:
         assert sgemms[0].bias is None               # nothing folded
 
 
+class TestSpMMEpilogue:
+    """Pattern (d): trailing bias add / activation fold into the SpMM
+    launch itself, mirroring the SGEMM epilogue."""
+
+    @staticmethod
+    def _tiny_graph():
+        from repro.graph import Graph
+        edge_index = np.array([[0, 1, 2, 2, 3], [1, 2, 0, 1, 0]],
+                              dtype=np.int64)
+        rng = np.random.default_rng(3)
+        features = rng.standard_normal((4, 5)).astype(np.float32)
+        return Graph(edge_index, features=features, name="tiny")
+
+    @staticmethod
+    def _plan(width):
+        b = PlanBuilder("t", "t")
+        x = b.input("X", fmt="dense")
+        a, = b.normalize("mean_adjacency", outputs=(("A", "csr"),))
+        h = b.spmm(a, x, tag="agg")
+        bias = b.constant(np.linspace(-0.5, 0.5, width,
+                                      dtype=np.float32), "B")
+        hb = b.elementwise("add_bias", h, bias)
+        return b.build(b.activation(hb, "relu"))
+
+    def test_epilogue_folds_into_spmm(self):
+        plan = self._plan(5)
+        fused = fuse_plan(plan, FORCE)
+        spmms = [op for op in fused.ops if op.opcode == "spmm"]
+        assert len(spmms) == 1
+        assert spmms[0].bias is not None
+        assert spmms[0].activation == "relu"
+        assert fused.meta["fusion"]["spmm_epilogue"] == 1
+        kinds = [op.opcode for op in fused.ops]
+        assert "elementwise" not in kinds and "activation" not in kinds
+
+    def test_bitwise_output_and_mapped_trace(self):
+        from repro.plan import PlanExecutor
+        graph = self._tiny_graph()
+        plan = self._plan(graph.num_features)
+        fused = fuse_plan(plan, FORCE)
+        with record_launches() as ref_rec:
+            reference = PlanExecutor().run(plan, graph,
+                                           {"X": graph.features})
+        with record_launches() as rec:
+            out = PlanExecutor().run(fused, graph, {"X": graph.features})
+        assert out.dtype == reference.dtype
+        assert np.array_equal(out, reference)
+        assert legacy_trace(rec.launches) == \
+            [(l.kernel, l.tag) for l in ref_rec.launches]
+
+    def test_runtime_bias_blocks_fold(self):
+        b = PlanBuilder("t", "t")
+        x = b.input("X", fmt="dense")
+        a, = b.normalize("mean_adjacency", outputs=(("A", "csr"),))
+        h = b.spmm(a, x, tag="agg")
+        runtime_bias = b.input("B", fmt="vec")       # not a constant
+        plan = b.build(b.elementwise("add_bias", h, runtime_bias))
+        fused = fuse_plan(plan, FORCE)
+        spmms = [op for op in fused.ops if op.opcode == "spmm"]
+        assert spmms[0].bias is None                 # nothing folded
+
+
+class TestCrossLayerFusion:
+    """Pattern (e): an epilogue-complete SGEMM merges into the next
+    layer's SpMM when every layer aggregates in SpMM format."""
+
+    POLICY = FusionPolicy(cross_layer=True)
+
+    def test_gcn_spmm_layers_merge(self, graph):
+        built = get_backend("gsuite").build(_spec("gcn", "SpMM"), graph)
+        fused = fuse_plan(built.plan, self.POLICY)
+        merged = [op for op in fused.ops
+                  if op.opcode == "fused_transform_spmm"]
+        assert merged
+        assert fused.meta["fusion"]["cross_layer"] == len(merged)
+
+    def test_off_by_default(self, graph):
+        built = get_backend("gsuite").build(_spec("gcn", "SpMM"), graph)
+        fused = fuse_plan(built.plan, FORCE)
+        assert all(op.opcode != "fused_transform_spmm"
+                   for op in fused.ops)
+
+    def test_format_instability_blocks_merge(self, graph):
+        # MP-format layers aggregate via gather/scatter — no adjacent
+        # SGEMM -> SpMM boundary exists, so the pattern never fires.
+        built = get_backend("gsuite").build(_spec("gcn", "MP"), graph)
+        fused = fuse_plan(built.plan, self.POLICY)
+        assert all(op.opcode != "fused_transform_spmm"
+                   for op in fused.ops)
+        assert fused.meta["fusion"]["cross_layer"] == 0
+
+    @pytest.mark.parametrize("model", ("gcn", "gin"))
+    def test_bitwise_output_and_mapped_trace(self, graph, model):
+        spec = _spec(model, "SpMM")
+        reference, ref_launches = _run_recorded(
+            get_backend("gsuite").build(spec, graph))
+        fused, fused_launches = _run_recorded(
+            get_backend("gsuite").build(spec, graph)
+            .configure_fusion(self.POLICY))
+        assert fused.dtype == reference.dtype
+        assert np.array_equal(fused, reference)      # bit-for-bit
+        assert legacy_trace(fused_launches) == \
+            [(l.kernel, l.tag) for l in ref_launches]
+
+    @pytest.mark.parametrize("partitioner", ("rows", "edges"))
+    def test_composes_with_sharding(self, graph, partitioner):
+        spec = _spec("gcn", "SpMM")
+        ref, ref_launches = _run_recorded(
+            get_backend("gsuite").build(spec, graph)
+            .configure_fusion(self.POLICY))
+        sharded = get_backend("gsuite").build(spec, graph) \
+            .configure_fusion(self.POLICY) \
+            .configure_sharding(ShardingPolicy(num_shards=3,
+                                               partitioner=partitioner))
+        out, launches = _run_recorded(sharded)
+        assert np.array_equal(out, ref)
+        assert [l.fingerprint() for l in launches] == \
+            [l.fingerprint() for l in ref_launches]
+
+
 class TestReuseBlocksFusion:
     """The liveness analysis: a value with two consumers stays put."""
 

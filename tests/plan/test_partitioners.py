@@ -1,0 +1,225 @@
+"""Partitioner contracts: skew-aware sharding stays invisible.
+
+Three surfaces of the edge-balanced ("edges") and degree-grouped
+("degree") partitioners:
+
+* **Partition shape** — edge-balanced bounds cover every row exactly
+  once with ~``E / K`` edges per shard; degree grouping is a
+  permutation whose merge restores bitwise row order.
+* **Parity** — random power-law graphs x model x partitioner x shard
+  count: outputs and the ambient (canonical) trace fingerprints are
+  bit-for-bit identical to unsharded execution, whatever the split.
+* **Boundaries** — the planner's skew gate never picks the
+  row-permuting mode, shard-cache keys distinguish partitioners, and
+  the degree partitioner refuses batched plans at bind time.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from strategies import PARITY_SETTINGS, power_law_graphs, shard_counts
+
+from repro.cache import get_cache
+from repro.core.kernels import record_launches
+from repro.datasets import load_dataset
+from repro.errors import PlanError
+from repro.frameworks import PipelineSpec, get_backend
+from repro.plan import (
+    CostProfile,
+    GraphStats,
+    PARTITIONERS,
+    ShardingPolicy,
+    choose_partitioner,
+    degree_grouped_rows,
+    edge_balanced_ranges,
+    shard_ranges,
+)
+
+MODELS = (("gcn", "MP"), ("gin", "SpMM"), ("sage", "MP"))
+
+
+def _spec(model, compute_model, **overrides):
+    params = dict(model=model, compute_model=compute_model,
+                  out_features=3, seed=11)
+    params.update(overrides)
+    return PipelineSpec(**params)
+
+
+def _run_recorded(pipeline):
+    with record_launches() as recorder:
+        out = pipeline.run()
+    return out, [launch.fingerprint() for launch in recorder.launches]
+
+
+class TestEdgeBalancedRanges:
+    def test_prefix_sum_balances_hub_rows(self):
+        # One hub row carrying 10 of 13 edges gets a shard to itself.
+        assert edge_balanced_ranges([10, 1, 1, 1], 2) == [(0, 1), (1, 4)]
+        assert edge_balanced_ranges([1, 1, 1, 10], 2) == [(0, 3), (3, 4)]
+
+    def test_partition_covers_everything(self):
+        rng = np.random.default_rng(0)
+        for nodes, k in ((17, 4), (100, 7), (5, 5), (9, 1)):
+            counts = rng.integers(0, 20, size=nodes)
+            ranges = edge_balanced_ranges(counts, k)
+            assert ranges[0][0] == 0 and ranges[-1][1] == nodes
+            for (_, hi), (lo, _) in zip(ranges, ranges[1:]):
+                assert hi == lo
+
+    def test_each_shard_near_fair_share(self):
+        rng = np.random.default_rng(1)
+        counts = rng.zipf(2.0, size=400).clip(max=50)
+        k = 8
+        ranges = edge_balanced_ranges(counts, k)
+        fair = counts.sum() / k
+        heaviest = max(int(counts[lo:hi].sum()) for lo, hi in ranges)
+        # A contiguous split can overshoot by at most one row's edges.
+        assert heaviest <= fair + counts.max()
+
+    def test_every_shard_keeps_a_row(self):
+        # All edges on row 0; the remaining shards still get one row.
+        assert edge_balanced_ranges([30, 0, 0, 0], 3) == \
+            [(0, 1), (1, 2), (2, 4)]
+
+    def test_degenerate_inputs_fall_back_to_rows(self):
+        assert edge_balanced_ranges([0, 0, 0, 0], 2) == shard_ranges(4, 2)
+        assert edge_balanced_ranges([], 3) == [(0, 0)]
+        assert edge_balanced_ranges([4, 4], 7) == [(0, 1), (1, 2)]
+
+
+class TestDegreeGroupedRows:
+    def test_rows_cover_exactly_once(self):
+        rng = np.random.default_rng(2)
+        counts = rng.integers(0, 12, size=60)
+        shards = degree_grouped_rows(counts, 5)
+        assert np.array_equal(np.sort(np.concatenate(shards)),
+                              np.arange(60))
+
+    def test_heaviest_rows_group_first(self):
+        counts = np.array([1, 9, 1, 8, 1, 7, 1])
+        shards = degree_grouped_rows(counts, 3)
+        assert set(shards[0]) == {1, 3}          # the two heaviest rows
+        assert all(np.all(np.diff(rows) > 0) for rows in shards if len(rows))
+
+    def test_sorted_split_isolates_scattered_hub(self):
+        counts = np.array([1, 1, 1, 25, 1, 1, 1, 1, 1])
+        shards = degree_grouped_rows(counts, 3)
+        assert [rows.tolist() for rows in shards] == \
+            [[3], [0], [1, 2, 4, 5, 6, 7, 8]]
+        # The contiguous edge-balanced split has to drag the hub's
+        # light left-neighbours along; the sorted grouping does not.
+        ranges = edge_balanced_ranges(counts, 3)
+        contiguous = max(int(counts[lo:hi].sum()) for lo, hi in ranges)
+        grouped = max(int(counts[rows].sum()) for rows in shards)
+        assert grouped < contiguous
+
+
+class TestSkewGate:
+    FLAT = GraphStats(num_nodes=1000, num_edges=4000, feature_width=16,
+                      avg_degree=4.0, density=0.004, degree_skew=2.0)
+    SKEWED = GraphStats(num_nodes=1000, num_edges=4000, feature_width=16,
+                        avg_degree=4.0, density=0.004, degree_skew=40.0)
+
+    def test_flat_graphs_keep_the_free_split(self):
+        assert choose_partitioner(self.FLAT, 4) == "rows"
+
+    def test_skewed_graphs_balance_edges(self):
+        assert choose_partitioner(self.SKEWED, 4) == "edges"
+
+    def test_single_shard_never_balances(self):
+        assert choose_partitioner(self.SKEWED, 1) == "rows"
+
+    def test_planner_never_permutes_rows(self):
+        for skew in (1.0, 8.0, 100.0, 10000.0):
+            stats = GraphStats(num_nodes=1000, num_edges=4000,
+                               feature_width=16, avg_degree=4.0,
+                               density=0.004, degree_skew=skew)
+            assert choose_partitioner(stats, 8) != "degree"
+
+    def test_threshold_is_profile_driven(self):
+        lax = CostProfile.paper().with_overrides(
+            name="lax", shard_skew_threshold=1000.0)
+        assert choose_partitioner(self.SKEWED, 4, profile=lax) == "rows"
+
+    def test_bookkeeping_gate_keeps_tiny_graphs_on_rows(self):
+        # Near-edgeless: the O(V) prefix-sum pass costs more than the
+        # aggregation it would balance.
+        stats = GraphStats(num_nodes=100_000, num_edges=10,
+                           feature_width=1, avg_degree=0.0001,
+                           density=1e-9, degree_skew=50.0)
+        assert choose_partitioner(stats, 4) == "rows"
+
+
+class TestPropertyParity:
+    """Random power-law graph x model x partitioner x K: sharded
+    execution is bit-for-bit invisible — outputs and canonical trace
+    fingerprints both."""
+
+    @PARITY_SETTINGS
+    @given(graph=power_law_graphs(), combo=st.sampled_from(MODELS),
+           partitioner=st.sampled_from(PARTITIONERS), k=shard_counts())
+    def test_bitwise_output_and_trace(self, graph, combo, partitioner, k):
+        model, cm = combo
+        reference, ref_trace = _run_recorded(
+            get_backend("gsuite").build(_spec(model, cm), graph))
+        sharded = get_backend("gsuite").build(_spec(model, cm), graph) \
+            .configure_sharding(ShardingPolicy(
+                num_shards=k, use_cache=False, partitioner=partitioner))
+        out, trace = _run_recorded(sharded)
+        assert out.dtype == reference.dtype
+        assert np.array_equal(out, reference), (model, cm, partitioner, k)
+        assert trace == ref_trace, (model, cm, partitioner, k)
+
+
+class TestPartitionerBoundaries:
+    @pytest.fixture(scope="class")
+    def graph(self):
+        return load_dataset("cora", scale=0.15, seed=1)
+
+    def test_unknown_partitioner_refused(self):
+        with pytest.raises(PlanError, match="partitioner"):
+            ShardingPolicy(num_shards=2, partitioner="hashed")
+
+    def test_cache_keys_distinguish_partitioners(self, graph):
+        cache = get_cache()
+        for partitioner in PARTITIONERS:
+            built = get_backend("gsuite").build(_spec("gcn", "MP"), graph) \
+                .configure_sharding(ShardingPolicy(
+                    num_shards=3, use_cache=True, partitioner=partitioner))
+            built.run()
+        # 2 MP layers x 3 shards x 3 partitioners with no key
+        # collisions: had two partitioners shared a key, the later run
+        # would hit the earlier entry and store fewer than 18.
+        shard_entries = [e for e in cache.entries() if e.kind == "shard"]
+        assert len(shard_entries) == 18
+
+    def test_shard_report_names_partitioner(self, graph):
+        built = get_backend("gsuite").build(_spec("gcn", "MP"), graph) \
+            .configure_sharding(ShardingPolicy(
+                num_shards=3, use_cache=False, partitioner="edges"))
+        built.run()
+        for dispatch in built._executor.shard_report:
+            assert dispatch.partitioner == "edges"
+            assert dispatch.num_shards == 3
+
+    def test_degree_refuses_batched_plans(self):
+        from repro.core.config import SuiteConfig
+        from repro.core.pipeline import GNNPipeline
+        pipeline = GNNPipeline(SuiteConfig(
+            dataset="cora", scale=0.1, batch=2, shards=2,
+            partitioner="degree"))
+        with pytest.raises(PlanError, match="degree"):
+            pipeline.run()
+
+    def test_rows_and_edges_compose_with_batching(self):
+        from repro.core.config import SuiteConfig
+        from repro.core.pipeline import GNNPipeline
+        outputs = {}
+        for partitioner in ("rows", "edges"):
+            pipeline = GNNPipeline(SuiteConfig(
+                dataset="cora", scale=0.1, batch=2, shards=2,
+                partitioner=partitioner))
+            outputs[partitioner] = pipeline.run()
+        assert np.array_equal(outputs["rows"], outputs["edges"])

@@ -1,0 +1,20 @@
+"""Hypothesis strategies shared across the test suite.
+
+Re-exports the commonly used strategies and settings profiles for
+convenience::
+
+    from strategies import power_law_graphs, PARITY_SETTINGS
+
+(The ``tests/`` directory sits on ``sys.path`` during a pytest run, so
+the package imports as top-level ``strategies``.)
+"""
+
+from .graphs import power_law_graphs, shard_counts
+from .settings import PARITY_SETTINGS, STANDARD_SETTINGS
+
+__all__ = [
+    "PARITY_SETTINGS",
+    "STANDARD_SETTINGS",
+    "power_law_graphs",
+    "shard_counts",
+]

@@ -1,0 +1,16 @@
+"""Shared Hypothesis settings profiles.
+
+One place to tune example budgets instead of a per-file
+``@settings(...)`` archipelago.  ``deadline=None`` everywhere: the
+suite runs real kernels whose first call pays numpy warm-up costs that
+Hypothesis' per-example deadline would misread as flakiness.
+"""
+
+from hypothesis import settings
+
+#: For end-to-end parity properties that build and run whole pipelines
+#: per example — expensive, so a lean example budget.
+PARITY_SETTINGS = settings(max_examples=15, deadline=None)
+
+#: For cheap structural properties over arrays and partitions.
+STANDARD_SETTINGS = settings(max_examples=50, deadline=None)
