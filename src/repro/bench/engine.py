@@ -32,7 +32,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
 from repro.bench import common, experiments
-from repro.bench.pool import WorkerPool
+from repro.bench.pool import DispatchReport, WorkerPool
 from repro.bench.profiles import BenchProfile, active_profile
 from repro.bench.tables import write_result
 from repro.cache import CacheStats, env_enabled, get_cache
@@ -75,6 +75,9 @@ class SuiteReport:
     experiment_seconds: Dict[str, float] = field(default_factory=dict)
     cell_timings: List[CellTiming] = field(default_factory=list)
     cache_stats: CacheStats = field(default_factory=CacheStats)
+    #: Pool supervision events accumulated across every wave — retries,
+    #: timeouts, worker deaths, degradations (empty on a clean run).
+    dispatch: DispatchReport = field(default_factory=DispatchReport)
     total_seconds: float = 0.0
     jobs: int = 1
 
@@ -124,6 +127,7 @@ def _run_wave(cells: List[common.WorkCell], profile: BenchProfile,
     with WorkerPool(min(jobs, len(cells))) as pool:
         outcomes = pool.map(_execute_cell, tasks, chunksize=1)
         pooled = pool.forked
+    report.dispatch.merge(pool.report)
     for cell, value, seconds, delta in outcomes:
         common.seed_cell(cell, profile, value)
         # "cached" means nothing was computed: at least one hit and no
@@ -207,5 +211,7 @@ def _print_summary(report: SuiteReport, stream) -> None:
             origin = "cache" if timing.cached else "computed"
             print(f"  {timing.seconds:7.2f}s  {timing.cell.label()}  "
                   f"[{origin}]", file=stream)
+    if report.dispatch.faulted:
+        print(f"dispatch: {report.dispatch.summary()}", file=stream)
     print(f"cache: {report.cache_stats.summary()}", file=stream)
     print(f"total: {report.total_seconds:.1f}s", file=stream)

@@ -12,7 +12,12 @@ that hashes *all* of those inputs, so
 * any change to a relevant source file, config field or seed produces a
   different key and transparently recomputes;
 * worker processes of the parallel engine share results through the
-  filesystem without coordination (writes are atomic renames).
+  filesystem without coordination (writes are atomic renames);
+* every entry is **integrity-checked**: the record pickle is framed by
+  a magic tag and its SHA-256 digest, so a truncated or bit-flipped
+  file is detected on read, moved aside into ``<root>/quarantine/`` and
+  transparently recomputed — corruption can slow a run down, never
+  crash it or poison a result.
 
 Layout: ``<root>/<kind>/<sha256>.pkl`` where ``kind`` is one of the
 :data:`KINDS` ("record", "sim", "profile", "timing", "plan",
@@ -31,7 +36,10 @@ import pickle
 import time
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Any, Dict, Iterator, Optional
+from typing import Any, Dict, Iterator, List, Optional, Tuple
+
+from repro.errors import CacheIntegrityError
+from repro.faults import active_faults
 
 __all__ = [
     "KINDS",
@@ -61,7 +69,7 @@ __all__ = [
 KINDS = ("record", "sim", "profile", "timing", "plan", "shard")
 
 #: Bump to invalidate every existing cache entry (format changes).
-_SCHEMA_VERSION = 1
+_SCHEMA_VERSION = 2   # v2: checksummed entry framing
 
 #: Package subtrees whose source participates in the code-version hash.
 #: ``plan`` is hashed recursively, so the fusion pass
@@ -79,7 +87,37 @@ _HASHED_SUBTREES = ("core", "gpu", "graph", "datasets", "frameworks",
                     "plan", "train")
 _HASHED_FILES = ("bench/common.py",)
 
+#: On-disk entry framing (schema v2): magic, 32-byte SHA-256 of the
+#: payload, then the payload (the pickled record).  The digest covers
+#: everything after the header, so truncation and bit flips anywhere in
+#: the record are both caught before unpickling.
+_MAGIC = b"GSC2\n"
+_DIGEST_BYTES = 32
+
 _CODE_VERSION: Optional[str] = None
+
+
+def _encode_entry(record: Dict[str, Any]) -> bytes:
+    payload = pickle.dumps(record, protocol=pickle.HIGHEST_PROTOCOL)
+    return _MAGIC + hashlib.sha256(payload).digest() + payload
+
+
+def _decode_entry(blob: bytes, label: str) -> Dict[str, Any]:
+    """Verify and unpickle one entry; raises on any integrity violation."""
+    header = len(_MAGIC) + _DIGEST_BYTES
+    if len(blob) < header or not blob.startswith(_MAGIC):
+        raise CacheIntegrityError(
+            f"cache entry {label} has a truncated or foreign header")
+    digest, payload = blob[len(_MAGIC):header], blob[header:]
+    if hashlib.sha256(payload).digest() != digest:
+        raise CacheIntegrityError(
+            f"cache entry {label} failed its integrity checksum")
+    try:
+        return pickle.loads(payload)
+    except Exception as exc:   # checksum passed, pickle still refused
+        raise CacheIntegrityError(
+            f"cache entry {label} verified but did not unpickle: {exc}"
+        ) from exc
 
 
 def code_version() -> str:
@@ -151,23 +189,28 @@ class CacheStats:
     hits: int = 0
     misses: int = 0
     stores: int = 0
+    corrupt: int = 0   # entries that failed their checksum (quarantined)
 
     def merge(self, other: "CacheStats") -> None:
         """Accumulate another stats record (e.g. from a worker process)."""
         self.hits += other.hits
         self.misses += other.misses
         self.stores += other.stores
+        self.corrupt += other.corrupt
 
     def to_dict(self) -> Dict[str, int]:
         return {"hits": self.hits, "misses": self.misses,
-                "stores": self.stores}
+                "stores": self.stores, "corrupt": self.corrupt}
 
     def summary(self) -> str:
         """One-line human-readable form for the harness summary."""
         total = self.hits + self.misses
         rate = (self.hits / total) if total else 0.0
-        return (f"{self.hits} hits / {self.misses} misses "
+        line = (f"{self.hits} hits / {self.misses} misses "
                 f"({rate:.0%} hit rate), {self.stores} stored")
+        if self.corrupt:
+            line += f", {self.corrupt} corrupt quarantined"
+        return line
 
 
 @dataclass
@@ -203,14 +246,26 @@ class TraceCache:
         return self.root / kind / f"{key}.pkl"
 
     def get(self, kind: str, key: str) -> Optional[Any]:
-        """The stored value, or ``None`` on miss / disabled / corruption."""
+        """The stored value, or ``None`` on miss / disabled / corruption.
+
+        A corrupt or truncated file is quarantined (moved to
+        ``<root>/quarantine/``) and counted, then reported as a miss so
+        the caller recomputes — integrity failures never propagate from
+        the read path.
+        """
         if not self.enabled:
             return None
         path = self._path(kind, key)
         try:
-            with open(path, "rb") as handle:
-                record = pickle.load(handle)
-        except (OSError, pickle.UnpicklingError, EOFError, AttributeError):
+            blob = path.read_bytes()
+        except OSError:
+            self.stats.misses += 1
+            return None
+        try:
+            record = _decode_entry(blob, f"{kind}/{key[:12]}")
+        except CacheIntegrityError:
+            self._quarantine(path, kind)
+            self.stats.corrupt += 1
             self.stats.misses += 1
             return None
         self.stats.hits += 1
@@ -227,24 +282,74 @@ class TraceCache:
                   "created": time.time()}
         tmp = path.with_suffix(f".tmp.{os.getpid()}")
         try:
-            with open(tmp, "wb") as handle:
-                pickle.dump(record, handle, protocol=pickle.HIGHEST_PROTOCOL)
+            tmp.write_bytes(_encode_entry(record))
             os.replace(tmp, path)
         except OSError:
             tmp.unlink(missing_ok=True)
             return
         self.stats.stores += 1
+        plan = active_faults()
+        if plan is not None:
+            plan.maybe_truncate(path, f"{kind}:{key}")
+
+    def _quarantine(self, path: Path, kind: str) -> None:
+        """Move a corrupt file aside so it is never re-read (best effort).
+
+        Falls back to deletion if the move fails; if even that fails the
+        file stays put — every future read re-detects the corruption and
+        misses, which is slow but still correct.
+        """
+        dest_dir = self.root / "quarantine"
+        try:
+            dest_dir.mkdir(parents=True, exist_ok=True)
+            os.replace(path, dest_dir / f"{kind}-{path.name}")
+        except OSError:
+            try:
+                path.unlink()
+            except OSError:
+                pass
+
+    def verify(self, strict: bool = False) -> List[Tuple[str, str]]:
+        """Check every on-disk entry; quarantine and report the corrupt ones.
+
+        Returns ``(kind, key)`` pairs of quarantined entries.  With
+        ``strict`` the corruption is escalated as a
+        :class:`~repro.errors.CacheIntegrityError` instead (after
+        quarantining), for maintenance flows that must not silently
+        lose entries.
+        """
+        corrupt: List[Tuple[str, str]] = []
+        for kind in KINDS:
+            directory = self.root / kind
+            if not directory.is_dir():
+                continue
+            for path in sorted(directory.glob("*.pkl")):
+                try:
+                    _decode_entry(path.read_bytes(), f"{kind}/{path.stem[:12]}")
+                except OSError:
+                    continue
+                except CacheIntegrityError:
+                    self._quarantine(path, kind)
+                    self.stats.corrupt += 1
+                    corrupt.append((kind, path.stem))
+        if strict and corrupt:
+            labels = ", ".join(f"{kind}/{key[:12]}" for kind, key in corrupt)
+            raise CacheIntegrityError(
+                f"{len(corrupt)} cache entr{'y' if len(corrupt) == 1 else 'ies'} "
+                f"failed verification and were quarantined: {labels}")
+        return corrupt
 
     # -- maintenance / inspection -----------------------------------------
     def clear(self) -> int:
         """Delete every entry; returns the number removed.
 
         Also sweeps orphaned ``*.tmp.*`` files left behind if a writer
-        was killed mid-store.
+        was killed mid-store, and everything in the quarantine.
         """
         removed = 0
-        for kind in KINDS:
-            directory = self.root / kind
+        directories = [self.root / kind for kind in KINDS]
+        directories.append(self.root / "quarantine")
+        for directory in directories:
             if not directory.is_dir():
                 continue
             for pattern in ("*.pkl", "*.tmp.*"):
@@ -264,11 +369,10 @@ class TraceCache:
                 continue
             for path in sorted(directory.glob("*.pkl")):
                 try:
-                    size = path.stat().st_size
-                    with open(path, "rb") as handle:
-                        record = pickle.load(handle)
-                except (OSError, pickle.UnpicklingError, EOFError,
-                        AttributeError):
+                    blob = path.read_bytes()
+                    size = len(blob)
+                    record = _decode_entry(blob, f"{kind}/{path.stem[:12]}")
+                except (OSError, CacheIntegrityError):
                     continue
                 yield CacheEntryInfo(
                     kind=kind,
@@ -290,11 +394,15 @@ class TraceCache:
             bucket["bytes"] += info.size_bytes
             total_entries += 1
             total_bytes += info.size_bytes
+        quarantine = self.root / "quarantine"
+        quarantined = (len(list(quarantine.glob("*.pkl")))
+                       if quarantine.is_dir() else 0)
         return {
             "root": str(self.root),
             "enabled": self.enabled,
             "entries": total_entries,
             "bytes": total_bytes,
+            "quarantined": quarantined,
             "by_kind": by_kind,
         }
 

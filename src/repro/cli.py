@@ -124,6 +124,21 @@ def build_parser() -> argparse.ArgumentParser:
                             "'paper' forces the static Fig. 5 constants; "
                             "a path loads that profile JSON (see "
                             "'gsuite calibrate')")
+        p.add_argument("--jobs", type=int, default=None,
+                       help="worker processes for sharded plan dispatch "
+                            "(default 1 = in-process shards)")
+        p.add_argument("--task-timeout", type=float, default=None,
+                       metavar="SECONDS",
+                       help="per-task deadline for pooled shard dispatch; "
+                            "a timed-out task is retried, then degraded "
+                            "to in-process execution (default 0 = no "
+                            "deadline; dead workers are still detected)")
+        p.add_argument("--faults", default=None, metavar="SPEC",
+                       help="arm deterministic fault injection, e.g. "
+                            "'seed=7;worker_crash:p=0.2,tries=1' (sites: "
+                            "worker_crash, task_hang, corrupt_result, "
+                            "cache_truncate); results stay bit-for-bit "
+                            "identical — see repro.faults")
 
     for name, help_text in (
             ("run", "run one inference pass"),
@@ -170,9 +185,10 @@ def build_parser() -> argparse.ArgumentParser:
     cache = sub.add_parser("cache",
                            help="inspect or clear the persistent trace cache")
     cache.add_argument("action", nargs="?", default="info",
-                       choices=["info", "clear"],
+                       choices=["info", "clear", "verify"],
                        help="'info' (default) lists contents; 'clear' "
-                            "deletes every entry")
+                            "deletes every entry; 'verify' checksums "
+                            "every entry and quarantines corrupt ones")
     return parser
 
 
@@ -183,7 +199,8 @@ _ARG_FIELDS = {
     "layers": "num_layers", "hidden": "hidden", "scale": "scale",
     "seed": "seed", "repeats": "repeats", "shards": "shards",
     "partitioner": "partitioner", "fuse": "fuse", "batch": "batch",
-    "profile_costs": "profile_costs",
+    "profile_costs": "profile_costs", "jobs": "jobs",
+    "task_timeout": "task_timeout", "faults": "faults",
 }
 
 
@@ -216,6 +233,12 @@ def _cmd_run(args) -> int:
             print(f"  {member.name}: output shape {out.shape}")
     else:
         print(f"output shape: {outputs[0].shape}")
+    built = pipeline.last_built
+    report = built.dispatch_report if built is not None else None
+    # Surface dispatch supervision when it did something (or was asked
+    # to, via --faults) — clean unsupervised runs keep their old output.
+    if report is not None and (report.faulted or args.faults):
+        print(f"dispatch: {report.summary()}")
     return 0
 
 
@@ -377,11 +400,23 @@ def _cmd_cache(args) -> int:
         removed = cache.clear()
         print(f"cleared {removed} cache entries under {cache.root}")
         return 0
+    if args.action == "verify":
+        corrupt = cache.verify()
+        if not corrupt:
+            print(f"all cache entries under {cache.root} verified clean")
+            return 0
+        for kind, key in corrupt:
+            print(f"quarantined corrupt entry {kind}/{key[:16]}")
+        print(f"{len(corrupt)} corrupt entries moved to "
+              f"{cache.root / 'quarantine'}")
+        return 1
     info = cache.describe()
     print(f"cache root: {info['root']}")
     print(f"enabled: {info['enabled']}")
     print(f"entries: {info['entries']} "
           f"({info['bytes'] / 1e6:.1f} MB)")
+    if info.get("quarantined"):
+        print(f"quarantined: {info['quarantined']} corrupt entries")
     if info["by_kind"]:
         rows = [(kind, bucket["entries"], f"{bucket['bytes'] / 1e6:.1f}")
                 for kind, bucket in sorted(info["by_kind"].items())]

@@ -162,6 +162,17 @@ class SuiteConfig:
                                   # Fig. 5 constants), or the path of a
                                   # profile JSON written by
                                   # `gsuite calibrate`
+    jobs: int = 1                 # worker processes for sharded plan
+                                  # dispatch (1 = in-process shards)
+    faults: str = ""              # fault-injection spec (see
+                                  # repro.faults), e.g.
+                                  # "seed=7;worker_crash:p=0.2,tries=1";
+                                  # "" disarms (the GSUITE_FAULTS env
+                                  # var still applies)
+    task_timeout: float = 0.0     # per-task deadline (seconds) for
+                                  # pooled shard dispatch; 0 = no
+                                  # deadline (dead workers are still
+                                  # detected and their tasks retried)
 
     def __post_init__(self):
         if self.num_layers < 1:
@@ -192,6 +203,21 @@ class SuiteConfig:
                 f"profile_costs must be 'default', 'paper' or a profile "
                 f"path, got {self.profile_costs!r}"
             )
+        if self.jobs < 1:
+            raise ConfigError(f"jobs must be >= 1, got {self.jobs}")
+        if not isinstance(self.faults, str):
+            raise ConfigError(
+                f"faults must be a fault spec string, got {self.faults!r}")
+        if self.faults.strip():
+            # Parse eagerly so typos surface at configuration time, not
+            # in the middle of a dispatch wave; the parsed plan itself
+            # is rebuilt at activation.
+            from repro.faults import parse_faults
+            parse_faults(self.faults)
+        if self.task_timeout < 0:
+            raise ConfigError(
+                f"task_timeout must be >= 0 (0 = no deadline), "
+                f"got {self.task_timeout!r}")
 
     # -- construction helpers ----------------------------------------------
     @classmethod

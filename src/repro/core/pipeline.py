@@ -59,6 +59,7 @@ class GNNPipeline:
         self._batch_decision = None
         self._graph_stats = None
         self._cost_profile = None
+        self._last_built = None
         self._backend: Backend = get_backend(config.framework)
         out_features = config.out_features
         if out_features is None:
@@ -283,11 +284,19 @@ class GNNPipeline:
         """
         from repro.plan.sharding import ShardingPolicy
         shards = self.config.shards
+        # Pool supervision knobs ride on the policy; they steer *how*
+        # shard tasks are dispatched and recovered, never what they
+        # compute, so parity contracts are untouched.
+        supervision = {
+            "jobs": self.config.jobs,
+            "task_timeout": self.config.task_timeout or None,
+        }
         if shards == 1:
             return None
         if shards >= 2:
             return ShardingPolicy(num_shards=shards, source="forced",
-                                  partitioner=self.shard_partitioner(shards))
+                                  partitioner=self.shard_partitioner(shards),
+                                  **supervision)
         from repro.core.models import get_model_class
         from repro.core.models.base import layer_dimensions
         from repro.plan.planner import choose_shards
@@ -306,7 +315,8 @@ class GNNPipeline:
         if chosen <= 1:
             return None
         return ShardingPolicy(num_shards=chosen, source="planner",
-                              partitioner=self.shard_partitioner(chosen))
+                              partitioner=self.shard_partitioner(chosen),
+                              **supervision)
 
     def build(self, shard_cache: bool = True):
         """Construct the backend pipeline (framework init included).
@@ -317,6 +327,11 @@ class GNNPipeline:
         cache entries.
         """
         from dataclasses import replace
+        if self.config.faults:
+            # Arm the configured fault plan process-wide (and export it
+            # to pool workers) before any dispatch can happen.
+            from repro import faults as fault_injection
+            fault_injection.activate(self.config.faults)
         built = self._backend.build(self.spec, self.graph,
                                     cost_profile=self.cost_profile())
         plan = getattr(built, "plan", None)
@@ -339,17 +354,29 @@ class GNNPipeline:
         policy = self.sharding_policy(
             layer_formats=plan.layer_formats if plan is not None else None,
             fused=fused_mp)
-        if policy is None:
-            return built
-        if policy.source == "planner" and not built.can_shard():
-            # The planner was *asked* to decide, and on a backend that
-            # cannot shard (PyG-like tape, unlowered extension models)
-            # the right decision is "don't" — only forced shard counts
-            # refuse loudly.
-            return built
-        if not shard_cache:
-            policy = replace(policy, use_cache=False)
-        return built.configure_sharding(policy)
+        # A planner-sourced policy on a backend that cannot shard (the
+        # PyG-like tape, unlowered extension models) silently declines —
+        # the planner was *asked* to decide, and the right decision is
+        # "don't".  Only forced shard counts refuse loudly (inside
+        # configure_sharding).
+        if policy is not None and (policy.source != "planner"
+                                   or built.can_shard()):
+            if not shard_cache:
+                policy = replace(policy, use_cache=False)
+            built.configure_sharding(policy)
+        self._last_built = built
+        return built
+
+    @property
+    def last_built(self):
+        """The backend pipeline of the most recent :meth:`build`.
+
+        ``None`` before any build.  Lets callers that use the one-shot
+        conveniences (:meth:`run`, :meth:`run_batch`) reach execution
+        state recorded on the built pipeline afterwards — most notably
+        :attr:`~repro.frameworks.base.BuiltPipeline.dispatch_report`.
+        """
+        return self._last_built
 
     def plan(self, built=None):
         """Every decision the planner took, as one typed record.

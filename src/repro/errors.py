@@ -51,3 +51,15 @@ class PlanError(GSuiteError):
 
 class CalibrationError(GSuiteError):
     """A cost profile could not be loaded, fitted or verified."""
+
+
+class WorkerError(GSuiteError):
+    """A pool worker died or kept failing past its retry budget."""
+
+
+class TaskTimeoutError(GSuiteError):
+    """A dispatched task exceeded its per-task deadline."""
+
+
+class CacheIntegrityError(GSuiteError):
+    """A persistent cache entry failed its checksum and cannot be isolated."""

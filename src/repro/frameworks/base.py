@@ -143,6 +143,18 @@ class BuiltPipeline:
         executor = getattr(self, "_executor", None)
         return [] if executor is None else executor.shard_report
 
+    @property
+    def dispatch_report(self):
+        """Pool supervision record of the last sharded run (or ``None``).
+
+        A :class:`~repro.bench.pool.DispatchReport`: attempts, retries,
+        timeouts, worker deaths and degradations.  ``None`` until a
+        sharded run happens; a clean run reports ``faulted == False``.
+        """
+        executor = getattr(self, "_executor", None)
+        return None if executor is None else getattr(
+            executor, "dispatch_report", None)
+
 
 class Backend:
     """A framework execution path.

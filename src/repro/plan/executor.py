@@ -254,6 +254,11 @@ class PlanExecutor:
         self.shard_trace: list = []
         #: Per-group :class:`~repro.plan.sharding.ShardDispatch` records.
         self.shard_report: list = []
+        #: :class:`~repro.bench.pool.DispatchReport` of the last sharded
+        #: run's worker pool (``None`` until a sharded run happens).
+        #: Records supervision events — retries, timeouts, worker
+        #: deaths, degradations — none of which affect results.
+        self.dispatch_report = None
 
     def run(self, plan: ExecutionPlan, graph: Graph,
             inputs: Dict[str, Any]) -> np.ndarray:
@@ -366,8 +371,11 @@ class PlanExecutor:
         dispatcher = ShardDispatcher(self.sharding)
         recorder = active_recorder()
         skip: set = set()
+        pool = WorkerPool(self.sharding.jobs,
+                          task_timeout=self.sharding.task_timeout,
+                          max_retries=self.sharding.max_retries)
         try:
-            with WorkerPool(self.sharding.jobs) as pool:
+            with pool:
                 for position, op in enumerate(plan.ops):
                     if position in skip:
                         continue
@@ -381,6 +389,7 @@ class PlanExecutor:
         finally:
             self.shard_trace = dispatcher.trace
             self.shard_report = dispatcher.report
+            self.dispatch_report = pool.report
         return env[plan.output.vid]
 
     # -- batched execution -------------------------------------------------

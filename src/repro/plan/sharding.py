@@ -180,6 +180,15 @@ class ShardingPolicy:
         ``"degree"`` (edge-balanced over degree-sorted row lists with
         a permutation-aware merge).  See the module docstring; all
         three are bit-for-bit against unsharded execution.
+    task_timeout:
+        Per-shard-task deadline in seconds for pooled dispatch
+        (``None`` = wait forever; dead workers are still detected).
+        Passed through to the :class:`~repro.bench.pool.WorkerPool`.
+    max_retries:
+        Redispatch budget per shard task before it degrades to
+        in-process execution in the parent.  Because shard tasks are
+        pure, retried and degraded waves stay bit-for-bit identical to
+        clean ones — supervision parameters never affect results.
     """
 
     num_shards: int
@@ -188,12 +197,21 @@ class ShardingPolicy:
     source: str = "forced"
     local_tails: bool = False
     partitioner: str = "rows"
+    task_timeout: Optional[float] = None
+    max_retries: int = 2
 
     def __post_init__(self):
         if self.partitioner not in PARTITIONERS:
             raise PlanError(
                 f"unknown shard partitioner {self.partitioner!r}; "
                 f"expected one of {PARTITIONERS}")
+        if self.task_timeout is not None and self.task_timeout <= 0:
+            raise PlanError(
+                f"task_timeout must be positive or None, "
+                f"got {self.task_timeout!r}")
+        if self.max_retries < 0:
+            raise PlanError(
+                f"max_retries must be >= 0, got {self.max_retries!r}")
 
 
 @dataclass(frozen=True)

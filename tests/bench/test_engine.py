@@ -153,7 +153,8 @@ class TestEnvKillSwitch:
         cell = WorkCell("record", "gcn", "cora", "MP")
         _, value, _, delta = engine._execute_cell((cell, TINY, True))
         assert value  # the work still happened
-        assert delta.to_dict() == {"hits": 0, "misses": 0, "stores": 0}
+        assert delta.to_dict() == {"hits": 0, "misses": 0, "stores": 0,
+                                   "corrupt": 0}
         root = trace_cache.get_cache().root
         assert not root.exists() or not any(root.rglob("*.pkl"))
 

@@ -83,7 +83,8 @@ class TestTraceCache:
         cache.put("sim", key, "value")
         assert cache.get("sim", key) is None
         assert not (tmp_path / "c").exists()
-        assert cache.stats.to_dict() == {"hits": 0, "misses": 0, "stores": 0}
+        assert cache.stats.to_dict() == {"hits": 0, "misses": 0,
+                                         "stores": 0, "corrupt": 0}
 
     def test_corrupt_entry_is_a_miss(self, tmp_path):
         cache = TraceCache(tmp_path / "c")
@@ -159,6 +160,6 @@ class TestBenchWiring:
         get_cache().enabled = False
         recorded_launches("gcn", "cora", "MP", TINY)
         assert get_cache().stats.to_dict() == {
-            "hits": 0, "misses": 0, "stores": 0}
+            "hits": 0, "misses": 0, "stores": 0, "corrupt": 0}
         root = get_cache().root
         assert not any(root.rglob("*.pkl")) if root.exists() else True

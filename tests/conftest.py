@@ -13,6 +13,7 @@ calibration dir unless they opt in.
 import pytest
 
 from repro import cache as trace_cache
+from repro import faults
 
 
 @pytest.fixture(autouse=True)
@@ -20,6 +21,11 @@ def _isolated_trace_cache(tmp_path, monkeypatch):
     monkeypatch.setenv("GSUITE_CACHE_DIR", str(tmp_path / "trace-cache"))
     monkeypatch.setenv("GSUITE_CALIBRATION_DIR", str(tmp_path / "calib"))
     monkeypatch.delenv("GSUITE_COST_PROFILE", raising=False)
+    # Fault injection must never leak between tests (or in from the
+    # developer's shell): disarm the global plan and drop the env var.
+    monkeypatch.delenv("GSUITE_FAULTS", raising=False)
+    faults.deactivate()
     trace_cache.reset_cache()
     yield
+    faults.deactivate()
     trace_cache.reset_cache()

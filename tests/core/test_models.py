@@ -257,4 +257,8 @@ def test_mp_spmm_equivalence_property(model_name, layers, nodes, edges, seed):
                      compute_model="MP", seed=seed % 100)
     sp = build_model(model_name, 6, 8, 4, num_layers=layers,
                      compute_model="SpMM", seed=seed % 100)
-    assert np.allclose(mp(g), sp(g), atol=5e-3)
+    # rtol loosened from numpy's 1e-5 default: dense multi-edge graphs
+    # (e.g. 1 node with dozens of self-loops over 3 GIN layers) push
+    # activations to ~1e5, where reassociated float32 summation alone
+    # produces relative error slightly above 1e-5.
+    assert np.allclose(mp(g), sp(g), atol=5e-3, rtol=1e-4)
