@@ -12,6 +12,8 @@ Build and exercise a GNN pipeline by passing a few parameters::
     gsuite kernels
     gsuite bench --jobs 4   # regenerate every paper table/figure
     gsuite cache info       # inspect the persistent trace cache
+    gsuite serve --port 8753                 # JSON-lines inference service
+    gsuite loadgen --concurrency 4 --requests 8 --datasets cora,pubmed
 
 (Also available as ``python -m repro``.)
 """
@@ -137,8 +139,20 @@ def build_parser() -> argparse.ArgumentParser:
                        help="arm deterministic fault injection, e.g. "
                             "'seed=7;worker_crash:p=0.2,tries=1' (sites: "
                             "worker_crash, task_hang, corrupt_result, "
-                            "cache_truncate); results stay bit-for-bit "
-                            "identical — see repro.faults")
+                            "cache_truncate, request_drop, batch_timeout); "
+                            "results stay bit-for-bit identical — see "
+                            "repro.faults")
+        p.add_argument("--serve-batch", type=_knob_type("serve_batch"),
+                       default=None, metavar="auto|off|N",
+                       help="serving micro-batcher: 'auto' (default) packs "
+                            "up to the planner's choose_batching budget, "
+                            "'off' executes every request solo, N >= 2 "
+                            "caps batches at N members")
+        p.add_argument("--serve-window", type=float, default=None,
+                       metavar="SECONDS",
+                       help="micro-batch deadline flush: a queued request "
+                            "never waits longer than this for co-batchable "
+                            "traffic (default 0.01)")
 
     for name, help_text in (
             ("run", "run one inference pass"),
@@ -179,6 +193,39 @@ def build_parser() -> argparse.ArgumentParser:
                                 "verify (default: the standard "
                                 "resolution order)")
 
+    serve = sub.add_parser(
+        "serve",
+        help="run the JSON-lines inference service (one request object "
+             "per line in, one response summary per line out)")
+    add_pipeline_args(serve)
+    serve.add_argument("--host", default="127.0.0.1",
+                       help="bind address (default 127.0.0.1)")
+    serve.add_argument("--port", type=int, default=8753,
+                       help="bind port; 0 picks a free one (default 8753)")
+    serve.add_argument("--max-requests", type=int, default=None,
+                       metavar="N",
+                       help="exit after answering N requests (default: "
+                            "serve until interrupted)")
+
+    loadgen = sub.add_parser(
+        "loadgen",
+        help="drive the deterministic closed-loop load generator "
+             "in-process and report p50/p99 latency and throughput")
+    add_pipeline_args(loadgen)
+    loadgen.add_argument("--concurrency", type=int, default=4,
+                         help="concurrent closed-loop clients (default 4)")
+    loadgen.add_argument("--requests", type=int, default=8,
+                         help="requests per client (default 8)")
+    loadgen.add_argument("--datasets", default=None, metavar="A,B,...",
+                         help="comma-separated dataset mix (default: the "
+                              "--dataset value); multi-dataset mixes pin "
+                              "out_features to the first dataset's class "
+                              "count so mixed widths can share batches")
+    loadgen.add_argument("--verify", action="store_true",
+                         help="after the timed window, re-run every "
+                              "response solo at its pad width and assert "
+                              "bitwise parity (exit 1 on any mismatch)")
+
     bench = sub.add_parser("bench", help="regenerate every paper table/figure")
     add_bench_arguments(bench)
 
@@ -201,19 +248,25 @@ _ARG_FIELDS = {
     "partitioner": "partitioner", "fuse": "fuse", "batch": "batch",
     "profile_costs": "profile_costs", "jobs": "jobs",
     "task_timeout": "task_timeout", "faults": "faults",
+    "serve_batch": "serve_batch", "serve_window": "serve_window",
 }
+
+
+def _config_from_args(args) -> SuiteConfig:
+    """The resolved SuiteConfig behind ``_pipeline_from_args`` (serving
+    commands need the config without building a pipeline)."""
+    overrides = {field: getattr(args, dest)
+                 for dest, field in _ARG_FIELDS.items()
+                 if getattr(args, dest) is not None}
+    if args.config:
+        return SuiteConfig.from_file(args.config, **overrides)
+    return SuiteConfig.from_dict(overrides)
 
 
 def _pipeline_from_args(args) -> GNNPipeline:
     # Only flags the user actually passed override the config file /
     # the SuiteConfig defaults (argparse defaults are None sentinels).
-    overrides = {field: getattr(args, dest)
-                 for dest, field in _ARG_FIELDS.items()
-                 if getattr(args, dest) is not None}
-    if args.config:
-        config = SuiteConfig.from_file(args.config, **overrides)
-    else:
-        config = SuiteConfig.from_dict(overrides)
+    config = _config_from_args(args)
     # Backfill the args namespace from the resolved config so command
     # output (labels, decision lines) reflects what actually ran.
     for dest, field in _ARG_FIELDS.items():
@@ -364,6 +417,63 @@ def _cmd_plan(args) -> int:
     return 0
 
 
+def _cmd_serve(args) -> int:
+    import asyncio
+    from repro.serve import InferenceService, serve_tcp
+    config = _config_from_args(args)
+    service = InferenceService(config)
+
+    def ready(bound):
+        host, port = bound
+        print(f"serving on {host}:{port} "
+              f"(serve_batch={config.serve_batch}, "
+              f"serve_window={config.serve_window}s); one JSON request "
+              f"per line, e.g. "
+              f'{{"request_id": "r1", "dataset": "cora", "scale": 0.15}}')
+
+    async def run():
+        async with service:
+            return await serve_tcp(service, host=args.host, port=args.port,
+                                   max_requests=args.max_requests,
+                                   ready=ready)
+
+    try:
+        served = asyncio.run(run())
+    except KeyboardInterrupt:            # pragma: no cover - interactive
+        print("interrupted")
+        return 0
+    print(f"served {served} request(s); "
+          f"dispatch: {service.report.summary()}")
+    return 0
+
+
+def _cmd_loadgen(args) -> int:
+    from repro.serve import run_loadgen
+    from repro.serve.loadgen import dataset_mix
+    config = _config_from_args(args)
+    datasets = [name.strip() for name in args.datasets.split(",")
+                if name.strip()] if args.datasets else [config.dataset]
+    templates = dataset_mix(
+        datasets, out_features=config.out_features, model=config.model,
+        framework=config.framework, compute_model=config.compute_model,
+        hidden=config.hidden, num_layers=config.num_layers,
+        activation=config.activation, seed=config.seed, scale=config.scale)
+    report = run_loadgen(templates, concurrency=args.concurrency,
+                         requests_per_client=args.requests, config=config,
+                         verify=args.verify)
+    mode = "off" if config.serve_batch == 1 else (
+        "auto" if config.serve_batch == 0 else f"<= {config.serve_batch}")
+    print(f"loadgen over {'+'.join(datasets)} "
+          f"(micro-batching {mode}, window {config.serve_window}s)")
+    print(report.summary())
+    if args.verify:
+        print(f"parity: {report.parity_checked} response(s) checked, "
+              f"{report.parity_failures} mismatch(es)")
+        if report.parity_failures:
+            return 1
+    return 0
+
+
 def _cmd_calibrate(args) -> int:
     from repro.plan.calibrate import run_calibration
     return run_calibration(
@@ -432,6 +542,8 @@ _COMMANDS = {
     "simulate": _cmd_simulate,
     "profile": _cmd_profile,
     "plan": _cmd_plan,
+    "serve": _cmd_serve,
+    "loadgen": _cmd_loadgen,
     "calibrate": _cmd_calibrate,
     "datasets": _cmd_datasets,
     "kernels": _cmd_kernels,

@@ -107,6 +107,7 @@ KNOBS = {
     "partitioner": Knob("partitioner", auto="auto", off="rows",
                         spellings=(("rows", "rows"), ("edges", "edges"),
                                    ("degree", "degree")), integer=False),
+    "serve_batch": Knob("serve_batch", auto=0, off=1),
 }
 
 
@@ -173,6 +174,16 @@ class SuiteConfig:
                                   # pooled shard dispatch; 0 = no
                                   # deadline (dead workers are still
                                   # detected and their tasks retried)
+    serve_batch: int = 0          # serving micro-batcher: 0 = planner
+                                  # decides the batch size ("auto",
+                                  # choose_batching budgets), 1 = off
+                                  # (every request executes solo),
+                                  # N >= 2 additionally caps batches
+                                  # at N members
+    serve_window: float = 0.01    # micro-batch deadline flush
+                                  # (seconds): a queued request never
+                                  # waits longer than this for
+                                  # co-batchable traffic
 
     def __post_init__(self):
         if self.num_layers < 1:
@@ -218,6 +229,10 @@ class SuiteConfig:
             raise ConfigError(
                 f"task_timeout must be >= 0 (0 = no deadline), "
                 f"got {self.task_timeout!r}")
+        if self.serve_window < 0:
+            raise ConfigError(
+                f"serve_window must be >= 0 seconds, "
+                f"got {self.serve_window!r}")
 
     # -- construction helpers ----------------------------------------------
     @classmethod

@@ -63,3 +63,7 @@ class TaskTimeoutError(GSuiteError):
 
 class CacheIntegrityError(GSuiteError):
     """A persistent cache entry failed its checksum and cannot be isolated."""
+
+
+class ServeError(GSuiteError):
+    """An inference-service request is malformed or cannot be served."""

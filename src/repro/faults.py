@@ -22,6 +22,15 @@ Injection sites (:data:`SITES`):
 ``cache_truncate``
     A freshly written cache entry is truncated on disk — models a
     crash mid-write or filesystem corruption.
+``request_drop``
+    The serving micro-batcher loses one queued request out of a batch
+    it was about to pack — models a client disconnect or a queue slot
+    reclaimed under memory pressure.  The service degrades the request
+    to solo execution instead of failing it.
+``batch_timeout``
+    A packed batch misses its execution deadline — models a stalled
+    executor thread.  The service abandons the batch and degrades
+    every member to solo execution.
 
 Decisions are **deterministic**: a fault fires iff
 ``sha256(seed | site | key | attempt)`` maps below the site's
@@ -70,8 +79,10 @@ __all__ = [
     "deactivate",
 ]
 
-#: The named injection sites, in dispatch order.
-SITES = ("worker_crash", "task_hang", "corrupt_result", "cache_truncate")
+#: The named injection sites, in dispatch order (the serving sites
+#: last: they fire in the micro-batcher, after any pool dispatch).
+SITES = ("worker_crash", "task_hang", "corrupt_result", "cache_truncate",
+         "request_drop", "batch_timeout")
 
 #: Exit status used by an injected worker crash — distinctive enough to
 #: recognise in a post-mortem, meaningless to the shell.
@@ -179,6 +190,18 @@ class FaultPlan:
                        attempt: Optional[int] = None) -> bool:
         """``corrupt_result``: whether this result should be garbled."""
         return self.decide("corrupt_result", key, attempt)
+
+    def drop_request(self, key: str,
+                     attempt: Optional[int] = None) -> bool:
+        """``request_drop``: whether this queued request falls out of
+        its batch (the service degrades it to solo execution)."""
+        return self.decide("request_drop", key, attempt)
+
+    def batch_timed_out(self, key: str,
+                        attempt: Optional[int] = None) -> bool:
+        """``batch_timeout``: whether this packed batch misses its
+        deadline (every member degrades to solo execution)."""
+        return self.decide("batch_timeout", key, attempt)
 
     def maybe_truncate(self, path, key: str) -> bool:
         """``cache_truncate``: chop a written cache file in half."""

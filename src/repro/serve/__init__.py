@@ -1,0 +1,35 @@
+"""Online inference serving over :class:`~repro.core.pipeline.GNNPipeline`.
+
+The serving layer puts the suite's batched-execution machinery behind
+concurrent traffic: validated requests (:mod:`repro.serve.requests`)
+queue into a deadline-flushed micro-batcher
+(:mod:`repro.serve.batcher`) that packs compatible graphs into one
+block-diagonal :class:`~repro.graph.BatchedGraph` workload under the
+planner's :func:`~repro.plan.planner.choose_batching` budgets; an
+asyncio service (:mod:`repro.serve.service`) executes the packed plans
+and unpacks per-member responses; a deterministic load generator
+(:mod:`repro.serve.loadgen`) measures p50/p99 latency and throughput.
+
+Mixed feature widths share a batch through the zero-padding shim
+(:mod:`repro.serve.padding`); every batched member unpacks bit-for-bit
+identical to the same request executed solo at the same pad width.
+"""
+
+from repro.serve.batcher import BatchGroup, MicroBatcher
+from repro.serve.loadgen import LoadReport, run_loadgen
+from repro.serve.padding import pad_features
+from repro.serve.requests import InferenceRequest, InferenceResponse
+from repro.serve.service import InferenceService, serve_tcp, solo_reference
+
+__all__ = [
+    "BatchGroup",
+    "InferenceRequest",
+    "InferenceResponse",
+    "InferenceService",
+    "LoadReport",
+    "MicroBatcher",
+    "pad_features",
+    "run_loadgen",
+    "serve_tcp",
+    "solo_reference",
+]

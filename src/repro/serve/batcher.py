@@ -1,0 +1,218 @@
+"""Deadline-flushed micro-batcher over the planner's batching budgets.
+
+Queued requests group by :meth:`~repro.serve.requests.InferenceRequest
+.compatibility_key` — everything the packed plan's arithmetic depends
+on except the feature width.  A group flushes as one
+:class:`BatchGroup` when it reaches its **budget** (batch-full) or when
+its oldest member has waited ``window`` seconds (deadline); the budget
+is exactly what :func:`repro.plan.planner.choose_batching` allows for
+the group's padded width and its costliest member's statistics, so the
+serving path can never pack a batch the offline planner would refuse.
+
+The batcher is deliberately synchronous and clock-injectable: the
+asyncio service drives it (:mod:`repro.serve.service`), and tests drive
+it with a fake clock — no sleeping, no threads, no flakiness.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from repro.errors import ServeError
+from repro.graph import Graph
+from repro.serve.requests import InferenceRequest
+
+__all__ = ["BatchGroup", "MicroBatcher", "group_budget"]
+
+
+@dataclass
+class _Pending:
+    """One queued request with its resolved workload."""
+
+    request: InferenceRequest
+    graph: Graph
+    enqueued_at: float
+    payload: Any = None        # caller cargo (the service parks futures here)
+
+
+@dataclass
+class BatchGroup:
+    """One flushed batch: compatible members, equalised to one width."""
+
+    key: Tuple
+    entries: List[_Pending]
+    pad_width: int
+    reason: str                # "full" | "deadline" | "close"
+
+    @property
+    def size(self) -> int:
+        return len(self.entries)
+
+
+#: Stand-in "graphs available" count for capacity pricing: large enough
+#: that :func:`~repro.plan.planner.choose_batching`'s ``num_graphs``
+#: bound never binds and the returned size is the pure budget ceiling.
+CAPACITY = 1 << 20
+
+
+def group_budget(requests: List[InferenceRequest], graphs: List[Graph],
+                 pad_width: int, max_batch: Optional[int] = None,
+                 profile=None, count: Optional[int] = None) -> int:
+    """The planner's batch-size cap for one compatible group.
+
+    Prices :func:`~repro.plan.planner.choose_batching` with the group's
+    padded width and a *conservative representative member*: the
+    element-wise maximum of every member's
+    :class:`~repro.plan.planner.GraphStats`.  A heterogeneous group is
+    therefore never packed deeper than its costliest member alone would
+    allow — the serving path stays inside the offline budgets.
+
+    ``count`` is the ``num_graphs`` the planner prices for (default:
+    the group size).  The batcher passes :data:`CAPACITY` to ask "how
+    deep *could* members like these pack" independent of how many are
+    queued right now — queue-length-bounded pricing would make every
+    nonempty queue look batch-full and dead-code the deadline window.
+    """
+    from repro.core.models import get_model_class
+    from repro.core.models.base import layer_dimensions
+    from repro.plan.planner import GraphStats, choose_batching
+    if not requests:
+        return 1
+    head = requests[0]
+    stats = [GraphStats.from_graph(g) for g in graphs]
+    representative = GraphStats(
+        num_nodes=max(s.num_nodes for s in stats),
+        num_edges=max(s.num_edges for s in stats),
+        feature_width=pad_width,
+        avg_degree=max(s.avg_degree for s in stats),
+        density=max(s.density for s in stats),
+        degree_skew=max(s.degree_skew for s in stats),
+    )
+    dims = layer_dimensions(pad_width, head.hidden,
+                            head.resolved_out_features(), head.num_layers)
+    formats = [head.compute_model] * len(dims)
+    return choose_batching(
+        len(requests) if count is None else count, dims, representative,
+        formats=formats,
+        width_hook=get_model_class(head.model).aggregation_width,
+        max_batch=max_batch, profile=profile)
+
+
+class MicroBatcher:
+    """FIFO request queues, grouped by compatibility, flushed by budget
+    or deadline.
+
+    Parameters
+    ----------
+    max_batch:
+        The ``serve_batch`` knob: ``0`` lets :func:`group_budget`
+        decide alone (planner auto), ``1`` disables batching (every
+        request flushes as a group of one), ``N >= 2`` additionally
+        caps groups at ``N`` (the planner budgets still apply — a cap
+        can shrink a batch, never grow one).
+    window:
+        The ``serve_window`` deadline in seconds: a queued request
+        never waits longer than this for co-batchable traffic.
+    profile:
+        Planner :class:`~repro.plan.costprofile.CostProfile` the
+        budgets are priced under (``None`` = the resolution default).
+    clock:
+        Monotonic time source (injectable for tests).
+    """
+
+    def __init__(self, max_batch: int = 0, window: float = 0.01,
+                 profile=None, clock: Callable[[], float] = time.monotonic):
+        if max_batch < 0:
+            raise ServeError(
+                f"max_batch must be >= 0 (0 = planner auto), got {max_batch}")
+        if window < 0:
+            raise ServeError(f"window must be >= 0, got {window}")
+        self.max_batch = max_batch
+        self.window = window
+        self.profile = profile
+        self.clock = clock
+        self._queues: Dict[Tuple, List[_Pending]] = {}
+
+    # -- queueing ----------------------------------------------------------
+    def __len__(self) -> int:
+        return sum(len(q) for q in self._queues.values())
+
+    def submit(self, request: InferenceRequest, payload: Any = None,
+               graph: Optional[Graph] = None) -> None:
+        """Queue one validated request (resolving its workload now, so
+        a dataset typo can never surface mid-flush)."""
+        entry = _Pending(request=request,
+                         graph=graph if graph is not None
+                         else request.resolve_graph(),
+                         enqueued_at=self.clock(), payload=payload)
+        self._queues.setdefault(request.compatibility_key(), []).append(entry)
+
+    # -- budgets -----------------------------------------------------------
+    def budget(self, key: Tuple) -> int:
+        """The batch *capacity* for ``key``'s queue, right now: how
+        deep the planner lets members like these pack, independent of
+        how many are queued.  The queue is batch-full once it reaches
+        this."""
+        queue = self._queues.get(key, [])
+        if not queue:
+            return 1
+        if not queue[0].request.batchable:
+            return 1               # adaptive traffic flushes solo
+        pad_width = max(e.graph.num_features for e in queue)
+        cap = self.max_batch if self.max_batch >= 1 else None
+        return group_budget([e.request for e in queue],
+                            [e.graph for e in queue], pad_width,
+                            max_batch=cap, profile=self.profile,
+                            count=CAPACITY)
+
+    # -- flushing ----------------------------------------------------------
+    def _cut(self, key: Tuple, size: int, reason: str) -> BatchGroup:
+        queue = self._queues[key]
+        entries, self._queues[key] = queue[:size], queue[size:]
+        if not self._queues[key]:
+            del self._queues[key]
+        pad_width = max(e.graph.num_features for e in entries)
+        return BatchGroup(key=key, entries=entries, pad_width=pad_width,
+                          reason=reason)
+
+    def due(self, now: Optional[float] = None) -> List[BatchGroup]:
+        """Flush every group that is batch-full or past its deadline.
+
+        Queues at or over capacity cut capacity-sized groups until the
+        remainder fits (that remainder keeps accumulating until its
+        own deadline); deadline-expired queues drain completely, in
+        capacity-sized slices — a request never waits past ``window``
+        for traffic that may not come.
+        """
+        now = self.clock() if now is None else now
+        groups: List[BatchGroup] = []
+        for key in list(self._queues):
+            budget = self.budget(key)
+            while len(self._queues.get(key, ())) >= budget > 0:
+                groups.append(self._cut(key, budget, "full"))
+                budget = self.budget(key)
+            while key in self._queues and \
+                    now - self._queues[key][0].enqueued_at >= self.window:
+                groups.append(self._cut(key, max(1, self.budget(key)),
+                                        "deadline"))
+        return groups
+
+    def flush_all(self) -> List[BatchGroup]:
+        """Drain every queue (service shutdown), in budget-sized slices."""
+        groups: List[BatchGroup] = []
+        for key in list(self._queues):
+            while key in self._queues:
+                groups.append(self._cut(key, max(1, self.budget(key)),
+                                        "close"))
+        return groups
+
+    def next_deadline(self, now: Optional[float] = None) -> Optional[float]:
+        """Seconds until the earliest queued deadline (``None`` = idle)."""
+        if not self._queues:
+            return None
+        now = self.clock() if now is None else now
+        oldest = min(queue[0].enqueued_at
+                     for queue in self._queues.values())
+        return max(0.0, oldest + self.window - now)

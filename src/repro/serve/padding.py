@@ -1,0 +1,53 @@
+"""Zero-padding feature-width shim for mixed-width micro-batches.
+
+:class:`~repro.graph.BatchedGraph` refuses ragged feature widths — the
+packed feature matrix stacks row-wise, so members must agree on ``f``.
+Cross-dataset serving traffic rarely does (Cora requests carry 1433
+features, Pubmed 500), so the micro-batcher equalises a group by
+zero-padding every member to the group's widest member before packing.
+
+The parity contract under padding is deliberately precise: a padded
+member's batched output is bit-for-bit identical to *the same request
+executed solo at the same pad width*.  It is **not** identical to the
+unpadded solo run — the first layer's seeded weight matrix is shaped by
+the input width, so widening the input re-draws ``W0`` and changes the
+arithmetic.  Responses therefore record the width they executed at
+(:attr:`~repro.serve.requests.InferenceResponse.padded_to`), and every
+parity check in the suite re-runs the reference at that width.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ServeError
+from repro.graph import Graph
+
+__all__ = ["pad_features"]
+
+
+def pad_features(graph: Graph, width: int) -> Graph:
+    """``graph`` with its feature matrix zero-padded to ``width`` columns.
+
+    The same graph comes back untouched when it already has ``width``
+    features; narrowing refuses (truncation would silently change the
+    workload).  Structure, weights and name-derived identity are
+    preserved — only zero columns are appended — so the padded graph's
+    plan-cache signature is stable across repeat requests.
+    """
+    if graph.features is None:
+        raise ServeError(
+            f"cannot pad a graph without features: {graph.name!r}")
+    have = graph.num_features
+    if width == have:
+        return graph
+    if width < have:
+        raise ServeError(
+            f"cannot pad {graph.name!r} from {have} features down to "
+            f"{width}; padding only widens")
+    padded = np.zeros((graph.num_nodes, width), dtype=np.float32)
+    padded[:, :have] = graph.features
+    return Graph(graph.edge_index, features=padded,
+                 num_nodes=graph.num_nodes,
+                 edge_weight=graph.edge_weight,
+                 name=f"{graph.name}+pad{width}")

@@ -1,0 +1,311 @@
+"""The asyncio inference front end over the suite's execution path.
+
+:class:`InferenceService` owns one :class:`~repro.serve.batcher
+.MicroBatcher` and one single-worker thread executor.  ``submit`` is a
+coroutine: the request queues, a background drain task flushes groups
+(batch-full immediately, deadline otherwise), and the packed plan runs
+on the worker thread — one group at a time, so concurrent traffic can
+never interleave kernels and execution stays deterministic.  Unpacked
+member outputs resolve the per-request futures.
+
+Warm-path behaviour comes from the persistent plan cache for free: a
+repeat geometry (same spec, same graph signature) hits the lowered-plan
+entry the first request stored, and :meth:`InferenceService.stats`
+reports the hit delta so the reuse is observable.
+
+Fault degradation (sites ``request_drop`` / ``batch_timeout`` — see
+:mod:`repro.faults`): a dropped member falls out of its batch and
+re-runs solo; a timed-out batch degrades every member to solo.  Both
+paths still return parity-correct results — degradation changes *how*
+a request executes, never *what* it computes — and the service's
+:class:`~repro.bench.pool.DispatchReport` accounts every event.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import time
+from typing import List, Optional
+
+import numpy as np
+
+from repro.bench.pool import DispatchReport
+from repro.core.config import SuiteConfig
+from repro.errors import GSuiteError, ServeError
+from repro.faults import active_faults
+from repro.frameworks import get_backend
+from repro.graph import BatchedGraph, Graph
+from repro.serve.batcher import BatchGroup, MicroBatcher
+from repro.serve.padding import pad_features
+from repro.serve.requests import InferenceRequest, InferenceResponse
+
+__all__ = ["InferenceService", "solo_reference", "serve_tcp"]
+
+
+def solo_reference(request: InferenceRequest, pad_to: int = 0,
+                   profile=None, graph: Optional[Graph] = None) -> np.ndarray:
+    """Execute ``request`` alone, optionally at a padded width.
+
+    This is the parity oracle for batched responses: a response whose
+    :attr:`~repro.serve.requests.InferenceResponse.padded_to` is ``W``
+    must equal ``solo_reference(request, pad_to=W)`` bit-for-bit.
+    """
+    graph = request.resolve_graph() if graph is None else graph
+    if pad_to and pad_to != graph.num_features:
+        graph = pad_features(graph, pad_to)
+    built = get_backend(request.framework).build(
+        request.pipeline_spec(), graph, cost_profile=profile)
+    return built.run()
+
+
+class InferenceService:
+    """Micro-batching inference service (asyncio).
+
+    Parameters
+    ----------
+    config:
+        A :class:`~repro.core.config.SuiteConfig`; the serving knobs
+        are ``serve_batch`` (``0`` planner auto / ``1`` off / ``N``
+        cap) and ``serve_window`` (deadline flush, seconds).  The
+        pipeline fields of the config do **not** constrain requests —
+        every request carries its own parameters — but ``faults`` and
+        ``profile_costs`` apply service-wide.
+    clock:
+        Monotonic time source (injectable for tests).
+    """
+
+    def __init__(self, config: Optional[SuiteConfig] = None,
+                 clock=time.monotonic):
+        self.config = config if config is not None else SuiteConfig()
+        from repro.plan.costprofile import resolve_cost_profile
+        self._profile = resolve_cost_profile(self.config.profile_costs)
+        if self.config.faults:
+            from repro import faults as fault_injection
+            fault_injection.activate(self.config.faults)
+        self.batcher = MicroBatcher(max_batch=self.config.serve_batch,
+                                    window=self.config.serve_window,
+                                    profile=self._profile, clock=clock)
+        self.report = DispatchReport()
+        self.batches: List[int] = []      # executed batch sizes, in order
+        self._batch_counter = 0
+        self._inflight = 0
+        self._closing = False
+        self._task: Optional[asyncio.Task] = None
+        self._wake: Optional[asyncio.Event] = None
+        self._pool = None
+        from repro.cache import get_cache
+        self._cache = get_cache()
+        self._cache_hits_baseline = self._cache.stats.hits
+
+    # -- lifecycle ---------------------------------------------------------
+    async def start(self) -> "InferenceService":
+        """Spawn the drain task (idempotent)."""
+        if self._task is None:
+            from concurrent.futures import ThreadPoolExecutor
+            self._pool = ThreadPoolExecutor(
+                max_workers=1, thread_name_prefix="gsuite-serve")
+            self._wake = asyncio.Event()
+            self._closing = False
+            self._task = asyncio.get_running_loop().create_task(
+                self._drain())
+        return self
+
+    async def close(self) -> None:
+        """Flush every queued request, then stop the drain task."""
+        if self._task is None:
+            return
+        self._closing = True
+        self._wake.set()
+        await self._task
+        self._task = None
+        self._pool.shutdown(wait=True)
+        self._pool = None
+
+    async def __aenter__(self) -> "InferenceService":
+        return await self.start()
+
+    async def __aexit__(self, *exc) -> None:
+        await self.close()
+
+    # -- the request path --------------------------------------------------
+    async def submit(self, request: InferenceRequest) -> InferenceResponse:
+        """Queue one request; resolves when its result is served."""
+        if self._task is None:
+            raise ServeError("service is not started; use 'async with' "
+                             "or await start() first")
+        if self._closing:
+            raise ServeError("service is closing; request refused")
+        start = time.perf_counter()
+        future = asyncio.get_running_loop().create_future()
+        self._inflight += 1
+        try:
+            self.batcher.submit(request, payload=(future, start))
+        except GSuiteError:
+            self._inflight -= 1
+            raise
+        self._wake.set()
+        return await future
+
+    # -- the drain loop ----------------------------------------------------
+    async def _drain(self) -> None:
+        loop = asyncio.get_running_loop()
+        while True:
+            groups = self.batcher.due()
+            if self._closing:
+                groups += self.batcher.flush_all()
+            for group in groups:
+                results = await loop.run_in_executor(
+                    self._pool, self._execute_group, group)
+                for entry, outcome in zip(group.entries, results):
+                    future, started = entry.payload
+                    self._inflight -= 1
+                    if future.done():
+                        continue
+                    if isinstance(outcome, Exception):
+                        future.set_exception(outcome)
+                    else:
+                        outcome.latency_s = time.perf_counter() - started
+                        future.set_result(outcome)
+            if self._closing and not len(self.batcher) and not self._inflight:
+                return
+            timeout = self.batcher.next_deadline()
+            try:
+                await asyncio.wait_for(self._wake.wait(), timeout)
+            except asyncio.TimeoutError:
+                pass
+            self._wake.clear()
+
+    # -- execution (worker thread) -----------------------------------------
+    def _solo(self, entry, pad_to: int = 0, source: str = "solo"):
+        request, graph = entry.request, entry.graph
+        degraded = source == "degraded"
+        try:
+            output = solo_reference(request, pad_to=pad_to,
+                                    profile=self._profile, graph=graph)
+        except GSuiteError as exc:
+            return exc
+        self.report.in_process += 1
+        if degraded:
+            self.report.degraded_tasks += 1
+        return InferenceResponse(
+            request_id=request.request_id, output=output, source=source,
+            batch_size=1, padded_to=pad_to or graph.num_features,
+            degraded=degraded)
+
+    def _execute_group(self, group: BatchGroup):
+        """Run one flushed group; returns one outcome per entry, in order.
+
+        Multi-member groups consult the serving fault sites first: a
+        ``batch_timeout`` abandons the pack (every member degrades to
+        solo), a ``request_drop`` spills single members out of it.
+        Solo and degraded members run unpadded — alone there is nothing
+        to equalise — while batched members run at the group pad width.
+        """
+        plan = active_faults()
+        entries = group.entries
+        self._batch_counter += 1
+        if len(entries) == 1:
+            return [self._solo(entries[0])]
+        if plan is not None and plan.batch_timed_out(
+                f"batch:{self._batch_counter}"):
+            self.report.timeouts += 1
+            return [self._solo(e, source="degraded") for e in entries]
+        outcomes = {}
+        batched = []
+        for index, entry in enumerate(entries):
+            if plan is not None and plan.drop_request(
+                    entry.request.request_id):
+                self.report.retries += 1
+                outcomes[index] = self._solo(entry, source="degraded")
+            else:
+                batched.append((index, entry))
+        if len(batched) == 1:
+            index, entry = batched[0]
+            outcomes[index] = self._solo(entry)
+        elif batched:
+            pad_width = max(e.graph.num_features for _, e in batched)
+            members = [pad_features(e.graph, pad_width) for _, e in batched]
+            head = batched[0][1].request
+            workload = BatchedGraph(members)
+            try:
+                packed = get_backend(head.framework).build(
+                    head.pipeline_spec(), workload,
+                    cost_profile=self._profile).run()
+            except GSuiteError as exc:
+                for index, _ in batched:
+                    outcomes[index] = exc
+            else:
+                self.report.dispatched += 1
+                self.batches.append(len(batched))
+                for block, (index, entry) in zip(workload.unpack(packed),
+                                                 batched):
+                    self.report.tasks += 1
+                    outcomes[index] = InferenceResponse(
+                        request_id=entry.request.request_id,
+                        output=block, source="batched",
+                        batch_size=len(batched), padded_to=pad_width)
+        return [outcomes[i] for i in range(len(entries))]
+
+    # -- observability -----------------------------------------------------
+    def stats(self) -> dict:
+        """Service counters: dispatch accounting, batch shape, cache reuse."""
+        return {
+            "responses": self.report.tasks + self.report.in_process,
+            "batched": self.report.tasks,
+            "solo": self.report.in_process - self.report.degraded_tasks,
+            "degraded": self.report.degraded_tasks,
+            "batches": list(self.batches),
+            "max_batch_size": max(self.batches) if self.batches else 1,
+            "plan_cache_hits":
+                self._cache.stats.hits - self._cache_hits_baseline,
+            "dispatch": self.report.to_dict(),
+        }
+
+
+async def serve_tcp(service: InferenceService, host: str = "127.0.0.1",
+                    port: int = 0, max_requests: Optional[int] = None,
+                    ready=None) -> int:
+    """Serve JSON-lines requests over TCP until ``max_requests`` answered.
+
+    One request object per line in, one response summary per line out
+    (errors come back as ``{"error": ...}`` instead of killing the
+    connection).  ``ready`` is called with the bound ``(host, port)``
+    once listening — the CLI prints it, tests connect to it.  Returns
+    the number of requests answered.
+    """
+    served = 0
+    done = asyncio.Event()
+
+    async def handle(reader, writer):
+        nonlocal served
+        try:
+            while True:
+                line = await reader.readline()
+                if not line:
+                    break
+                try:
+                    request = InferenceRequest.from_dict(json.loads(line))
+                    response = await service.submit(request)
+                    reply = response.summary()
+                except (GSuiteError, ValueError) as exc:
+                    reply = {"error": str(exc)}
+                writer.write(json.dumps(reply).encode() + b"\n")
+                await writer.drain()
+                served += 1
+                if max_requests is not None and served >= max_requests:
+                    done.set()
+                    break
+        finally:
+            writer.close()
+
+    server = await asyncio.start_server(handle, host, port)
+    bound = server.sockets[0].getsockname()[:2]
+    if ready is not None:
+        ready(bound)
+    async with server:
+        if max_requests is None:
+            await asyncio.Event().wait()      # serve forever
+        else:
+            await done.wait()
+    return served

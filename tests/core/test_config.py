@@ -92,14 +92,16 @@ class TestImmutability:
 
 class TestKnobs:
     """The shared knob vocabulary (shards / fuse / batch /
-    partitioner)."""
+    partitioner / serve_batch)."""
 
     def test_registry_covers_the_plan_knobs(self):
-        assert set(KNOBS) == {"shards", "fuse", "batch", "partitioner"}
+        assert set(KNOBS) == {"shards", "fuse", "batch", "partitioner",
+                              "serve_batch"}
 
     @pytest.mark.parametrize("name,auto,off", [
         ("shards", 0, 1),
         ("batch", 0, 1),
+        ("serve_batch", 0, 1),
         ("fuse", "auto", "off"),
     ])
     def test_uniform_auto_off_vocabulary(self, name, auto, off):

@@ -15,6 +15,7 @@ fingerprint).
 
 import numpy as np
 import pytest
+from hypothesis import given, strategies as st
 
 from repro.cache import get_cache
 from repro.core.kernels import fused_gather_scatter, index_select, \
@@ -34,22 +35,16 @@ from repro.plan import (
     legacy_trace,
 )
 from repro.plan.planner import GraphStats
-
-#: Backend x (model, compute model) combos whose pipelines execute a
-#: plain PlanExecutor and therefore accept the fusion pass.  (The
-#: PyG-like tape observes every op and refuses — covered below.)
-FUSABLE = {
-    "gsuite": (("gcn", "MP"), ("gcn", "SpMM"), ("gin", "MP"),
-               ("gin", "SpMM"), ("sage", "MP"), ("gat", "MP")),
-    "dgl": (("gcn", "SpMM"), ("gin", "SpMM"), ("sage", "SpMM")),
-    "gsuite-adaptive": (("gcn", "MP"), ("gin", "MP"), ("sage", "MP"),
-                        ("gat", "MP")),
-}
+from strategies import (
+    FUSABLE_COMBOS,
+    PARITY_SETTINGS,
+    fusable_combos,
+    power_law_graphs,
+    shard_counts,
+)
 
 #: Force every pattern so tiny test graphs exercise the fused kernels.
 FORCE = FusionPolicy()
-
-SHARD_COUNTS = (1, 2)
 
 
 @pytest.fixture(scope="module")
@@ -65,13 +60,6 @@ def _run_recorded(pipeline):
     with record_launches() as recorder:
         out = pipeline.run()
     return out, recorder.launches
-
-
-def _combos():
-    return [(backend, model, cm, k)
-            for backend, combos in FUSABLE.items()
-            for model, cm in combos
-            for k in SHARD_COUNTS]
 
 
 class TestFusionPass:
@@ -108,13 +96,12 @@ class TestFusionPass:
         assert chains[0].function == "add+relu"
 
     def test_fused_plan_op_count_shrinks(self, graph):
-        for backend, combos in FUSABLE.items():
-            for model, cm in combos:
-                built = get_backend(backend).build(_spec(model, cm), graph)
-                if built.plan is None:
-                    continue
-                fused = fuse_plan(built.plan, FORCE)
-                assert len(fused.ops) < len(built.plan.ops), (backend, model)
+        for backend, model, cm in FUSABLE_COMBOS:
+            built = get_backend(backend).build(_spec(model, cm), graph)
+            if built.plan is None:
+                continue
+            fused = fuse_plan(built.plan, FORCE)
+            assert len(fused.ops) < len(built.plan.ops), (backend, model)
 
     def test_empty_policy_is_identity(self, graph):
         built = get_backend("gsuite").build(_spec("gcn", "MP"), graph)
@@ -321,39 +308,45 @@ class TestReuseBlocksFusion:
 
 
 class TestFusedParity:
-    """model x backend x {fused, unfused} x shards in {1, 2}: outputs
-    bit-for-bit, traces equivalent under the replaces mapping."""
+    """Drawn (backend, model, compute model) x shard count x random
+    power-law graph: outputs bit-for-bit, traces equivalent under the
+    replaces mapping."""
 
-    @pytest.mark.parametrize("backend,model,cm,k", _combos())
-    def test_bitwise_output_and_mapped_trace(self, graph, backend, model,
-                                             cm, k):
+    @PARITY_SETTINGS
+    @given(graph=power_law_graphs(), combo=fusable_combos(),
+           k=shard_counts())
+    def test_bitwise_output_and_mapped_trace(self, graph, combo, k):
+        backend, model, cm = combo
         spec = _spec(model, cm)
         reference, ref_launches = _run_recorded(
             get_backend(backend).build(spec, graph))
         fused_pipeline = get_backend(backend).build(spec, graph) \
             .configure_fusion(FORCE)
         if k > 1:
-            fused_pipeline.configure_sharding(ShardingPolicy(num_shards=k))
+            fused_pipeline.configure_sharding(
+                ShardingPolicy(num_shards=k, use_cache=False))
         fused, fused_launches = _run_recorded(fused_pipeline)
         assert fused.dtype == reference.dtype
         assert np.array_equal(fused, reference)      # bit-for-bit
         assert legacy_trace(fused_launches) == \
             [(l.kernel, l.tag) for l in ref_launches]
 
-    @pytest.mark.parametrize("backend,model,cm,k", _combos())
+    @PARITY_SETTINGS
+    @given(graph=power_law_graphs(), combo=fusable_combos(),
+           k=st.sampled_from((2, 7)))
     def test_sharded_fused_trace_matches_unsharded_fused(
-            self, graph, backend, model, cm, k):
+            self, graph, combo, k):
         """Sharding a fused plan keeps PR 3's contract: fingerprint-
         identical traces against the unsharded fused run."""
-        if k == 1:
-            pytest.skip("sharded-vs-unsharded needs K >= 2")
+        backend, model, cm = combo
         spec = _spec(model, cm)
         unsharded = get_backend(backend).build(spec, graph) \
             .configure_fusion(FORCE)
         ref, ref_launches = _run_recorded(unsharded)
         sharded = get_backend(backend).build(spec, graph) \
             .configure_fusion(FORCE) \
-            .configure_sharding(ShardingPolicy(num_shards=k))
+            .configure_sharding(ShardingPolicy(num_shards=k,
+                                               use_cache=False))
         out, launches = _run_recorded(sharded)
         assert np.array_equal(out, ref)
         assert [l.fingerprint() for l in launches] == \

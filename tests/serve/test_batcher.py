@@ -1,0 +1,190 @@
+"""Micro-batcher unit and property tests.
+
+The batcher's contract: queues group by compatibility key, a group
+never flushes deeper than :func:`~repro.plan.planner.choose_batching`
+allows for its padded width and costliest member (the serving path
+stays inside the offline budgets), batch-full queues cut immediately,
+and no request ever waits past the deadline window.  All of it drives
+off an injected fake clock — no sleeping.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import ServeError
+from repro.graph import Graph
+from repro.serve import InferenceRequest, MicroBatcher
+from repro.serve.batcher import CAPACITY, group_budget
+from strategies import PARITY_SETTINGS, batch_member_lists
+
+
+def _graph(width=4, nodes=6, seed=0, name="g"):
+    rng = np.random.default_rng(seed)
+    src = rng.integers(0, nodes, size=2 * nodes)
+    dst = rng.integers(0, nodes, size=2 * nodes)
+    return Graph(np.vstack([src, dst]).astype(np.int64), num_nodes=nodes,
+                 features=rng.standard_normal((nodes, width))
+                 .astype(np.float32), name=name)
+
+
+def _request(request_id, width=4, seed=0, **kwargs):
+    kwargs.setdefault("out_features", 3)
+    return InferenceRequest(request_id=request_id,
+                            graph=_graph(width=width, seed=seed), **kwargs)
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self):
+        return self.now
+
+
+class TestGrouping:
+    def test_compatible_requests_share_a_queue(self):
+        batcher = MicroBatcher(window=10.0)
+        for i in range(3):
+            batcher.submit(_request(f"r{i}", seed=i))
+        assert len(batcher) == 3
+        assert len(batcher._queues) == 1
+
+    def test_incompatible_requests_split_queues(self):
+        batcher = MicroBatcher(window=10.0)
+        batcher.submit(_request("a", model="gcn"))
+        batcher.submit(_request("b", model="gin"))
+        batcher.submit(_request("c", model="gcn", seed=9))  # same key as a
+        assert len(batcher._queues) == 2
+
+    def test_mixed_widths_share_a_queue(self):
+        """Width is not part of the key — padding equalises it."""
+        batcher = MicroBatcher(window=10.0)
+        batcher.submit(_request("a", width=3))
+        batcher.submit(_request("b", width=11))
+        assert len(batcher._queues) == 1
+
+    def test_invalid_knobs_refused(self):
+        with pytest.raises(ServeError, match="max_batch"):
+            MicroBatcher(max_batch=-1)
+        with pytest.raises(ServeError, match="window"):
+            MicroBatcher(window=-0.1)
+
+
+class TestBudgets:
+    def test_budget_is_planner_capacity(self):
+        batcher = MicroBatcher(window=10.0)
+        requests = [_request(f"r{i}", width=3 + i) for i in range(4)]
+        for request in requests:
+            batcher.submit(request)
+        (key,) = batcher._queues
+        pad = max(r.graph.num_features for r in requests)
+        allowed = group_budget(requests, [r.graph for r in requests], pad,
+                               count=CAPACITY)
+        assert batcher.budget(key) == allowed
+        # Capacity pricing: the budget must not collapse to the queue
+        # length (that would make every nonempty queue look batch-full
+        # and dead-code the deadline window).
+        assert allowed > len(requests)               # tiny members pack deep
+
+    def test_max_batch_caps_but_never_grows(self):
+        requests = [_request(f"r{i}") for i in range(5)]
+        graphs = [r.graph for r in requests]
+        uncapped = group_budget(requests, graphs, 4)
+        assert group_budget(requests, graphs, 4, max_batch=2) == \
+            min(2, uncapped)
+        assert group_budget(requests, graphs, 4, max_batch=64) <= 64
+
+    def test_off_mode_budget_is_one(self):
+        batcher = MicroBatcher(max_batch=1, window=10.0)
+        for i in range(3):
+            batcher.submit(_request(f"r{i}"))
+        (key,) = batcher._queues
+        assert batcher.budget(key) == 1
+
+    def test_adaptive_budget_is_one(self):
+        batcher = MicroBatcher(window=10.0)
+        for i in range(3):
+            batcher.submit(_request(f"r{i}", framework="gsuite-adaptive"))
+        (key,) = batcher._queues
+        assert batcher.budget(key) == 1
+
+    @PARITY_SETTINGS
+    @given(members=batch_member_lists(min_members=2, max_members=3),
+           cap=st.sampled_from((0, 1, 2, 64)))
+    def test_budget_respects_planner_for_random_members(self, members, cap):
+        requests = [
+            InferenceRequest(request_id=f"r{i}", graph=g, out_features=3)
+            for i, g in enumerate(members)]
+        graphs = [r.graph for r in requests]
+        pad = max(g.num_features for g in graphs)
+        budget = group_budget(requests, graphs, pad,
+                              max_batch=cap if cap >= 1 else None)
+        assert 1 <= budget <= len(requests)
+        if cap >= 1:
+            assert budget <= cap
+        unconstrained = group_budget(requests, graphs, pad)
+        assert budget <= unconstrained or cap >= 1
+
+
+class TestFlushing:
+    def test_batch_full_cuts_one_group_keeps_remainder(self):
+        clock = FakeClock()
+        batcher = MicroBatcher(max_batch=2, window=10.0, clock=clock)
+        for i in range(5):
+            batcher.submit(_request(f"r{i}"))
+        groups = batcher.due()
+        assert [g.reason for g in groups] == ["full", "full"]
+        assert all(g.size == 2 for g in groups)
+        assert len(batcher) == 1                     # remainder waits
+
+    def test_deadline_flush_drains_completely(self):
+        clock = FakeClock()
+        batcher = MicroBatcher(max_batch=4, window=0.5, clock=clock)
+        batcher.submit(_request("a"))
+        batcher.submit(_request("b"))
+        assert batcher.due() == []                   # under budget, young
+        clock.now = 0.6
+        groups = batcher.due()
+        assert [g.reason for g in groups] == ["deadline"]
+        assert groups[0].size == 2
+        assert len(batcher) == 0
+
+    def test_group_pad_width_is_widest_member(self):
+        clock = FakeClock()
+        batcher = MicroBatcher(max_batch=3, window=10.0, clock=clock)
+        for i, width in enumerate((3, 11, 7)):
+            batcher.submit(_request(f"r{i}", width=width))
+        (group,) = batcher.due()
+        assert group.pad_width == 11
+
+    def test_flush_all_drains_every_queue(self):
+        batcher = MicroBatcher(max_batch=2, window=10.0)
+        batcher.submit(_request("a", model="gcn"))
+        batcher.submit(_request("b", model="gin"))
+        batcher.submit(_request("c", model="gin", seed=2))
+        groups = batcher.flush_all()
+        assert {g.reason for g in groups} == {"close"}
+        assert sum(g.size for g in groups) == 3
+        assert len(batcher) == 0
+
+    def test_next_deadline_tracks_oldest(self):
+        clock = FakeClock()
+        batcher = MicroBatcher(window=1.0, clock=clock)
+        assert batcher.next_deadline() is None
+        batcher.submit(_request("a"))
+        clock.now = 0.25
+        batcher.submit(_request("b", model="gin"))
+        assert batcher.next_deadline() == pytest.approx(0.75)
+        clock.now = 2.0
+        assert batcher.next_deadline() == 0.0
+
+    def test_requests_flush_in_fifo_order(self):
+        clock = FakeClock()
+        batcher = MicroBatcher(max_batch=2, window=0.1, clock=clock)
+        for i in range(3):
+            batcher.submit(_request(f"r{i}"))
+        clock.now = 1.0
+        groups = batcher.due()
+        order = [e.request.request_id for g in groups for e in g.entries]
+        assert order == ["r0", "r1", "r2"]

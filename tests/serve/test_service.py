@@ -1,0 +1,340 @@
+"""End-to-end service tests: parity, degradation, accounting, wire.
+
+The serving invariant under test everywhere: **how** a request executes
+(batched, solo, degraded through a fault site) never changes **what**
+it computes — every response is bit-for-bit the same request executed
+solo at its recorded pad width — and the service's
+:class:`~repro.bench.pool.DispatchReport` accounts every execution and
+degradation event exactly.
+"""
+
+import asyncio
+import json
+
+import numpy as np
+import pytest
+
+from repro.core.config import SuiteConfig
+from repro.errors import ConfigError, ServeError
+from repro.faults import SITES, parse_faults
+from repro.graph import Graph
+from repro.serve import (
+    InferenceRequest,
+    InferenceService,
+    run_loadgen,
+    serve_tcp,
+    solo_reference,
+)
+from repro.serve.loadgen import dataset_mix, percentile
+
+
+def _graph(width=4, nodes=10, seed=0, name="g"):
+    rng = np.random.default_rng(seed)
+    src = rng.integers(0, nodes, size=3 * nodes)
+    dst = rng.integers(0, nodes, size=3 * nodes)
+    return Graph(np.vstack([src, dst]).astype(np.int64), num_nodes=nodes,
+                 features=rng.standard_normal((nodes, width))
+                 .astype(np.float32), name=name)
+
+
+def _requests(widths, **kwargs):
+    kwargs.setdefault("out_features", 4)
+    return [InferenceRequest(request_id=f"r{i}",
+                             graph=_graph(width=w, seed=i, name=f"g{i}"),
+                             **kwargs)
+            for i, w in enumerate(widths)]
+
+
+def _serve_all(requests, config=None):
+    """Submit every request concurrently; return (service, responses)."""
+    service = InferenceService(config or SuiteConfig(serve_window=0.02))
+
+    async def drive():
+        async with service:
+            return await asyncio.gather(
+                *(service.submit(r) for r in requests))
+
+    return service, asyncio.run(drive())
+
+
+class TestBatchedParity:
+    def test_mixed_width_batch_is_bitwise_solo_at_pad_width(self):
+        requests = _requests((3, 9, 5))
+        service, responses = _serve_all(requests)
+        assert [r.source for r in responses] == ["batched"] * 3
+        assert {r.padded_to for r in responses} == {9}
+        assert all(r.batch_size == 3 for r in responses)
+        for request, response in zip(requests, responses):
+            reference = solo_reference(request, pad_to=response.padded_to)
+            assert np.array_equal(response.output, reference), \
+                request.request_id
+
+    def test_padded_member_differs_from_unpadded_solo(self):
+        """The narrow member's batched output is *not* its unpadded solo
+        run — the pad width is part of the arithmetic (documented)."""
+        requests = _requests((3, 9))
+        _, responses = _serve_all(requests)
+        narrow = responses[0]
+        assert narrow.padded_to == 9
+        assert not np.array_equal(narrow.output, solo_reference(requests[0]))
+        assert np.array_equal(narrow.output,
+                              solo_reference(requests[0], pad_to=9))
+
+    def test_dispatch_report_accounts_cleanly(self):
+        service, responses = _serve_all(_requests((4, 4, 4)))
+        stats = service.stats()
+        assert stats["responses"] == 3
+        assert stats["batched"] == 3 and stats["solo"] == 0
+        assert stats["degraded"] == 0
+        assert stats["batches"] == [3] and stats["max_batch_size"] == 3
+        report = stats["dispatch"]
+        assert report["dispatched"] == 1 and report["tasks"] == 3
+        assert report["retries"] == 0 and report["timeouts"] == 0
+
+    def test_incompatible_requests_never_share_a_batch(self):
+        gcn = _requests((4, 4))
+        gin = _requests((4, 4), model="gin")
+        service, responses = _serve_all(gcn + [
+            InferenceRequest(request_id=f"gin-{i}", graph=r.graph,
+                             model="gin", out_features=4)
+            for i, r in enumerate(gin)])
+        assert sorted(service.stats()["batches"]) == [2, 2]
+
+    def test_latency_is_recorded(self):
+        _, responses = _serve_all(_requests((4,)))
+        assert responses[0].latency_s > 0
+
+
+class TestServeModes:
+    def test_off_mode_runs_everything_solo(self):
+        config = SuiteConfig(serve_batch=1, serve_window=0.02)
+        requests = _requests((3, 9, 5))
+        service, responses = _serve_all(requests, config)
+        assert [r.source for r in responses] == ["solo"] * 3
+        # Solo runs are unpadded: each executes at its natural width.
+        assert [r.padded_to for r in responses] == [3, 9, 5]
+        for request, response in zip(requests, responses):
+            assert np.array_equal(response.output, solo_reference(request))
+        stats = service.stats()
+        assert stats["batched"] == 0 and stats["solo"] == 3
+        assert stats["dispatch"]["dispatched"] == 0
+
+    def test_cap_mode_bounds_batches(self):
+        config = SuiteConfig(serve_batch=2, serve_window=0.02)
+        service, responses = _serve_all(_requests((4, 4, 4, 4)), config)
+        assert service.stats()["max_batch_size"] <= 2
+        assert sum(service.stats()["batches"]) + \
+            service.stats()["solo"] == 4
+
+    def test_adaptive_traffic_stays_solo(self):
+        requests = _requests((4, 4), framework="gsuite-adaptive")
+        service, responses = _serve_all(requests)
+        assert [r.source for r in responses] == ["solo"] * 2
+        for request, response in zip(requests, responses):
+            assert np.array_equal(response.output, solo_reference(request))
+
+    def test_warm_plan_cache_reuse_on_repeat_geometry(self):
+        config = SuiteConfig(serve_batch=1, serve_window=0.01)
+        service = InferenceService(config)
+        first = InferenceRequest(request_id="a", graph=_graph(seed=3),
+                                 out_features=4)
+        repeat = InferenceRequest(request_id="b", graph=_graph(seed=3),
+                                  out_features=4)
+
+        async def drive():
+            async with service:
+                await service.submit(first)
+                return await service.submit(repeat)
+
+        asyncio.run(drive())
+        assert service.stats()["plan_cache_hits"] >= 1
+
+    def test_submit_requires_started_service(self):
+        service = InferenceService(SuiteConfig())
+        with pytest.raises(ServeError, match="not started"):
+            asyncio.run(service.submit(_requests((4,))[0]))
+
+
+class TestFaultDegradation:
+    def test_request_drop_degrades_to_solo_with_parity(self):
+        config = SuiteConfig(serve_window=0.02,
+                             faults="seed=1;request_drop:p=1")
+        requests = _requests((3, 9, 5))
+        service, responses = _serve_all(requests, config)
+        assert [r.source for r in responses] == ["degraded"] * 3
+        assert all(r.degraded for r in responses)
+        for request, response in zip(requests, responses):
+            # Degraded members re-run solo unpadded — still parity-exact.
+            assert response.padded_to == request.graph.num_features
+            assert np.array_equal(response.output, solo_reference(request))
+        stats = service.stats()
+        assert stats["degraded"] == 3 and stats["batched"] == 0
+        assert stats["dispatch"]["retries"] == 3      # one per dropped member
+        assert stats["dispatch"]["timeouts"] == 0
+        assert stats["dispatch"]["dispatched"] == 0   # nothing left to pack
+
+    def test_partial_drop_keeps_the_rest_batched(self):
+        # p=0.5 with this seed drops a strict subset of the three
+        # member ids (deterministically — same digests every run).
+        config = SuiteConfig(serve_window=0.02,
+                             faults="seed=5;request_drop:p=0.5")
+        plan = parse_faults(config.faults)
+        expected_drops = [r for r in ("r0", "r1", "r2")
+                          if plan.decide("request_drop", r)]
+        assert 0 < len(expected_drops) < 3             # seed chosen for this
+        requests = _requests((4, 4, 4))
+        service, responses = _serve_all(requests, config)
+        by_id = {r.request_id: r for r in responses}
+        for request in requests:
+            response = by_id[request.request_id]
+            if request.request_id in expected_drops:
+                assert response.source == "degraded"
+            reference = solo_reference(request, pad_to=response.padded_to)
+            assert np.array_equal(response.output, reference)
+        assert service.stats()["dispatch"]["retries"] == len(expected_drops)
+
+    def test_batch_timeout_degrades_every_member(self):
+        config = SuiteConfig(serve_window=0.02,
+                             faults="batch_timeout:p=1")
+        requests = _requests((3, 9, 5))
+        service, responses = _serve_all(requests, config)
+        assert [r.source for r in responses] == ["degraded"] * 3
+        for request, response in zip(requests, responses):
+            assert np.array_equal(response.output, solo_reference(request))
+        stats = service.stats()
+        assert stats["dispatch"]["timeouts"] == 1     # one abandoned pack
+        assert stats["degraded"] == 3
+        assert stats["dispatch"]["dispatched"] == 0
+
+    def test_solo_requests_never_consult_serving_sites(self):
+        config = SuiteConfig(serve_batch=1, serve_window=0.01,
+                             faults="request_drop:p=1;batch_timeout:p=1")
+        service, responses = _serve_all(_requests((4,)), config)
+        assert responses[0].source == "solo"
+        assert not responses[0].degraded
+        stats = service.stats()
+        assert stats["dispatch"]["retries"] == 0
+        assert stats["dispatch"]["timeouts"] == 0
+
+
+class TestFaultSpecs:
+    def test_serving_sites_registered(self):
+        assert "request_drop" in SITES and "batch_timeout" in SITES
+
+    def test_spec_round_trip(self):
+        plan = parse_faults("seed=9;request_drop:p=0.25;batch_timeout:p=1")
+        again = parse_faults(plan.render())
+        assert again.render() == plan.render()
+        assert again.seed == 9
+        assert again.specs["request_drop"].probability == 0.25
+
+    def test_decisions_are_deterministic(self):
+        a = parse_faults("seed=3;request_drop:p=0.5")
+        b = parse_faults("seed=3;request_drop:p=0.5")
+        keys = [f"r{i}" for i in range(32)]
+        assert [a.drop_request(k) for k in keys] == \
+            [b.drop_request(k) for k in keys]
+        assert a.injected("request_drop") > 0         # seed fires sometimes
+
+    def test_unknown_site_still_refused(self):
+        with pytest.raises(ConfigError, match="unknown fault site"):
+            parse_faults("request_dorp:p=1")
+
+
+class TestTcpServer:
+    def test_json_lines_round_trip_and_error_reply(self):
+        async def scenario():
+            service = InferenceService(SuiteConfig(serve_batch=1,
+                                                   serve_window=0.01))
+            async with service:
+                ready = asyncio.get_running_loop().create_future()
+                server = asyncio.ensure_future(serve_tcp(
+                    service, port=0, max_requests=2,
+                    ready=ready.set_result))
+                host, port = await ready
+                reader, writer = await asyncio.open_connection(host, port)
+                good = InferenceRequest(request_id="t1", graph=_graph(),
+                                        out_features=4)
+                writer.write(json.dumps(good.to_dict()).encode() + b"\n")
+                writer.write(json.dumps(
+                    {"request_id": "t2", "dataset": "nope"}).encode()
+                    + b"\n")
+                await writer.drain()
+                first = json.loads(await reader.readline())
+                second = json.loads(await reader.readline())
+                writer.close()
+                return first, second, await server
+
+        first, second, served = asyncio.run(scenario())
+        assert served == 2
+        assert first["request_id"] == "t1"
+        assert first["output_shape"] == [10, 4]
+        assert first["source"] == "solo"
+        assert "error" in second and "nope" in second["error"]
+
+
+class TestLoadgen:
+    def test_percentile_nearest_rank(self):
+        values = [5.0, 1.0, 3.0, 2.0, 4.0]
+        assert percentile(values, 0.0) == 1.0
+        assert percentile(values, 0.5) == 3.0
+        assert percentile(values, 1.0) == 5.0
+        assert percentile([], 0.5) == 0.0
+
+    def test_dataset_mix_pins_head_width(self):
+        mix = dataset_mix(["cora", "pubmed"])
+        assert {t.out_features for t in mix} == {7}   # cora's class count
+        assert dataset_mix(["cora"])[0].out_features is None
+
+    def test_dataset_mix_validates(self):
+        with pytest.raises(ServeError, match="at least one"):
+            dataset_mix([])
+
+    def test_closed_loop_run_with_verification(self):
+        templates = [InferenceRequest(
+            request_id="template", graph=_graph(width=w, seed=w),
+            out_features=4) for w in (3, 6)]
+        report = run_loadgen(templates, concurrency=3,
+                             requests_per_client=2,
+                             config=SuiteConfig(serve_window=0.02),
+                             verify=True)
+        assert report.requests == 6
+        assert report.parity_checked == 6
+        assert report.parity_failures == 0
+        assert report.batched + report.solo + report.degraded == 6
+        assert report.throughput_rps > 0
+        assert report.p99_ms >= report.p50_ms >= 0
+        summary = report.summary()
+        assert "p50" in summary and "batched" in summary
+
+    def test_bad_parameters_refused(self):
+        template = InferenceRequest(request_id="t", graph=_graph(),
+                                    out_features=4)
+        with pytest.raises(ServeError, match=">= 1"):
+            run_loadgen([template], concurrency=0, requests_per_client=1)
+        with pytest.raises(ServeError, match="template"):
+            run_loadgen([], concurrency=1, requests_per_client=1)
+
+
+class TestCli:
+    def test_loadgen_command(self, capsys):
+        from repro.cli import main
+        assert main(["loadgen", "--concurrency", "2", "--requests", "2",
+                     "--datasets", "cora,pubmed", "--scale", "0.1",
+                     "--serve-window", "0.02", "--verify"]) == 0
+        out = capsys.readouterr().out
+        assert "loadgen over cora+pubmed" in out
+        assert "parity" in out
+
+    def test_loadgen_off_mode(self, capsys):
+        from repro.cli import main
+        assert main(["loadgen", "--concurrency", "2", "--requests", "1",
+                     "--dataset", "cora", "--scale", "0.1",
+                     "--serve-batch", "off"]) == 0
+        assert "micro-batching off" in capsys.readouterr().out
+
+    def test_serve_knobs_validate(self):
+        with pytest.raises(ConfigError):
+            SuiteConfig(serve_window=-1.0)
+        with pytest.raises(ConfigError):
+            SuiteConfig(serve_batch=-2)

@@ -10,11 +10,23 @@ the package imports as top-level ``strategies``.)
 """
 
 from .graphs import power_law_graphs, shard_counts
+from .modes import (
+    EXECUTABLE_COMBOS,
+    FUSABLE_COMBOS,
+    batch_member_lists,
+    executable_combos,
+    fusable_combos,
+)
 from .settings import PARITY_SETTINGS, STANDARD_SETTINGS
 
 __all__ = [
+    "EXECUTABLE_COMBOS",
+    "FUSABLE_COMBOS",
     "PARITY_SETTINGS",
     "STANDARD_SETTINGS",
+    "batch_member_lists",
+    "executable_combos",
+    "fusable_combos",
     "power_law_graphs",
     "shard_counts",
 ]

@@ -23,21 +23,23 @@ def shard_counts():
 
 @st.composite
 def power_law_graphs(draw, min_nodes: int = 6, max_nodes: int = 48,
-                     max_avg_degree: int = 5, max_width: int = 12):
+                     max_avg_degree: int = 5, max_width: int = 12,
+                     width: int = 0):
     """A random power-law :class:`~repro.graph.Graph` with features.
 
     In-edge destinations follow a Zipf-like law over the node ids, so
     low ids are hubs; ``hubs_first`` keeps that degree-sorted layout
     (adversarial for even-row sharding) or shuffles it away.  Degree
     zero is allowed — edgeless graphs and isolated nodes are part of
-    the space.
+    the space.  ``width`` pins the feature width instead of drawing it
+    (member lists that must batch together share one width).
     """
     from repro.graph import Graph
 
     num_nodes = draw(st.integers(min_nodes, max_nodes))
     avg_degree = draw(st.integers(0, max_avg_degree))
     exponent = draw(st.sampled_from((2.1, 2.5, 3.0)))
-    width = draw(st.integers(1, max_width))
+    width = width or draw(st.integers(1, max_width))
     seed = draw(st.integers(0, 2**31 - 1))
     hubs_first = draw(st.booleans())
 

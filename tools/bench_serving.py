@@ -1,0 +1,145 @@
+#!/usr/bin/env python3
+"""Benchmark the serving layer: micro-batched vs solo request streams.
+
+One JSON answer (``BENCH_serving.json``): the deterministic closed-loop
+load generator (:mod:`repro.serve.loadgen`) drives a mixed-dataset
+request stream — Cora, CiteSeer and Pubmed requests with a pinned head
+width, so the three feature widths (1433 / 3703 / 500) share batches
+through the zero-padding shim — at several concurrency levels, once
+with the micro-batcher on (``serve_batch=0``, planner budgets) and once
+off (``serve_batch=1``, every request solo).  Each run records p50/p99
+latency, throughput, batch shapes and plan-cache reuse, and **verifies
+every response bit-for-bit** against the same request executed solo at
+its recorded pad width (the padding parity contract).
+
+Usage::
+
+    PYTHONPATH=src python tools/bench_serving.py --smoke   # CI
+    PYTHONPATH=src python tools/bench_serving.py           # full bench
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.core.config import SuiteConfig  # noqa: E402
+from repro.serve import run_loadgen  # noqa: E402
+from repro.serve.loadgen import dataset_mix  # noqa: E402
+
+#: The mixed-width traffic: three citation datasets, head width pinned
+#: so the compatibility key matches and only the padding shim separates
+#: them from a homogeneous sweep.
+DATASETS = ("cora", "citeseer", "pubmed")
+OUT_FEATURES = 8
+
+#: (serve_batch knob, label) for the batched-vs-off comparison.
+MODES = ((0, "batched"), (1, "solo"))
+
+
+def bench_level(concurrency: int, requests_per_client: int, scale: float,
+                window: float, profile_costs: str) -> tuple:
+    """One concurrency level, batched vs solo; returns (rows, failures)."""
+    templates = dataset_mix(list(DATASETS), out_features=OUT_FEATURES,
+                            model="gcn", scale=scale)
+    rows, failures = [], []
+    for serve_batch, label in MODES:
+        config = SuiteConfig(serve_batch=serve_batch, serve_window=window,
+                             profile_costs=profile_costs)
+        report = run_loadgen(templates, concurrency=concurrency,
+                             requests_per_client=requests_per_client,
+                             config=config, verify=True)
+        if report.parity_failures:
+            failures.append(
+                f"C={concurrency} {label}: {report.parity_failures}/"
+                f"{report.parity_checked} responses diverged from their "
+                f"solo-at-pad-width references")
+        rows.append({"mode": label, **report.to_dict()})
+        print(f"  {label:7s} {report.summary()}")
+    if len(rows) == 2 and rows[0]["p50_ms"] > 0:
+        ratio = rows[0]["p50_ms"] / max(rows[1]["p50_ms"], 1e-9)
+        print(f"  batched/solo p50 ratio {ratio:.2f}x "
+              f"(max batch {rows[0]['max_batch_size']})")
+    return rows, failures
+
+
+def run(smoke: bool, out_path: Path, profile_costs: str) -> int:
+    if smoke:
+        levels, requests_per_client, scale, window = (2, 4), 3, 0.1, 0.005
+    else:
+        levels, requests_per_client, scale, window = (2, 4, 8), 6, 0.25, 0.005
+
+    print(f"serving loadgen over {'+'.join(DATASETS)}@{scale:g} "
+          f"(gcn, out_features={OUT_FEATURES}, window={window:g}s)")
+    sweep, failures = [], []
+    for concurrency in levels:
+        print(f"concurrency {concurrency}:")
+        rows, level_failures = bench_level(
+            concurrency, requests_per_client, scale, window, profile_costs)
+        failures += level_failures
+        sweep.append({"concurrency": concurrency, "runs": rows})
+
+    if failures:
+        print("PARITY FAILURES:")
+        for failure in failures:
+            print(f"  {failure}")
+        return 1
+
+    payload = {
+        "description": "Serving-layer load generation: a deterministic "
+                       "closed-loop client mix over "
+                       f"{'+'.join(DATASETS)} (gcn, head width pinned to "
+                       f"{OUT_FEATURES} so the 1433/3703/500-wide members "
+                       "share batches through the zero-padding shim) at "
+                       "several concurrency levels, micro-batching on "
+                       "(serve_batch=0, planner budgets) vs off "
+                       "(serve_batch=1).  p50/p99 latency in ms, "
+                       "throughput in req/s; every response verified "
+                       "bit-for-bit against the same request executed "
+                       "solo at its recorded pad width.  The pinned "
+                       "finding is a characterisation, not a speedup "
+                       "claim: at reproduction scales the persistent "
+                       "plan cache already amortises the solo path's "
+                       "fixed per-request costs, while the batched path "
+                       "pays the serve_window deadline up front and "
+                       "executes narrow members at the group pad width "
+                       "(Pubmed's 500-wide features compute at "
+                       "CiteSeer's 3703), so solo wins both latency and "
+                       "throughput here — the artifact pins that "
+                       "tradeoff and the bitwise parity guarantee.",
+        "smoke": smoke,
+        "datasets": list(DATASETS),
+        "out_features": OUT_FEATURES,
+        "scale": scale,
+        "serve_window_s": window,
+        "profile_costs": profile_costs,
+        "requests_per_client": requests_per_client,
+        "concurrency_sweep": sweep,
+        "parity_failures": 0,
+    }
+    out_path.write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"wrote {out_path}")
+    return 0
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--smoke", action="store_true",
+                        help="small scales and concurrency levels for CI")
+    parser.add_argument("--profile-costs", default="paper",
+                        help="planner cost profile (default: the paper "
+                             "constants, so the pinned artifact never "
+                             "depends on host calibration)")
+    parser.add_argument("--out",
+                        default=str(REPO_ROOT / "BENCH_serving.json"))
+    args = parser.parse_args()
+    return run(args.smoke, Path(args.out), args.profile_costs)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
